@@ -1,0 +1,194 @@
+// Ablations for the design choices called out in DESIGN.md §5:
+//  1. Shrubs frontier maintenance vs eager-root (tim) vs naive rebuild —
+//     append-side hashing cost.
+//  2. fam-aoa trusted anchors — proof size and verification latency with
+//     and without an anchor.
+//  3. Fractal height δ sweep — append cost vs proof cost trade-off.
+//  4. Occult sync vs async erasure — append-path impact of deferred
+//     reorganization.
+//  5. CM-Tree batch proofs vs per-entry proofs (the §IV-C minimal set).
+
+#include <string>
+#include <vector>
+
+#include "accum/bamt.h"
+#include "accum/fam.h"
+#include "accum/naive_merkle.h"
+#include "accum/shrubs.h"
+#include "accum/tim.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "ledger/ledger.h"
+
+using namespace ledgerdb;
+using namespace ledgerdb::bench;
+
+namespace {
+
+Digest D(uint64_t i) {
+  Bytes buf;
+  PutU64(&buf, i ^ 0xabcdef);
+  return Sha256::Hash(buf);
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t n = 1 << 15;
+
+  // ------------------------------------------------------------------
+  Header("Ablation 1: append-side hash cost per insert (lower is better)");
+  {
+    ShrubsAccumulator shrubs;
+    TimAccumulator tim;
+    for (uint64_t i = 0; i < n; ++i) {
+      shrubs.Append(D(i));
+      tim.Append(D(i));
+    }
+    NaiveMerkleTree naive;
+    uint64_t naive_hashes = 0;
+    // Naive rebuild-per-root at a (mercifully) smaller scale.
+    const uint64_t nn = 1 << 10;
+    for (uint64_t i = 0; i < nn; ++i) {
+      naive.Append(D(i));
+      naive.Root();
+    }
+    naive_hashes = naive.HashCount();
+    std::printf("%-28s %12.2f hashes/insert\n", "Shrubs (frontier, O(1))",
+                double(shrubs.HashCount()) / n);
+    std::printf("%-28s %12.2f hashes/insert\n", "tim (eager root, O(log n))",
+                double(tim.HashCount()) / n);
+    BamtAccumulator bamt(1024);
+    for (uint64_t i = 0; i < n; ++i) bamt.Append(D(i));
+    std::printf("%-28s %12.2f hashes/insert\n", "bAMT (1024-batches)",
+                double(bamt.HashCount()) / n);
+    std::printf("%-28s %12.2f hashes/insert (at n=%llu)\n",
+                "naive (rebuild, O(n))", double(naive_hashes) / nn,
+                (unsigned long long)nn);
+  }
+
+  // ------------------------------------------------------------------
+  Header("Ablation 2: fam-aoa anchors — proof cost with/without anchor");
+  {
+    FamAccumulator fam(8);  // small epochs so history has many links
+    for (uint64_t i = 0; i < n; ++i) fam.Append(D(i));
+    FamProof full;
+    fam.GetProof(5, &full);  // ancient journal, full chain to live root
+    FamVerifier verifier;
+    verifier.Sync(fam);
+    MembershipProof local;
+    uint64_t epoch = 0;
+    fam.GetEpochProof(5, &local, &epoch);
+
+    std::printf("%-36s %8zu digests\n", "full chain proof (no anchor)",
+                full.CostInHashes());
+    std::printf("%-36s %8zu digests\n", "anchored (fam-aoa) local proof",
+                local.CostInHashes());
+
+    Digest root = fam.Root();
+    double full_us = AvgLatencyUs(200, [&] {
+      if (!FamAccumulator::VerifyProof(D(5), full, root)) std::abort();
+    });
+    double aoa_us = AvgLatencyUs(200, [&] {
+      if (!verifier.Verify(D(5), local, epoch)) std::abort();
+    });
+    std::printf("%-36s %8.1f us\n", "full chain verify latency", full_us);
+    std::printf("%-36s %8.1f us  (%.0fx faster)\n",
+                "anchored verify latency", aoa_us, full_us / aoa_us);
+  }
+
+  // ------------------------------------------------------------------
+  Header("Ablation 3: fractal height sweep (append TPS vs proof digests)");
+  std::printf("%-8s %14s %18s\n", "delta", "append TPS", "anchored proof");
+  for (int delta : {5, 8, 10, 15, 20}) {
+    FamAccumulator fam(delta);
+    double secs = TimeSeconds([&] {
+      for (uint64_t i = 0; i < n; ++i) fam.Append(D(i));
+    });
+    MembershipProof local;
+    uint64_t epoch = 0;
+    fam.GetEpochProof(n - 1, &local, &epoch);
+    std::printf("fam-%-4d %14.0f %15zu digests\n", delta, n / secs,
+                local.CostInHashes());
+  }
+
+  // ------------------------------------------------------------------
+  Header("Ablation 4: occult sync vs async erasure (mutation latency)");
+  {
+    for (bool sync : {true, false}) {
+      SimulatedClock clock(0);
+      CertificateAuthority ca(KeyPair::FromSeedString("abl-ca"));
+      MemberRegistry registry(&ca);
+      KeyPair lsp = KeyPair::FromSeedString("abl-lsp");
+      KeyPair user = KeyPair::FromSeedString("abl-user");
+      KeyPair dba = KeyPair::FromSeedString("abl-dba");
+      KeyPair reg = KeyPair::FromSeedString("abl-reg");
+      registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+      registry.Register(ca.Certify("user", user.public_key(), Role::kUser));
+      registry.Register(ca.Certify("dba", dba.public_key(), Role::kDba));
+      registry.Register(ca.Certify("reg", reg.public_key(), Role::kRegulator));
+      LedgerOptions options;
+      options.sync_occult_erasure = sync;
+      Ledger ledger("lg://abl", options, &clock, lsp, &registry);
+      const int count = 64;
+      std::vector<uint64_t> jsns;
+      for (int i = 0; i < count; ++i) {
+        ClientTransaction tx;
+        tx.ledger_uri = "lg://abl";
+        tx.payload = Bytes(64 * 1024, 7);  // large payloads make erasure visible
+        tx.nonce = i;
+        tx.Sign(user);
+        uint64_t jsn;
+        ledger.Append(tx, &jsn);
+        jsns.push_back(jsn);
+      }
+      size_t idx = 0;
+      double op_us = AvgLatencyUs(count, [&] {
+        uint64_t target = jsns[idx++];
+        Digest req = Ledger::OccultRequestHash("lg://abl", target);
+        std::vector<Endorsement> sigs = {{dba.public_key(), dba.Sign(req)},
+                                         {reg.public_key(), reg.Sign(req)}};
+        if (!ledger.Occult(target, sigs, nullptr).ok()) std::abort();
+      });
+      double reorg_us = 0;
+      if (!sync) {
+        reorg_us = AvgLatencyUs(1, [&] { ledger.ReorganizeOcculted(); });
+      }
+      std::printf("%-8s occult op: %8.1f us;  idle reorganization: %8.1f us\n",
+                  sync ? "sync" : "async", op_us, reorg_us);
+    }
+  }
+
+  // ------------------------------------------------------------------
+  Header("Ablation 5: CM-Tree batch proof vs per-entry proofs");
+  {
+    ShrubsAccumulator accum;
+    std::vector<Digest> digests;
+    for (uint64_t i = 0; i < 4096; ++i) {
+      digests.push_back(D(i));
+      accum.Append(digests.back());
+    }
+    for (uint64_t m : {8ULL, 64ULL, 512ULL}) {
+      std::vector<uint64_t> indices;
+      std::vector<Digest> claimed;
+      for (uint64_t i = 0; i < m; ++i) {
+        indices.push_back(1000 + i);
+        claimed.push_back(digests[1000 + i]);
+      }
+      BatchProof batch;
+      accum.GetBatchProof(indices, &batch);
+      size_t individual = 0;
+      for (uint64_t i : indices) {
+        MembershipProof p;
+        accum.GetProof(i, &p);
+        individual += p.CostInHashes();
+      }
+      std::printf("m=%-5llu batch: %6zu digests;  individual: %6zu digests "
+                  "(%.1fx)\n",
+                  (unsigned long long)m, batch.CostInHashes(), individual,
+                  double(individual) / batch.CostInHashes());
+    }
+  }
+
+  return 0;
+}

@@ -1,0 +1,160 @@
+// Table I reproduction: the ledger-verification capability matrix. The
+// rows for external systems restate the paper's analysis; the LedgerDB row
+// is *probed live* — each claimed capability is exercised against this
+// repository's implementation and the probe result printed.
+
+#include <cstdio>
+#include <string>
+
+#include "audit/dasein_auditor.h"
+#include "bench/bench_util.h"
+#include "ledger/ledger.h"
+
+using namespace ledgerdb;
+using namespace ledgerdb::bench;
+
+namespace {
+
+struct Probe {
+  std::string name;
+  bool passed;
+};
+
+}  // namespace
+
+int main() {
+  Header("Table I: verification capabilities of ledger systems");
+  std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "System",
+              "TrustedDep", "Dasein", "VerifyEff", "Storage", "Mutation",
+              "N-lineage");
+  std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "LedgerDB",
+              "TSA(non-LSP)", "what-when-who", "High", "Lowest", "yes", "yes");
+  std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "SQL Ledger",
+              "LSP&Storage", "what-when-who", "High", "Medium", "yes", "no");
+  std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "QLDB", "LSP",
+              "what", "Medium", "Medium", "no", "no");
+  std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "ProvenDB",
+              "LSP&Bitcoin", "what-when", "Medium", "Medium", "yes", "no");
+  std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "Hyperledger",
+              "Consortium", "what-who", "Low", "High", "no", "no");
+  std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "Factom",
+              "Bitcoin", "what-when-who", "Medium", "Highest", "no", "no");
+
+  // ------------------------------------------------------------------
+  Header("Live probes of the LedgerDB row (this implementation)");
+  SimulatedClock clock(1000 * kMicrosPerSecond);
+  CertificateAuthority ca(KeyPair::FromSeedString("cap-ca"));
+  MemberRegistry registry(&ca);
+  KeyPair lsp = KeyPair::FromSeedString("cap-lsp");
+  KeyPair user = KeyPair::FromSeedString("cap-user");
+  KeyPair dba = KeyPair::FromSeedString("cap-dba");
+  KeyPair regulator = KeyPair::FromSeedString("cap-reg");
+  KeyPair tsa_key = KeyPair::FromSeedString("cap-tsa");
+  registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+  registry.Register(ca.Certify("user", user.public_key(), Role::kUser));
+  registry.Register(ca.Certify("dba", dba.public_key(), Role::kDba));
+  registry.Register(ca.Certify("reg", regulator.public_key(), Role::kRegulator));
+  TsaService tsa(tsa_key, &clock);
+  LedgerOptions options;
+  options.fractal_height = 4;
+  options.block_capacity = 4;
+  Ledger ledger("lg://cap", options, &clock, lsp, &registry);
+  ledger.AttachDirectTsa(&tsa);
+
+  uint64_t nonce = 0;
+  auto append = [&](const std::string& payload, std::vector<std::string> clues) {
+    ClientTransaction tx;
+    tx.ledger_uri = "lg://cap";
+    tx.clues = std::move(clues);
+    tx.payload = StringToBytes(payload);
+    tx.nonce = nonce++;
+    tx.client_ts = clock.Now();
+    tx.Sign(user);
+    uint64_t jsn = 0;
+    ledger.Append(tx, &jsn);
+    clock.Advance(100 * kMicrosPerMilli);
+    return jsn;
+  };
+
+  std::vector<Probe> probes;
+
+  // Probe: Dasein-complete audit (what-when-who) with TSA-only trust.
+  std::vector<Digest> clue_digests;
+  for (int i = 0; i < 20; ++i) {
+    uint64_t jsn = append("rec" + std::to_string(i), {"asset"});
+    Journal j;
+    ledger.GetJournal(jsn, &j);
+    clue_digests.push_back(j.TxHash());
+  }
+  ledger.AnchorTime(nullptr);
+  Receipt receipt;
+  ledger.GetReceipt(ledger.NumJournals() - 1, &receipt);
+  DaseinAuditor::Context context;
+  context.ledger = &ledger;
+  context.members = &registry;
+  context.tsa_key = tsa.public_key();
+  AuditReport report;
+  DaseinAuditor auditor(context);
+  bool audit_ok = auditor.Audit(receipt, {}, &report).ok() && report.passed;
+  probes.push_back({"Dasein-complete audit (what-when-who)", audit_ok});
+
+  // Probe: when evidence verifiable WITHOUT trusting the LSP (TSA only).
+  bool tsa_only = !ledger.time_journals().empty() &&
+                  ledger.time_journals()[0].evidence.attestation.Verify(
+                      tsa.public_key());
+  probes.push_back({"when trusted dependency = TSA, not LSP", tsa_only});
+
+  // Probe: verifiable N-lineage via CM-Tree clue proof.
+  ClueProof clue_proof;
+  bool lineage_ok =
+      ledger.GetClueProof("asset", 0, 0, &clue_proof).ok() &&
+      CmTree::VerifyClueProof(ledger.ClueRoot(), clue_digests, clue_proof);
+  probes.push_back({"verifiable N-lineage (CM-Tree)", lineage_ok});
+
+  // Probe: verifiable mutation — purge.
+  Digest preq = Ledger::PurgeRequestHash("lg://cap", 10);
+  std::vector<Endorsement> psigs = {{dba.public_key(), dba.Sign(preq)},
+                                    {user.public_key(), user.Sign(preq)}};
+  bool purge_ok = ledger.Purge(10, psigs, {}, nullptr).ok();
+  Journal gone;
+  purge_ok &= ledger.GetJournal(3, &gone).IsNotFound();
+  FamProof after_purge;
+  Journal kept;
+  purge_ok &= ledger.GetJournal(12, &kept).ok() &&
+              ledger.GetProof(12, &after_purge).ok() &&
+              Ledger::VerifyJournalProof(kept, after_purge, ledger.FamRoot());
+  probes.push_back({"verifiable mutation: purge (Protocol 1)", purge_ok});
+
+  // Probe: verifiable mutation — occult.
+  uint64_t target = append("pii", {});
+  Digest oreq = Ledger::OccultRequestHash("lg://cap", target);
+  std::vector<Endorsement> osigs = {{dba.public_key(), dba.Sign(oreq)},
+                                    {regulator.public_key(), regulator.Sign(oreq)}};
+  bool occult_ok = ledger.Occult(target, osigs, nullptr).ok();
+  Journal hidden;
+  occult_ok &= ledger.GetJournal(target, &hidden).ok() && hidden.occulted &&
+               hidden.payload.empty();
+  FamProof oproof;
+  occult_ok &= ledger.GetProof(target, &oproof).ok() &&
+               Ledger::VerifyJournalProof(hidden, oproof, ledger.FamRoot());
+  probes.push_back({"verifiable mutation: occult (Protocol 2)", occult_ok});
+
+  // Probe: verification efficiency — anchored fam proof bounded by the
+  // fractal height even as the ledger grows.
+  for (int i = 0; i < 200; ++i) append("bulk" + std::to_string(i), {});
+  FamProof recent;
+  ledger.GetProof(ledger.NumJournals() - 1, &recent);
+  bool bounded = recent.local.siblings.size() <=
+                 static_cast<size_t>(options.fractal_height);
+  probes.push_back({"fam proof bounded by fractal height", bounded});
+
+  bool all = true;
+  for (const Probe& probe : probes) {
+    std::printf("  [%s] %s\n", probe.passed ? "PASS" : "FAIL",
+                probe.name.c_str());
+    all &= probe.passed;
+  }
+  std::printf("\n%s\n", all ? "All Table I capabilities verified live."
+                            : "SOME CAPABILITY PROBES FAILED");
+  return all ? 0 : 1;
+}

@@ -1,0 +1,183 @@
+// Table II reproduction: operation latencies of the QLDB-like baseline vs
+// LedgerDB for the notarization application (insert / retrieve / verify,
+// 32 KB documents) and the lineage application (verify with 5 and 100
+// versions).
+//
+// CALIBRATION (documented in DESIGN.md): both systems are public-cloud
+// services in the paper, so each column is measured-compute + a modeled
+// service path. The QldbSim digest-recomputation coefficient is calibrated
+// so a single notarization verify on the populated ledger costs ~1.5 s
+// (Table II's measured value); the lineage rows then follow from protocol
+// structure alone — per-version re-verification makes them scale with the
+// version count (paper: 7.8 s at 5 versions, 155.9 s at 100).
+
+#include <string>
+#include <vector>
+
+#include "baselines/qldb_sim.h"
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "ledger/ledger.h"
+
+using namespace ledgerdb;
+using namespace ledgerdb::bench;
+
+namespace {
+
+constexpr Timestamp kLedgerDbRttUs = 25 * kMicrosPerMilli;  // intra-region
+constexpr size_t kDocBytes = 32 * 1024;
+constexpr uint64_t kPreload = 20000;  // revisions in the populated ledger
+
+}  // namespace
+
+int main() {
+  Random rng(3);
+  KeyPair client = KeyPair::FromSeedString("t2-client");
+
+  // --- QLDB-like baseline -------------------------------------------------
+  QldbOptions qopt;
+  qopt.api_rtt = 30 * kMicrosPerMilli;
+  qopt.per_revision_digest_cost = 4600;  // calibrated, see header comment
+  QldbSim qldb(qopt);
+  for (uint64_t i = 0; i < kPreload; ++i) {
+    qldb.Insert("preload-" + std::to_string(i), Bytes(64, 1), client, nullptr);
+  }
+  // Lineage keys.
+  for (int v = 0; v < 5; ++v) {
+    qldb.Insert("lineage-5", Bytes(1024, static_cast<uint8_t>(v)), client, nullptr);
+  }
+  for (int v = 0; v < 100; ++v) {
+    qldb.Insert("lineage-100", Bytes(1024, static_cast<uint8_t>(v)), client, nullptr);
+  }
+
+  auto qldb_op = [&](const std::function<Timestamp()>& op) {
+    Timestamp modeled = 0;
+    double measured_us = AvgLatencyUs(5, [&] { modeled = op(); });
+    return (measured_us + modeled) / 1e6;  // seconds
+  };
+
+  Bytes doc(kDocBytes, 0x5a);
+  double q_insert = qldb_op([&] {
+    SimCost cost;
+    static int i = 0;
+    qldb.Insert("doc-" + std::to_string(i++), doc, client, &cost);
+    return cost.modeled;
+  });
+  double q_retrieve = qldb_op([&] {
+    SimCost cost;
+    Bytes out;
+    qldb.Retrieve("doc-0", &out, &cost);
+    return cost.modeled;
+  });
+  double q_verify = qldb_op([&] {
+    SimCost cost;
+    bool valid = false;
+    if (!qldb.VerifyDocument("doc-0", &valid, &cost).ok() || !valid) std::abort();
+    return cost.modeled;
+  });
+  double q_lineage5 = qldb_op([&] {
+    SimCost cost;
+    bool valid = false;
+    size_t versions = 0;
+    qldb.VerifyLineage("lineage-5", client.public_key(), &valid, &versions, &cost);
+    if (!valid) std::abort();
+    return cost.modeled;
+  });
+  double q_lineage100 = qldb_op([&] {
+    SimCost cost;
+    bool valid = false;
+    size_t versions = 0;
+    qldb.VerifyLineage("lineage-100", client.public_key(), &valid, &versions, &cost);
+    if (!valid) std::abort();
+    return cost.modeled;
+  });
+
+  // --- LedgerDB -----------------------------------------------------------
+  SimulatedClock clock(0);
+  CertificateAuthority ca(KeyPair::FromSeedString("t2-ca"));
+  MemberRegistry registry(&ca);
+  KeyPair lsp = KeyPair::FromSeedString("t2-lsp");
+  registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+  registry.Register(ca.Certify("client", client.public_key(), Role::kUser));
+  Ledger ledger("lg://t2", {}, &clock, lsp, &registry);
+  uint64_t nonce = 0;
+
+  auto append = [&](const std::string& clue, const Bytes& payload) {
+    ClientTransaction tx;
+    tx.ledger_uri = "lg://t2";
+    if (!clue.empty()) tx.clues = {clue};
+    tx.payload = payload;
+    tx.nonce = nonce++;
+    tx.client_ts = clock.Now();
+    tx.Sign(client);
+    uint64_t jsn = 0;
+    ledger.Append(tx, &jsn);
+    return jsn;
+  };
+
+  for (uint64_t i = 0; i < kPreload / 4; ++i) append("", Bytes(64, 1));
+  std::vector<Digest> lineage5, lineage100;
+  for (int v = 0; v < 5; ++v) {
+    Journal j;
+    ledger.GetJournal(append("l5", Bytes(1024, static_cast<uint8_t>(v))), &j);
+    lineage5.push_back(j.TxHash());
+  }
+  for (int v = 0; v < 100; ++v) {
+    Journal j;
+    ledger.GetJournal(append("l100", Bytes(1024, static_cast<uint8_t>(v))), &j);
+    lineage100.push_back(j.TxHash());
+  }
+  uint64_t target = append("doc", doc);
+
+  double l_insert =
+      (AvgLatencyUs(5, [&] { append("doc", doc); }) + kLedgerDbRttUs) / 1e6;
+  double l_retrieve = (AvgLatencyUs(5, [&] {
+                        Journal j;
+                        if (!ledger.GetJournal(target, &j).ok()) std::abort();
+                      }) +
+                       kLedgerDbRttUs) /
+                      1e6;
+  double l_verify = (AvgLatencyUs(5, [&] {
+                      Journal j;
+                      if (!ledger.GetJournal(target, &j).ok()) std::abort();
+                      FamProof proof;
+                      if (!ledger.GetProof(target, &proof).ok()) std::abort();
+                      if (!Ledger::VerifyJournalProof(j, proof, ledger.FamRoot())) {
+                        std::abort();
+                      }
+                    }) +
+                     kLedgerDbRttUs) /
+                    1e6;
+  auto ledger_lineage = [&](const std::string& clue,
+                            const std::vector<Digest>& digests) {
+    return (AvgLatencyUs(5, [&] {
+             ClueProof proof;
+             if (!ledger.GetClueProof(clue, 0, 0, &proof).ok()) std::abort();
+             if (!CmTree::VerifyClueProof(ledger.ClueRoot(), digests, proof)) {
+               std::abort();
+             }
+           }) +
+            kLedgerDbRttUs) /
+           1e6;
+  };
+  double l_lineage5 = ledger_lineage("l5", lineage5);
+  double l_lineage100 = ledger_lineage("l100", lineage100);
+
+  // --- Table --------------------------------------------------------------
+  Header("Table II: application-level latency (seconds)");
+  std::printf("%-28s %12s %12s %10s\n", "operation", "QLDB", "LedgerDB",
+              "speedup");
+  auto row = [](const char* name, double q, double l) {
+    std::printf("%-28s %12.3f %12.3f %9.0fx\n", name, q, l, q / l);
+  };
+  row("Notarization Insert", q_insert, l_insert);
+  row("Notarization Retrieve", q_retrieve, l_retrieve);
+  row("Notarization Verify", q_verify, l_verify);
+  row("Lineage Verify (5 versions)", q_lineage5, l_lineage5);
+  row("Lineage Verify (100 versions)", q_lineage100, l_lineage100);
+  std::printf(
+      "\nPaper values: insert .065/.027, retrieve .036/.028, verify\n"
+      "1.557/.028, lineage-5 7.786/.028, lineage-100 155.9/.030 — speedups\n"
+      "~2.4x / 1.3x / 56x / 278x / 5197x.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+#ifndef LEDGERDB_BENCH_BENCH_UTIL_H_
+#define LEDGERDB_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+
+namespace ledgerdb::bench {
+
+/// Wall-clock seconds elapsed while running `fn`.
+inline double TimeSeconds(const std::function<void()>& fn) {
+  auto start = std::chrono::steady_clock::now();
+  fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+/// Runs `fn` `iters` times; returns average latency in microseconds.
+inline double AvgLatencyUs(uint64_t iters, const std::function<void()>& fn) {
+  double secs = TimeSeconds([&] {
+    for (uint64_t i = 0; i < iters; ++i) fn();
+  });
+  return secs * 1e6 / static_cast<double>(iters);
+}
+
+/// Operations per second for `iters` runs of `fn`.
+inline double Throughput(uint64_t iters, const std::function<void()>& fn) {
+  double secs = TimeSeconds([&] {
+    for (uint64_t i = 0; i < iters; ++i) fn();
+  });
+  return static_cast<double>(iters) / secs;
+}
+
+/// Benchmark scale: LEDGERDB_BENCH_SCALE=quick|default|full. The paper
+/// sweeps ledger volumes up to 32 GB; `default` uses laptop-sized sweeps
+/// with identical log-scale shape, `full` pushes one decade further.
+inline int ScaleShift() {
+  const char* env = std::getenv("LEDGERDB_BENCH_SCALE");
+  if (env == nullptr) return 0;
+  std::string s(env);
+  if (s == "quick") return -2;
+  if (s == "full") return 2;
+  return 0;
+}
+
+/// Pretty separator and headers for figure-style output tables.
+inline void Header(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+/// Human-readable size label for a journal count at 256 B/journal (the
+/// paper's x-axes label ledger *volume*, not count).
+inline std::string VolumeLabel(uint64_t journals, uint64_t journal_bytes) {
+  double bytes = static_cast<double>(journals) * journal_bytes;
+  const char* units[] = {"B", "KB", "MB", "GB", "TB"};
+  int u = 0;
+  while (bytes >= 1024.0 && u < 4) {
+    bytes /= 1024.0;
+    ++u;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.0f%s", bytes, units[u]);
+  return buf;
+}
+
+}  // namespace ledgerdb::bench
+
+#endif  // LEDGERDB_BENCH_BENCH_UTIL_H_

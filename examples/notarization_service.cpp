@@ -1,0 +1,106 @@
+// Multi-tenant LSP hosting: a LedgerService runs several notarization
+// ledgers that share one T-Ledger (two-layer time notary), while an
+// external light client tracks fam epoch roots (fam-aoa) and verifies
+// documents without ever trusting the LSP.
+//
+// Build & run:  ./build/examples/notarization_service
+
+#include <cstdio>
+
+#include "accum/fam.h"
+#include "ledger/service.h"
+
+using namespace ledgerdb;
+
+int main() {
+  SimulatedClock clock(0);
+  CertificateAuthority ca(KeyPair::FromSeedString("svc-demo-ca"));
+  MemberRegistry registry(&ca);
+  KeyPair lsp = KeyPair::FromSeedString("svc-demo-lsp");
+  KeyPair notary_user = KeyPair::FromSeedString("svc-demo-user");
+  registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+  registry.Register(ca.Certify("user", notary_user.public_key(), Role::kUser));
+  TsaService tsa(KeyPair::FromSeedString("svc-demo-tsa"), &clock);
+
+  LedgerService::Options options;
+  options.ledger_defaults.fractal_height = 6;  // small epochs for the demo
+  options.anchor_interval = kMicrosPerSecond;
+  LedgerService service(&clock, lsp, &registry, &tsa, options);
+
+  // Three tenants.
+  for (const char* uri : {"lg://tenant-a", "lg://tenant-b", "lg://tenant-c"}) {
+    service.CreateLedger(uri, nullptr);
+  }
+  std::printf("hosting %zu ledgers\n", service.ListLedgers().size());
+
+  // Tenant A notarizes documents; the service heartbeat anchors all active
+  // ledgers through the shared T-Ledger every second.
+  Ledger* tenant_a = nullptr;
+  service.GetLedger("lg://tenant-a", &tenant_a);
+  uint64_t nonce = 0;
+  std::vector<uint64_t> jsns;
+  for (int second = 0; second < 5; ++second) {
+    for (int i = 0; i < 40; ++i) {
+      ClientTransaction tx;
+      tx.ledger_uri = "lg://tenant-a";
+      tx.payload = StringToBytes("doc-" + std::to_string(nonce));
+      tx.nonce = nonce++;
+      tx.client_ts = clock.Now();
+      tx.Sign(notary_user);
+      uint64_t jsn = 0;
+      tenant_a->Append(tx, &jsn);
+      jsns.push_back(jsn);
+      clock.Advance(25 * kMicrosPerMilli);
+    }
+    service.Tick();
+  }
+  service.tledger()->ForceFinalize();
+  std::printf("tenant-a: %llu journals, %zu time journals; TSA endorsements: %llu\n",
+              (unsigned long long)tenant_a->NumJournals(),
+              tenant_a->time_journals().size(),
+              (unsigned long long)tsa.endorsement_count());
+
+  // External light client: syncs epoch roots once, then verifies documents
+  // with in-epoch paths only (the fam-aoa fast path). To do this it uses
+  // the public read API — no LSP trust involved in the verification math.
+  FamVerifier verifier;
+  // (In a real deployment the client verifies epoch links from data it
+  //  already validated; here we sync from the ledger's accumulator.)
+  // Reconstruct the verifier's view by syncing against a local replica:
+  FamAccumulator replica(6);
+  for (uint64_t jsn = 0; jsn < tenant_a->NumJournals(); ++jsn) {
+    Journal j;
+    tenant_a->GetJournal(jsn, &j);
+    replica.Append(j.TxHash());
+  }
+  if (!(replica.Root() == tenant_a->FamRoot())) {
+    std::printf("replica mismatch!\n");
+    return 1;
+  }
+  verifier.Sync(replica);
+  std::printf("light client synced %zu trusted epoch roots\n",
+              verifier.TrustedEpochs());
+
+  int verified = 0;
+  for (uint64_t jsn : jsns) {
+    Journal j;
+    tenant_a->GetJournal(jsn, &j);
+    MembershipProof proof;
+    uint64_t epoch = 0;
+    replica.GetEpochProof(jsn, &proof, &epoch);
+    if (verifier.Verify(j.TxHash(), proof, epoch)) ++verified;
+  }
+  std::printf("documents verified via fam-aoa: %d/%zu\n", verified, jsns.size());
+
+  // The when evidence: any submitted digest is provable against the TSA.
+  const TimeEvidence& ev = tenant_a->time_journals().back().evidence;
+  TimeProof tproof;
+  service.tledger()->GetTimeProof(ev.tledger_index, &tproof);
+  bool when_ok =
+      TLedger::VerifyTimeProof(ev.ledger_digest, tproof, tsa.public_key());
+  std::printf("latest anchor's TSA time proof: %s (timestamp %.1fs)\n",
+              when_ok ? "valid" : "INVALID",
+              tproof.finalization.timestamp / 1e6);
+
+  return (verified == static_cast<int>(jsns.size()) && when_ok) ? 0 : 1;
+}

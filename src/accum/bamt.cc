@@ -1,0 +1,50 @@
+#include "accum/bamt.h"
+
+namespace ledgerdb {
+
+uint64_t BamtAccumulator::Append(const Digest& digest) {
+  uint64_t index = total_++;
+  pending_.push_back(digest);
+  if (pending_.size() >= batch_size_) SealBatch();
+  return index;
+}
+
+void BamtAccumulator::Flush() {
+  if (!pending_.empty()) SealBatch();
+}
+
+void BamtAccumulator::SealBatch() {
+  ShrubsAccumulator tree;
+  for (const Digest& d : pending_) tree.Append(d);
+  top_.Append(tree.Root());
+  batch_trees_.push_back(std::move(tree));
+  pending_.clear();
+}
+
+Status BamtAccumulator::GetProof(uint64_t index, BamtProof* proof) const {
+  if (index >= total_) return Status::OutOfRange("index out of range");
+  uint64_t batch = index / batch_size_;
+  if (batch >= batch_trees_.size()) {
+    return Status::NotFound("journal not yet sealed in a batch");
+  }
+  proof->index = index;
+  proof->batch = batch;
+  LEDGERDB_RETURN_IF_ERROR(
+      batch_trees_[batch].GetProof(index % batch_size_, &proof->in_batch));
+  return top_.GetProof(batch, &proof->in_top);
+}
+
+bool BamtAccumulator::VerifyProof(const Digest& digest, const BamtProof& proof,
+                                  const Digest& trusted_root) {
+  // Reconstruct the batch root from the in-batch path, then prove that
+  // root under the top accumulator.
+  Digest batch_root = ShrubsAccumulator::BagPeaks(proof.in_batch.peaks);
+  if (!ShrubsAccumulator::VerifyProof(digest, proof.in_batch, batch_root)) {
+    return false;
+  }
+  if (proof.in_top.leaf_index != proof.batch) return false;
+  return ShrubsAccumulator::VerifyProof(batch_root, proof.in_top,
+                                        trusted_root);
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,74 @@
+#ifndef LEDGERDB_ACCUM_BAMT_H_
+#define LEDGERDB_ACCUM_BAMT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "accum/shrubs.h"
+#include "common/status.h"
+
+namespace ledgerdb {
+
+/// Proof for a journal in a bAMT: the Merkle path inside its batch tree
+/// plus the batch root's membership path in the top-level accumulator.
+struct BamtProof {
+  uint64_t index = 0;       ///< global journal index
+  uint64_t batch = 0;       ///< sealed batch number
+  MembershipProof in_batch; ///< path inside the batch tree
+  MembershipProof in_top;   ///< path of the batch root in the top accumulator
+
+  size_t CostInHashes() const {
+    return in_batch.CostInHashes() + in_top.CostInHashes();
+  }
+};
+
+/// Batched accumulated Merkle tree (bAMT) — the earlier LedgerDB design
+/// ([7], referenced in §III-A1): journals are grouped into fixed-size
+/// batches, each batch forms its own Merkle tree, and batch roots are
+/// appended to a single growing top-level accumulator. Verification costs
+/// O(log b) + O(log(n/b)); unlike fam, the top-level path still grows
+/// with total ledger size, which is the regression fam's fractal layout
+/// removes. Kept as an ablation baseline.
+class BamtAccumulator {
+ public:
+  explicit BamtAccumulator(uint32_t batch_size)
+      : batch_size_(batch_size == 0 ? 1 : batch_size) {}
+
+  /// Appends a journal digest; returns its global index. Proofs only
+  /// become available once the containing batch seals.
+  uint64_t Append(const Digest& digest);
+
+  /// Seals the current partial batch, if any.
+  void Flush();
+
+  uint64_t size() const { return total_; }
+  uint64_t NumBatches() const { return batch_trees_.size(); }
+
+  /// Commitment: bagged root of the top-level accumulator over batch
+  /// roots.
+  Digest Root() const { return top_.Root(); }
+
+  Status GetProof(uint64_t index, BamtProof* proof) const;
+
+  static bool VerifyProof(const Digest& digest, const BamtProof& proof,
+                          const Digest& trusted_root);
+
+  uint64_t HashCount() const {
+    uint64_t total = top_.HashCount();
+    for (const auto& tree : batch_trees_) total += tree.HashCount();
+    return total;
+  }
+
+ private:
+  void SealBatch();
+
+  uint32_t batch_size_;
+  uint64_t total_ = 0;
+  std::vector<Digest> pending_;
+  std::vector<ShrubsAccumulator> batch_trees_;
+  ShrubsAccumulator top_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_ACCUM_BAMT_H_

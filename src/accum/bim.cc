@@ -1,0 +1,98 @@
+#include "accum/bim.h"
+
+namespace ledgerdb {
+
+Digest BimBlockHeader::Hash() const {
+  Bytes buf;
+  PutU64(&buf, height);
+  PutU64(&buf, first_tx);
+  PutU32(&buf, tx_count);
+  buf.insert(buf.end(), prev_hash.bytes.begin(), prev_hash.bytes.end());
+  buf.insert(buf.end(), tx_root.bytes.begin(), tx_root.bytes.end());
+  return Sha256::Hash(buf);
+}
+
+uint64_t BimChain::Append(const Digest& tx_digest) {
+  uint64_t index = total_txs_++;
+  pending_.push_back(tx_digest);
+  if (pending_.size() >= block_capacity_) SealBlock();
+  return index;
+}
+
+void BimChain::Flush() {
+  if (!pending_.empty()) SealBlock();
+}
+
+void BimChain::SealBlock() {
+  ShrubsAccumulator tree;
+  for (const Digest& d : pending_) tree.Append(d);
+  BimBlockHeader header;
+  header.height = headers_.size();
+  header.first_tx = total_txs_ - pending_.size();
+  header.tx_count = static_cast<uint32_t>(pending_.size());
+  header.prev_hash = headers_.empty() ? Digest() : headers_.back().Hash();
+  header.tx_root = tree.Root();
+  headers_.push_back(header);
+  block_trees_.push_back(std::move(tree));
+  pending_.clear();
+}
+
+Status BimChain::GetProof(uint64_t tx_index, BimProof* proof) const {
+  if (tx_index >= total_txs_) return Status::OutOfRange("tx index");
+  // Binary search over headers by first_tx.
+  size_t lo = 0, hi = headers_.size();
+  while (lo < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (headers_[mid].first_tx + headers_[mid].tx_count <= tx_index) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo >= headers_.size()) {
+    return Status::NotFound("transaction not yet sealed in a block");
+  }
+  const BimBlockHeader& header = headers_[lo];
+  proof->tx_index = tx_index;
+  proof->block_height = header.height;
+  return block_trees_[lo].GetProof(tx_index - header.first_tx, &proof->path);
+}
+
+bool BimChain::VerifyProof(const Digest& tx_digest, const BimProof& proof,
+                           const BimBlockHeader& trusted_header) {
+  if (proof.block_height != trusted_header.height) return false;
+  return ShrubsAccumulator::VerifyProof(tx_digest, proof.path,
+                                        trusted_header.tx_root);
+}
+
+Status BimLightClient::Sync(const BimChain& chain) {
+  const auto& remote = chain.headers();
+  for (size_t h = headers_.size(); h < remote.size(); ++h) {
+    Digest expected_prev =
+        headers_.empty() ? Digest() : headers_.back().Hash();
+    if (!(remote[h].prev_hash == expected_prev) ||
+        remote[h].height != h) {
+      return Status::VerificationFailed("header chain link invalid");
+    }
+    headers_.push_back(remote[h]);
+  }
+  return Status::OK();
+}
+
+bool BimLightClient::VerifyTransaction(const Digest& tx_digest,
+                                       const BimProof& proof) const {
+  if (proof.block_height >= headers_.size()) return false;
+  return BimChain::VerifyProof(tx_digest, proof,
+                               headers_[proof.block_height]);
+}
+
+bool BimChain::ValidateHeaderChain() const {
+  Digest prev;
+  for (const BimBlockHeader& header : headers_) {
+    if (!(header.prev_hash == prev)) return false;
+    prev = header.Hash();
+  }
+  return true;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,296 @@
+#include "accum/fam.h"
+
+#include <cassert>
+
+namespace ledgerdb {
+
+Bytes FamProof::Serialize() const {
+  Bytes out;
+  PutU64(&out, jsn);
+  PutU64(&out, epoch);
+  PutU64(&out, target_epoch);
+  PutLengthPrefixed(&out, local.Serialize());
+  PutU32(&out, static_cast<uint32_t>(epoch_links.size()));
+  for (const MembershipProof& link : epoch_links) {
+    PutLengthPrefixed(&out, link.Serialize());
+  }
+  return out;
+}
+
+bool FamProof::Deserialize(const Bytes& raw, FamProof* out) {
+  size_t pos = 0;
+  if (!GetU64(raw, &pos, &out->jsn)) return false;
+  if (!GetU64(raw, &pos, &out->epoch)) return false;
+  if (!GetU64(raw, &pos, &out->target_epoch)) return false;
+  Bytes block;
+  if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+  if (!MembershipProof::Deserialize(block, &out->local)) return false;
+  uint32_t count = 0;
+  if (!GetU32(raw, &pos, &count) || count > (1u << 20)) return false;
+  out->epoch_links.assign(count, MembershipProof());
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+    if (!MembershipProof::Deserialize(block, &out->epoch_links[i])) {
+      return false;
+    }
+  }
+  return pos == raw.size();
+}
+
+FamAccumulator::FamAccumulator(int fractal_height)
+    : fractal_height_(fractal_height),
+      epoch_capacity_(1ULL << fractal_height) {
+  assert(fractal_height >= 1 && fractal_height <= 30);
+}
+
+uint64_t FamAccumulator::Append(const Digest& journal_digest) {
+  uint64_t jsn = num_journals_++;
+  current_.Append(journal_digest);
+  if (current_.size() == epoch_capacity_) {
+    // Rule 1: the full tree's root becomes the first (merged) leaf of the
+    // next epoch.
+    Digest root = current_.Root();
+    sealed_roots_.push_back(root);
+    sealed_trees_.push_back(
+        std::make_unique<ShrubsAccumulator>(std::move(current_)));
+    current_ = ShrubsAccumulator();
+    current_.Append(root);
+  }
+  return jsn;
+}
+
+FamAccumulator::JournalLocation FamAccumulator::Locate(uint64_t jsn) const {
+  if (jsn < epoch_capacity_) return {0, jsn};
+  uint64_t j = jsn - epoch_capacity_;
+  uint64_t per_epoch = epoch_capacity_ - 1;  // first slot is the merged cell
+  return {1 + j / per_epoch, 1 + j % per_epoch};
+}
+
+Status FamAccumulator::SealedEpochRoot(uint64_t e, Digest* out) const {
+  if (e >= sealed_roots_.size()) return Status::NotFound("epoch not sealed");
+  *out = sealed_roots_[e];
+  return Status::OK();
+}
+
+Digest FamAccumulator::Root() const {
+  if (current_.empty()) {
+    return sealed_roots_.empty() ? Digest() : sealed_roots_.back();
+  }
+  return current_.Root();
+}
+
+Status FamAccumulator::RootAtJournalCount(uint64_t count, Digest* out) const {
+  if (count > num_journals_) return Status::OutOfRange("count beyond size");
+  if (count == 0) {
+    *out = Digest();
+    return Status::OK();
+  }
+  JournalLocation loc = Locate(count - 1);
+  uint64_t local_leaves = loc.local_leaf + 1;
+  if (local_leaves == epoch_capacity_) {
+    // That append sealed the epoch: the visible commitment right after is
+    // the fresh epoch holding only the merged cell — computable from the
+    // sealed root alone (works even when the next epoch was pruned).
+    *out = HashMerkleLeaf(sealed_roots_[loc.epoch]);
+    return Status::OK();
+  }
+  if (loc.epoch < sealed_trees_.size() && sealed_trees_[loc.epoch] == nullptr) {
+    return Status::NotFound("epoch pruned by purge");
+  }
+  const ShrubsAccumulator& tree = (loc.epoch < sealed_trees_.size())
+                                      ? *sealed_trees_[loc.epoch]
+                                      : current_;
+  *out = tree.RootAtSize(local_leaves);
+  return Status::OK();
+}
+
+Status FamAccumulator::AppendEpochLinks(uint64_t from_epoch, uint64_t to_epoch,
+                                        FamProof* proof) const {
+  for (uint64_t e = from_epoch + 1; e <= to_epoch; ++e) {
+    MembershipProof link;
+    if (e < sealed_trees_.size()) {
+      LEDGERDB_RETURN_IF_ERROR(GetEpochLink(e, &link));
+    } else {
+      LEDGERDB_RETURN_IF_ERROR(current_.GetProof(0, &link));
+    }
+    proof->epoch_links.push_back(std::move(link));
+  }
+  return Status::OK();
+}
+
+Status FamAccumulator::GetProof(uint64_t jsn, FamProof* proof) const {
+  if (jsn >= num_journals_) return Status::OutOfRange("jsn out of range");
+  JournalLocation loc = Locate(jsn);
+  proof->jsn = jsn;
+  proof->epoch = loc.epoch;
+  proof->target_epoch = CurrentEpoch();
+  proof->epoch_links.clear();
+  if (loc.epoch < sealed_trees_.size()) {
+    if (sealed_trees_[loc.epoch] == nullptr) {
+      return Status::NotFound("epoch pruned by purge");
+    }
+    LEDGERDB_RETURN_IF_ERROR(
+        sealed_trees_[loc.epoch]->GetProof(loc.local_leaf, &proof->local));
+  } else {
+    LEDGERDB_RETURN_IF_ERROR(current_.GetProof(loc.local_leaf, &proof->local));
+  }
+  return AppendEpochLinks(loc.epoch, proof->target_epoch, proof);
+}
+
+Status FamAccumulator::GetProofAnchored(uint64_t jsn,
+                                        const TrustedAnchor& anchor,
+                                        FamProof* proof) const {
+  if (jsn >= num_journals_) return Status::OutOfRange("jsn out of range");
+  if (anchor.epoch >= sealed_roots_.size()) {
+    return Status::InvalidArgument("anchor epoch not sealed");
+  }
+  JournalLocation loc = Locate(jsn);
+  if (loc.epoch > anchor.epoch) {
+    return Status::InvalidArgument("journal lies after the trusted anchor");
+  }
+  proof->jsn = jsn;
+  proof->epoch = loc.epoch;
+  proof->target_epoch = anchor.epoch;
+  proof->epoch_links.clear();
+  if (sealed_trees_[loc.epoch] == nullptr) {
+    return Status::NotFound("epoch pruned by purge");
+  }
+  LEDGERDB_RETURN_IF_ERROR(
+      sealed_trees_[loc.epoch]->GetProof(loc.local_leaf, &proof->local));
+  return AppendEpochLinks(loc.epoch, anchor.epoch, proof);
+}
+
+namespace {
+
+/// Walks the proof chain; on success stores the final (target epoch)
+/// commitment in `final_root`.
+bool ChainProof(const Digest& journal_digest, const FamProof& proof,
+                Digest* final_root) {
+  Digest running = ShrubsAccumulator::BagPeaks(proof.local.peaks);
+  if (!ShrubsAccumulator::VerifyProof(journal_digest, proof.local, running)) {
+    return false;
+  }
+  if (proof.epoch_links.size() !=
+      proof.target_epoch - proof.epoch) {
+    return false;
+  }
+  for (const MembershipProof& link : proof.epoch_links) {
+    // The merged cell must be the first leaf of the next epoch.
+    if (link.leaf_index != 0) return false;
+    Digest next = ShrubsAccumulator::BagPeaks(link.peaks);
+    if (!ShrubsAccumulator::VerifyProof(running, link, next)) return false;
+    running = next;
+  }
+  *final_root = running;
+  return true;
+}
+
+}  // namespace
+
+bool FamAccumulator::VerifyProof(const Digest& journal_digest,
+                                 const FamProof& proof,
+                                 const Digest& trusted_root) {
+  Digest final_root;
+  if (!ChainProof(journal_digest, proof, &final_root)) return false;
+  return final_root == trusted_root;
+}
+
+bool FamAccumulator::VerifyProofAnchored(const Digest& journal_digest,
+                                         const FamProof& proof,
+                                         const TrustedAnchor& anchor) {
+  if (proof.target_epoch != anchor.epoch) return false;
+  Digest final_root;
+  if (!ChainProof(journal_digest, proof, &final_root)) return false;
+  return final_root == anchor.epoch_root;
+}
+
+Status FamAccumulator::GetEpochProof(uint64_t jsn, MembershipProof* proof,
+                                     uint64_t* epoch) const {
+  if (jsn >= num_journals_) return Status::OutOfRange("jsn out of range");
+  JournalLocation loc = Locate(jsn);
+  *epoch = loc.epoch;
+  if (loc.epoch < sealed_trees_.size()) {
+    if (sealed_trees_[loc.epoch] == nullptr) {
+      return Status::NotFound("epoch pruned by purge");
+    }
+    return sealed_trees_[loc.epoch]->GetProof(loc.local_leaf, proof);
+  }
+  return current_.GetProof(loc.local_leaf, proof);
+}
+
+Status FamAccumulator::GetEpochLink(uint64_t e, MembershipProof* link) const {
+  if (e >= sealed_trees_.size()) {
+    return Status::OutOfRange("epoch not sealed");
+  }
+  if (sealed_trees_[e] == nullptr) {
+    *link = pruned_links_[e];
+    return Status::OK();
+  }
+  return sealed_trees_[e]->GetProof(0, link);
+}
+
+size_t FamAccumulator::PruneSealedEpochsBefore(uint64_t epoch) {
+  size_t freed = 0;
+  uint64_t limit = std::min<uint64_t>(epoch, sealed_trees_.size());
+  if (limit > 0 && pruned_links_.size() < sealed_trees_.size()) {
+    pruned_links_.resize(sealed_trees_.size());
+  }
+  for (uint64_t e = 0; e < limit; ++e) {
+    if (sealed_trees_[e] == nullptr) continue;
+    // Retain exactly the merged-cell link path before dropping the tree.
+    sealed_trees_[e]->GetProof(0, &pruned_links_[e]);
+    freed += sealed_trees_[e]->TotalNodes();
+    sealed_trees_[e].reset();
+  }
+  return freed;
+}
+
+Status FamVerifier::Sync(const FamAccumulator& fam) {
+  // Verify the chain links for every newly sealed epoch before trusting
+  // its root (the "before a new trusted anchor is set, all earlier ledger
+  // data must be cryptographically verified" step, amortized).
+  for (uint64_t e = trusted_roots_.size(); e < fam.NumSealedEpochs(); ++e) {
+    Digest root;
+    LEDGERDB_RETURN_IF_ERROR(fam.SealedEpochRoot(e, &root));
+    if (e > 0) {
+      MembershipProof link;
+      LEDGERDB_RETURN_IF_ERROR(fam.GetEpochLink(e, &link));
+      if (link.leaf_index != 0 ||
+          !ShrubsAccumulator::VerifyProof(trusted_roots_[e - 1], link, root)) {
+        return Status::VerificationFailed("epoch chain link invalid");
+      }
+    }
+    trusted_roots_.push_back(root);
+  }
+  live_root_ = fam.Root();
+  return Status::OK();
+}
+
+bool FamVerifier::Verify(const Digest& journal_digest,
+                         const MembershipProof& local, uint64_t epoch) const {
+  if (epoch < trusted_roots_.size()) {
+    return ShrubsAccumulator::VerifyProof(journal_digest, local,
+                                          trusted_roots_[epoch]);
+  }
+  if (epoch == trusted_roots_.size()) {
+    return ShrubsAccumulator::VerifyProof(journal_digest, local, live_root_);
+  }
+  return false;
+}
+
+Status FamAccumulator::MakeAnchor(TrustedAnchor* anchor) const {
+  if (sealed_roots_.empty()) return Status::NotFound("no sealed epoch yet");
+  anchor->epoch = sealed_roots_.size() - 1;
+  anchor->epoch_root = sealed_roots_.back();
+  return Status::OK();
+}
+
+size_t FamAccumulator::TotalNodes() const {
+  size_t total = current_.TotalNodes();
+  for (const auto& tree : sealed_trees_) {
+    if (tree != nullptr) total += tree->TotalNodes();
+  }
+  return total;
+}
+
+}  // namespace ledgerdb

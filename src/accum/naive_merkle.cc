@@ -1,0 +1,21 @@
+#include "accum/naive_merkle.h"
+
+namespace ledgerdb {
+
+Digest NaiveMerkleTree::Root() const {
+  if (leaves_.empty()) return Digest();
+  std::vector<Digest> level = leaves_;
+  while (level.size() > 1) {
+    std::vector<Digest> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(HashMerkleNode(level[i], level[i + 1]));
+      ++hash_count_;
+    }
+    if (level.size() % 2 == 1) next.push_back(level.back());
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,37 @@
+#ifndef LEDGERDB_ACCUM_NAIVE_MERKLE_H_
+#define LEDGERDB_ACCUM_NAIVE_MERKLE_H_
+
+#include <vector>
+
+#include "crypto/hash.h"
+
+namespace ledgerdb {
+
+/// Strawman accumulator for the Shrubs ablation: a conventional Merkle tree
+/// that rebuilds its root from all leaves on demand (O(n) per recompute).
+/// This is the "conventional Merkle tree with root-node proof" that §III-A1
+/// contrasts Shrubs against.
+class NaiveMerkleTree {
+ public:
+  /// Appends a payload digest and returns its index.
+  uint64_t Append(const Digest& digest) {
+    leaves_.push_back(HashMerkleLeaf(digest));
+    return leaves_.size() - 1;
+  }
+
+  uint64_t size() const { return leaves_.size(); }
+
+  /// Rebuilds the full tree and returns the root; odd nodes are promoted.
+  Digest Root() const;
+
+  /// Number of hash invocations performed so far (for cost comparison).
+  uint64_t HashCount() const { return hash_count_; }
+
+ private:
+  std::vector<Digest> leaves_;
+  mutable uint64_t hash_count_ = 0;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_ACCUM_NAIVE_MERKLE_H_

@@ -1,0 +1,15 @@
+#include "accum/tim.h"
+
+namespace ledgerdb {
+
+uint64_t TimAccumulator::Append(const Digest& digest) {
+  uint64_t index = tree_.Append(digest);
+  // Eager root maintenance: bag all peaks on every append. This is the
+  // cost tim pays that Shrubs/fam avoid.
+  std::vector<Digest> peaks = tree_.Frontier();
+  bag_hash_count_ += peaks.empty() ? 0 : peaks.size() - 1;
+  root_ = ShrubsAccumulator::BagPeaks(peaks);
+  return index;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,56 @@
+#ifndef LEDGERDB_ACCUM_TIM_H_
+#define LEDGERDB_ACCUM_TIM_H_
+
+#include "accum/shrubs.h"
+
+namespace ledgerdb {
+
+/// Transaction-intensive model (tim) baseline — the Diem/QLDB-style single
+/// growing Merkle accumulator (§II-A). Every append eagerly folds the
+/// frontier into one root hash (O(log n) hashing per append), and every
+/// membership proof is a root path whose length grows with the total ledger
+/// size. This is the model fam is benchmarked against in Figure 8.
+class TimAccumulator {
+ public:
+  TimAccumulator() = default;
+
+  /// Appends a payload digest and recomputes the root. Returns the index.
+  uint64_t Append(const Digest& digest);
+
+  uint64_t size() const { return tree_.size(); }
+
+  /// The single root commitment (recomputed eagerly on append).
+  Digest Root() const { return root_; }
+
+  /// Proof against the current root; length O(log size()).
+  Status GetProof(uint64_t index, MembershipProof* proof) const {
+    return tree_.GetProofAtSize(index, tree_.size(), proof);
+  }
+
+  /// Historical proof against the root at an earlier ledger size.
+  Status GetProofAtSize(uint64_t index, uint64_t as_of,
+                        MembershipProof* proof) const {
+    return tree_.GetProofAtSize(index, as_of, proof);
+  }
+
+  Digest RootAtSize(uint64_t as_of) const { return tree_.RootAtSize(as_of); }
+
+  static bool VerifyProof(const Digest& payload_digest,
+                          const MembershipProof& proof,
+                          const Digest& expected_root) {
+    return ShrubsAccumulator::VerifyProof(payload_digest, proof, expected_root);
+  }
+
+  /// Total hash invocations (append-cost metric; grows O(log n) per append
+  /// unlike Shrubs' O(1)).
+  uint64_t HashCount() const { return tree_.HashCount() + bag_hash_count_; }
+
+ private:
+  ShrubsAccumulator tree_;
+  Digest root_;
+  uint64_t bag_hash_count_ = 0;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_ACCUM_TIM_H_

@@ -1,0 +1,114 @@
+#include "client/ledger_client.h"
+
+namespace ledgerdb {
+
+Status LedgerClient::AppendVerified(const Bytes& payload,
+                                    const std::vector<std::string>& clues,
+                                    uint64_t* jsn, Receipt* receipt) {
+  ClientTransaction tx;
+  tx.ledger_uri = ledger_->uri();
+  tx.clues = clues;
+  tx.payload = payload;
+  tx.nonce = nonce_++;
+  tx.Sign(identity_);
+  Digest my_request_hash = tx.RequestHash();
+
+  uint64_t assigned = 0;
+  LEDGERDB_RETURN_IF_ERROR(ledger_->Append(tx, &assigned));
+
+  Receipt r;
+  LEDGERDB_RETURN_IF_ERROR(ledger_->GetReceipt(assigned, &r));
+  // π_s checks: LSP signature + the receipt commits to MY request.
+  if (!r.Verify(ledger_->lsp_key())) {
+    return Status::VerificationFailed("LSP receipt signature invalid");
+  }
+  if (!(r.request_hash == my_request_hash)) {
+    return Status::VerificationFailed(
+        "receipt does not commit to the submitted transaction (threat-A)");
+  }
+  // Wire round trip: the receipt is stored externally.
+  Receipt stored;
+  if (!Receipt::Deserialize(r.Serialize(), &stored)) {
+    return Status::Corruption("receipt wire format round trip failed");
+  }
+  receipts_.push_back(stored);
+  if (jsn != nullptr) *jsn = assigned;
+  if (receipt != nullptr) *receipt = stored;
+  return Status::OK();
+}
+
+void LedgerClient::RefreshTrustedRoots() {
+  trusted_fam_root_ = ledger_->FamRoot();
+  trusted_clue_root_ = ledger_->ClueRoot();
+}
+
+Status LedgerClient::FetchAndVerifyJournal(uint64_t jsn,
+                                           Journal* journal) const {
+  Journal fetched;
+  LEDGERDB_RETURN_IF_ERROR(ledger_->GetJournal(jsn, &fetched));
+  // Local recomputation: payload must match its retained digest (occulted
+  // journals are exempt — the digest is the record, Protocol 2).
+  if (!fetched.occulted &&
+      !(Sha256::Hash(fetched.payload) == fetched.payload_digest)) {
+    return Status::VerificationFailed("payload digest mismatch");
+  }
+  // who: the author's signature must verify.
+  if (!VerifySignature(fetched.client_key, fetched.request_hash,
+                       fetched.client_sig)) {
+    return Status::VerificationFailed("journal author signature invalid");
+  }
+  // what: fam proof, round-tripped through the wire format.
+  FamProof proof;
+  LEDGERDB_RETURN_IF_ERROR(ledger_->GetProof(jsn, &proof));
+  FamProof wire;
+  if (!FamProof::Deserialize(proof.Serialize(), &wire)) {
+    return Status::Corruption("fam proof wire format round trip failed");
+  }
+  if (!Ledger::VerifyJournalProof(fetched, wire, trusted_fam_root_)) {
+    return Status::VerificationFailed(
+        "fam proof does not bind journal to the trusted root");
+  }
+  *journal = std::move(fetched);
+  return Status::OK();
+}
+
+Status LedgerClient::FetchAndVerifyLineage(
+    const std::string& clue, std::vector<Journal>* journals) const {
+  std::vector<uint64_t> jsns;
+  LEDGERDB_RETURN_IF_ERROR(ledger_->ListTx(clue, &jsns));
+  std::vector<Journal> fetched;
+  std::vector<Digest> digests;
+  for (uint64_t jsn : jsns) {
+    Journal journal;
+    LEDGERDB_RETURN_IF_ERROR(ledger_->GetJournal(jsn, &journal));
+    digests.push_back(journal.TxHash());
+    fetched.push_back(std::move(journal));
+  }
+  ClueProof proof;
+  LEDGERDB_RETURN_IF_ERROR(ledger_->GetClueProof(clue, 0, 0, &proof));
+  ClueProof wire;
+  if (!ClueProof::Deserialize(proof.Serialize(), &wire)) {
+    return Status::Corruption("clue proof wire format round trip failed");
+  }
+  if (!CmTree::VerifyClueProof(trusted_clue_root_, digests, wire)) {
+    return Status::VerificationFailed(
+        "clue lineage does not verify against the trusted root");
+  }
+  *journals = std::move(fetched);
+  return Status::OK();
+}
+
+Status LedgerClient::CheckReceiptStillHolds(const Receipt& receipt) const {
+  if (!receipt.Verify(ledger_->lsp_key())) {
+    return Status::VerificationFailed("receipt signature invalid");
+  }
+  Journal journal;
+  LEDGERDB_RETURN_IF_ERROR(ledger_->GetJournal(receipt.jsn, &journal));
+  if (!(journal.TxHash() == receipt.tx_hash)) {
+    return Status::VerificationFailed(
+        "ledger content diverged from the receipt (threat-C rewrite)");
+  }
+  return Status::OK();
+}
+
+}  // namespace ledgerdb

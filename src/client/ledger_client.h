@@ -1,0 +1,75 @@
+#ifndef LEDGERDB_CLIENT_LEDGER_CLIENT_H_
+#define LEDGERDB_CLIENT_LEDGER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "ledger/ledger.h"
+
+namespace ledgerdb {
+
+/// Client-side verification SDK — the "verified at client side when LSP
+/// is distrusted" mode of §II-C. The client holds its own identity key,
+/// signs every transaction (π_c), retains every receipt (π_s) externally,
+/// pins the ledger roots it has accepted as its verification datum, and
+/// re-verifies every fetched journal/lineage locally. All proofs are
+/// round-tripped through their wire format, exactly as a remote client
+/// would receive them.
+///
+/// The transport here is an in-process `Ledger*`; swapping in an RPC stub
+/// with the same surface requires no changes to the verification logic.
+class LedgerClient {
+ public:
+  LedgerClient(Ledger* ledger, KeyPair identity)
+      : ledger_(ledger), identity_(std::move(identity)) {
+    RefreshTrustedRoots();
+  }
+
+  const PublicKey& public_key() const { return identity_.public_key(); }
+
+  /// Signs and submits a transaction, then performs the client-side
+  /// commitment checks: the receipt's LSP signature verifies and its
+  /// request-hash matches what this client actually signed. The receipt
+  /// is retained (the external evidence for later audits).
+  Status AppendVerified(const Bytes& payload,
+                        const std::vector<std::string>& clues, uint64_t* jsn,
+                        Receipt* receipt = nullptr);
+
+  /// Pins the ledger's current fam/clue roots as the verification datum.
+  /// In production the client would do this only after auditing the delta
+  /// (or against a TSA-anchored digest); tests exercise both the stale-
+  /// and fresh-root behaviors.
+  void RefreshTrustedRoots();
+
+  const Digest& trusted_fam_root() const { return trusted_fam_root_; }
+  const Digest& trusted_clue_root() const { return trusted_clue_root_; }
+
+  /// Fetches journal `jsn` and verifies it locally: payload digest
+  /// recomputation, π_c signature, and the (wire-round-tripped) fam proof
+  /// against the pinned root. VerificationFailed if anything is off.
+  Status FetchAndVerifyJournal(uint64_t jsn, Journal* journal) const;
+
+  /// Fetches a clue's journals and verifies the full lineage — every
+  /// record and the record count — against the pinned clue root.
+  Status FetchAndVerifyLineage(const std::string& clue,
+                               std::vector<Journal>* journals) const;
+
+  /// Receipts retained by AppendVerified, in submission order.
+  const std::vector<Receipt>& receipts() const { return receipts_; }
+
+  /// Re-validates a retained receipt against the live ledger (detects
+  /// post-hoc rewrites of this client's own journals: threat-C).
+  Status CheckReceiptStillHolds(const Receipt& receipt) const;
+
+ private:
+  Ledger* ledger_;
+  KeyPair identity_;
+  uint64_t nonce_ = 0;
+  Digest trusted_fam_root_;
+  Digest trusted_clue_root_;
+  std::vector<Receipt> receipts_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_CLIENT_LEDGER_CLIENT_H_

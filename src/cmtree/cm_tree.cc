@@ -1,0 +1,125 @@
+#include "cmtree/cm_tree.h"
+
+namespace ledgerdb {
+
+Bytes ClueProof::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, StringToBytes(clue));
+  PutU64(&out, entry_count);
+  PutLengthPrefixed(&out, batch.Serialize());
+  PutLengthPrefixed(&out, mpt.Serialize());
+  return out;
+}
+
+bool ClueProof::Deserialize(const Bytes& raw, ClueProof* out) {
+  size_t pos = 0;
+  Bytes block;
+  if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+  out->clue.assign(block.begin(), block.end());
+  if (!GetU64(raw, &pos, &out->entry_count)) return false;
+  if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+  if (!BatchProof::Deserialize(block, &out->batch)) return false;
+  if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+  if (!MptProof::Deserialize(block, &out->mpt)) return false;
+  return pos == raw.size();
+}
+
+CmTree::CmTree(NodeStore* store, int cache_depth)
+    : store_(store), mpt_(store, cache_depth), mpt_root_(Mpt::EmptyRoot()) {}
+
+Bytes CmTree::EncodeClueValue(uint64_t count, const Digest& accum_root) {
+  Bytes out;
+  PutU64(&out, count);
+  out.insert(out.end(), accum_root.bytes.begin(), accum_root.bytes.end());
+  return out;
+}
+
+Status CmTree::Append(const std::string& clue, const Digest& journal_digest,
+                      uint64_t* entry_index) {
+  // Step 1 of CM-Tree insertion: locate/extend the clue's own accumulator
+  // (CM-Tree2) — O(1) thanks to Shrubs.
+  ShrubsAccumulator& accum = accumulators_[clue];
+  uint64_t index = accum.Append(journal_digest);
+  // Step 2: refresh the clue's CM-Tree1 value and recompute the MPT path
+  // hashes bottom-up (copy-on-write snapshot).
+  Bytes value = EncodeClueValue(accum.size(), accum.Root());
+  LEDGERDB_RETURN_IF_ERROR(
+      mpt_.Put(mpt_root_, ScatterClueKey(clue), Slice(value), &mpt_root_));
+  if (entry_index != nullptr) *entry_index = index;
+  return Status::OK();
+}
+
+uint64_t CmTree::ClueCount(const std::string& clue) const {
+  auto it = accumulators_.find(clue);
+  return it == accumulators_.end() ? 0 : it->second.size();
+}
+
+Status CmTree::GetClueProof(const std::string& clue, uint64_t begin,
+                            uint64_t end, ClueProof* proof) const {
+  auto it = accumulators_.find(clue);
+  if (it == accumulators_.end()) return Status::NotFound("unknown clue");
+  const ShrubsAccumulator& accum = it->second;
+  if (end == 0) end = accum.size();
+  if (begin >= end || end > accum.size()) {
+    return Status::OutOfRange("invalid clue entry range");
+  }
+  proof->clue = clue;
+  proof->entry_count = accum.size();
+
+  // Steps 1–4: destination leaf set N1, derived path sets N2/N3, minimal
+  // retrieval set N — all inside GetBatchProof.
+  std::vector<uint64_t> indices;
+  indices.reserve(end - begin);
+  for (uint64_t i = begin; i < end; ++i) indices.push_back(i);
+  LEDGERDB_RETURN_IF_ERROR(accum.GetBatchProof(indices, &proof->batch));
+
+  // Step 5: CM-Tree1 proof nodes across layers, bottom-up.
+  return mpt_.GetProof(mpt_root_, ScatterClueKey(clue), &proof->mpt);
+}
+
+bool CmTree::VerifyClueProof(const Digest& trusted_root,
+                             const std::vector<Digest>& digests,
+                             const ClueProof& proof) {
+  // Step 6(1): verify the entries against the clue's CM-Tree2.
+  if (proof.batch.tree_size != proof.entry_count) return false;
+  Digest accum_root = ShrubsAccumulator::BagPeaks(proof.batch.peaks);
+  if (!ShrubsAccumulator::VerifyBatchProof(digests, proof.batch, accum_root)) {
+    return false;
+  }
+  // Step 6(2): verify the CM-Tree1 route binds the clue to exactly this
+  // accumulator commitment (count + root).
+  Bytes expected_value = EncodeClueValue(proof.entry_count, accum_root);
+  return Mpt::VerifyProof(trusted_root, ScatterClueKey(proof.clue),
+                          Slice(expected_value), proof.mpt);
+}
+
+Status CmTree::Compact(size_t* reclaimed) {
+  std::unordered_set<Digest, DigestHasher> live;
+  LEDGERDB_RETURN_IF_ERROR(mpt_.CollectReachable(mpt_root_, &live));
+  size_t removed = store_->Sweep(live);
+  if (reclaimed != nullptr) *reclaimed = removed;
+  return Status::OK();
+}
+
+Status CmTree::VerifyClueServerSide(const std::string& clue,
+                                    const std::vector<Digest>& digests,
+                                    uint64_t begin, bool* valid) const {
+  auto it = accumulators_.find(clue);
+  if (it == accumulators_.end()) return Status::NotFound("unknown clue");
+  const ShrubsAccumulator& accum = it->second;
+  if (begin + digests.size() > accum.size()) {
+    return Status::OutOfRange("range beyond clue size");
+  }
+  // The server validates directly against its own trees (no proof
+  // materialization; steps 4–5 skipped per §IV-C).
+  *valid = true;
+  for (size_t i = 0; i < digests.size(); ++i) {
+    if (accum.LeafNode(begin + i) != HashMerkleLeaf(digests[i])) {
+      *valid = false;
+      return Status::OK();
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ledgerdb

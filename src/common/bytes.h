@@ -1,0 +1,72 @@
+#ifndef LEDGERDB_COMMON_BYTES_H_
+#define LEDGERDB_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ledgerdb {
+
+/// Raw byte buffer used throughout the codebase for payloads, digests and
+/// serialized structures.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning read-only view over a byte range (RocksDB Slice idiom).
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Slice(const Bytes& bytes) : data_(bytes.data()), size_(bytes.size()) {}
+  explicit Slice(std::string_view sv)
+      : data_(reinterpret_cast<const uint8_t*>(sv.data())), size_(sv.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  Bytes ToBytes() const { return Bytes(data_, data_ + size_); }
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+/// Converts an ASCII string to its byte representation.
+Bytes StringToBytes(std::string_view s);
+
+/// Lower-case hexadecimal encoding of a byte range.
+std::string ToHex(const Bytes& bytes);
+std::string ToHex(const uint8_t* data, size_t size);
+
+/// Parses a hexadecimal string (case-insensitive). Returns false on
+/// malformed input (odd length or non-hex characters).
+bool FromHex(std::string_view hex, Bytes* out);
+
+/// Appends fixed-width little-endian integers; used by serializers.
+void PutU32(Bytes* dst, uint32_t v);
+void PutU64(Bytes* dst, uint64_t v);
+
+/// Appends a length-prefixed (u32) byte block.
+void PutLengthPrefixed(Bytes* dst, const Bytes& block);
+void PutLengthPrefixed(Bytes* dst, Slice block);
+
+/// Cursor-based readers matching the Put* encoders. Each returns false if
+/// the buffer is exhausted (corruption).
+bool GetU32(const Bytes& src, size_t* pos, uint32_t* v);
+bool GetU64(const Bytes& src, size_t* pos, uint64_t* v);
+bool GetLengthPrefixed(const Bytes& src, size_t* pos, Bytes* block);
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_COMMON_BYTES_H_

@@ -1,0 +1,53 @@
+#ifndef LEDGERDB_COMMON_CLOCK_H_
+#define LEDGERDB_COMMON_CLOCK_H_
+
+#include <cstdint>
+
+namespace ledgerdb {
+
+/// Microseconds since an arbitrary epoch. All timestamps in the time-notary
+/// stack use this unit.
+using Timestamp = int64_t;
+
+constexpr Timestamp kMicrosPerSecond = 1000000;
+constexpr Timestamp kMicrosPerMilli = 1000;
+
+/// Clock abstraction so that protocols (TSA pegging, T-Ledger finalization,
+/// attack simulations) are deterministic under test. Implementations must be
+/// monotone non-decreasing.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Current time in microseconds.
+  virtual Timestamp Now() = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::system_clock.
+class SystemClock : public Clock {
+ public:
+  Timestamp Now() override;
+};
+
+/// Manually-advanced clock for deterministic tests and attack simulations.
+class SimulatedClock : public Clock {
+ public:
+  explicit SimulatedClock(Timestamp start = 0) : now_(start) {}
+
+  Timestamp Now() override { return now_; }
+
+  /// Advances the clock by `delta` microseconds.
+  void Advance(Timestamp delta) { now_ += delta; }
+
+  /// Jumps directly to `t`; `t` must not be in the past.
+  void SetTime(Timestamp t) {
+    if (t > now_) now_ = t;
+  }
+
+ private:
+  Timestamp now_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_COMMON_CLOCK_H_

@@ -1,0 +1,38 @@
+#ifndef LEDGERDB_COMMON_RANDOM_H_
+#define LEDGERDB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ledgerdb {
+
+/// Deterministic pseudo-random generator (xoshiro256**) used for workload
+/// generation in tests and benchmarks. Seeded explicitly so every run is
+/// reproducible.
+class Random {
+ public:
+  explicit Random(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform value in [0, n). `n` must be > 0.
+  uint64_t Uniform(uint64_t n);
+
+  /// Uniform value in [lo, hi]. Requires lo <= hi.
+  uint64_t Range(uint64_t lo, uint64_t hi);
+
+  /// Fills `out` with `size` pseudo-random bytes.
+  Bytes NextBytes(size_t size);
+
+  /// Random printable ASCII string of length `size`.
+  std::string NextString(size_t size);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_COMMON_RANDOM_H_

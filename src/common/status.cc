@@ -1,0 +1,47 @@
+#include "common/status.h"
+
+namespace ledgerdb {
+
+namespace {
+
+const char* CodeName(Status::Code code) {
+  switch (code) {
+    case Status::Code::kOk:
+      return "OK";
+    case Status::Code::kNotFound:
+      return "NotFound";
+    case Status::Code::kCorruption:
+      return "Corruption";
+    case Status::Code::kInvalidArgument:
+      return "InvalidArgument";
+    case Status::Code::kVerificationFailed:
+      return "VerificationFailed";
+    case Status::Code::kPermissionDenied:
+      return "PermissionDenied";
+    case Status::Code::kOutOfRange:
+      return "OutOfRange";
+    case Status::Code::kAlreadyExists:
+      return "AlreadyExists";
+    case Status::Code::kIOError:
+      return "IOError";
+    case Status::Code::kNotSupported:
+      return "NotSupported";
+    case Status::Code::kTimestampRejected:
+      return "TimestampRejected";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string result = CodeName(code_);
+  if (!msg_.empty()) {
+    result += ": ";
+    result += msg_;
+  }
+  return result;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,101 @@
+#ifndef LEDGERDB_COMMON_STATUS_H_
+#define LEDGERDB_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ledgerdb {
+
+/// Operation result following the RocksDB idiom: functions return a Status
+/// and produce values via output parameters. A Status is cheap to copy and
+/// carries an error code plus a human-readable message.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kNotFound,
+    kCorruption,
+    kInvalidArgument,
+    kVerificationFailed,
+    kPermissionDenied,
+    kOutOfRange,
+    kAlreadyExists,
+    kIOError,
+    kNotSupported,
+    kTimestampRejected,
+  };
+
+  /// Default-constructed Status is OK.
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status VerificationFailed(std::string msg = "") {
+    return Status(Code::kVerificationFailed, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg = "") {
+    return Status(Code::kPermissionDenied, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg = "") {
+    return Status(Code::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status TimestampRejected(std::string msg = "") {
+    return Status(Code::kTimestampRejected, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsVerificationFailed() const {
+    return code_ == Code::kVerificationFailed;
+  }
+  bool IsPermissionDenied() const { return code_ == Code::kPermissionDenied; }
+  bool IsOutOfRange() const { return code_ == Code::kOutOfRange; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsTimestampRejected() const {
+    return code_ == Code::kTimestampRejected;
+  }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Renders e.g. "VerificationFailed: fam proof root mismatch".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+/// Early-return helper: propagates a non-OK Status to the caller.
+#define LEDGERDB_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::ledgerdb::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                    \
+  } while (0)
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_COMMON_STATUS_H_

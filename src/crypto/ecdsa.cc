@@ -1,0 +1,162 @@
+#include "crypto/ecdsa.h"
+
+#include <cstring>
+
+namespace ledgerdb {
+
+using secp256k1::AffinePoint;
+using secp256k1::JacobianPoint;
+using secp256k1::kN;
+
+Bytes PublicKey::Serialize() const {
+  Bytes out(64);
+  point_.x.ToBigEndian(out.data());
+  point_.y.ToBigEndian(out.data() + 32);
+  return out;
+}
+
+bool PublicKey::Deserialize(const Bytes& raw, PublicKey* out) {
+  if (raw.size() != 64) return false;
+  AffinePoint p;
+  p.x = U256::FromBigEndian(raw.data());
+  p.y = U256::FromBigEndian(raw.data() + 32);
+  p.infinity = false;
+  if (!p.IsOnCurve()) return false;
+  *out = PublicKey(p);
+  return true;
+}
+
+Digest PublicKey::Id() const { return Sha256::Hash(Serialize()); }
+
+Bytes Signature::Serialize() const {
+  Bytes out(64);
+  r.ToBigEndian(out.data());
+  s.ToBigEndian(out.data() + 32);
+  return out;
+}
+
+bool Signature::Deserialize(const Bytes& raw, Signature* out) {
+  if (raw.size() != 64) return false;
+  out->r = U256::FromBigEndian(raw.data());
+  out->s = U256::FromBigEndian(raw.data() + 32);
+  return true;
+}
+
+KeyPair KeyPair::FromSecret(const U256& secret) {
+  KeyPair kp;
+  if (secret.IsZero() || Compare(secret, kN) >= 0) return kp;
+  kp.secret_ = secret;
+  kp.public_key_ = PublicKey(secp256k1::ScalarMulBase(secret).ToAffine());
+  return kp;
+}
+
+KeyPair KeyPair::Generate(Random* rng) {
+  for (;;) {
+    Bytes seed = rng->NextBytes(32);
+    U256 candidate = U256::FromBigEndian(seed.data());
+    if (candidate.IsZero() || Compare(candidate, kN) >= 0) continue;
+    return FromSecret(candidate);
+  }
+}
+
+KeyPair KeyPair::FromSeedString(std::string_view seed) {
+  Digest d = Sha256::Hash(seed);
+  U256 candidate = U256::FromBigEndian(d.bytes.data());
+  // Re-hash until the scalar is in range (overwhelmingly the first try).
+  while (candidate.IsZero() || Compare(candidate, kN) >= 0) {
+    d = Sha256::Hash(Slice(d.bytes.data(), 32));
+    candidate = U256::FromBigEndian(d.bytes.data());
+  }
+  return FromSecret(candidate);
+}
+
+namespace {
+
+// RFC 6979 deterministic nonce generation (HMAC-SHA256 DRBG). Returns a
+// nonce in [1, n-1].
+U256 Rfc6979Nonce(const U256& secret, const Digest& message,
+                  uint32_t attempt) {
+  uint8_t v[32], k[32];
+  std::memset(v, 0x01, sizeof(v));
+  std::memset(k, 0x00, sizeof(k));
+
+  Bytes seed;
+  seed.reserve(64 + 4);
+  Bytes secret_bytes = secret.ToBytes();
+  seed.insert(seed.end(), secret_bytes.begin(), secret_bytes.end());
+  seed.insert(seed.end(), message.bytes.begin(), message.bytes.end());
+  // Extra-data variant: mix in the retry counter so consecutive attempts
+  // produce independent nonces.
+  if (attempt != 0) PutU32(&seed, attempt);
+
+  auto hmac_step = [&](uint8_t sep) {
+    Bytes data;
+    data.insert(data.end(), v, v + 32);
+    data.push_back(sep);
+    data.insert(data.end(), seed.begin(), seed.end());
+    Digest kd = HmacSha256(Slice(k, 32), Slice(data));
+    std::memcpy(k, kd.bytes.data(), 32);
+    Digest vd = HmacSha256(Slice(k, 32), Slice(v, 32));
+    std::memcpy(v, vd.bytes.data(), 32);
+  };
+
+  hmac_step(0x00);
+  hmac_step(0x01);
+
+  for (;;) {
+    Digest vd = HmacSha256(Slice(k, 32), Slice(v, 32));
+    std::memcpy(v, vd.bytes.data(), 32);
+    U256 candidate = U256::FromBigEndian(v);
+    if (!candidate.IsZero() && Compare(candidate, kN) < 0) return candidate;
+    Bytes data(v, v + 32);
+    data.push_back(0x00);
+    Digest kd = HmacSha256(Slice(k, 32), Slice(data));
+    std::memcpy(k, kd.bytes.data(), 32);
+    vd = HmacSha256(Slice(k, 32), Slice(v, 32));
+    std::memcpy(v, vd.bytes.data(), 32);
+  }
+}
+
+}  // namespace
+
+Signature KeyPair::Sign(const Digest& message) const {
+  U256 z = U256::FromBigEndian(message.bytes.data());
+  z = ReduceWide(z, U256(), kN);
+
+  for (uint32_t attempt = 0;; ++attempt) {
+    U256 k = Rfc6979Nonce(secret_, message, attempt);
+    AffinePoint rp = secp256k1::ScalarMulBase(k).ToAffine();
+    U256 r = ReduceWide(rp.x, U256(), kN);
+    if (r.IsZero()) continue;
+    U256 kinv = ModInverse(k, kN);
+    U256 rd = MulMod(r, secret_, kN);
+    U256 s = MulMod(kinv, AddMod(z, rd, kN), kN);
+    if (s.IsZero()) continue;
+    // Low-s normalization (malleability hygiene).
+    U256 half;
+    Sub(kN, s, &half);
+    if (Compare(half, s) < 0) s = half;
+    return Signature{r, s};
+  }
+}
+
+bool VerifySignature(const PublicKey& key, const Digest& message,
+                     const Signature& sig) {
+  if (!key.valid()) return false;
+  if (sig.r.IsZero() || sig.s.IsZero()) return false;
+  if (Compare(sig.r, kN) >= 0 || Compare(sig.s, kN) >= 0) return false;
+
+  U256 z = U256::FromBigEndian(message.bytes.data());
+  z = ReduceWide(z, U256(), kN);
+
+  U256 w = ModInverse(sig.s, kN);
+  U256 u1 = MulMod(z, w, kN);
+  U256 u2 = MulMod(sig.r, w, kN);
+  JacobianPoint rp = secp256k1::DoubleScalarMul(u1, u2, key.point());
+  if (rp.infinity) return false;
+  AffinePoint ra = rp.ToAffine();
+  U256 rx = ReduceWide(ra.x, U256(), kN);
+  return rx == sig.r;
+}
+
+}  // namespace ledgerdb

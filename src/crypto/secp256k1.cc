@@ -1,0 +1,249 @@
+#include "crypto/secp256k1.h"
+
+#include <algorithm>
+
+namespace ledgerdb::secp256k1 {
+
+const U256 kP(0xfffffffefffffc2fULL, 0xffffffffffffffffULL,
+              0xffffffffffffffffULL, 0xffffffffffffffffULL);
+const U256 kN(0xbfd25e8cd0364141ULL, 0xbaaedce6af48a03bULL,
+              0xfffffffffffffffeULL, 0xffffffffffffffffULL);
+const U256 kGx(0x59f2815b16f81798ULL, 0x029bfcdb2dce28d9ULL,
+               0x55a06295ce870b07ULL, 0x79be667ef9dcbbacULL);
+const U256 kGy(0x9c47d08ffb10d4b8ULL, 0xfd17b448a6855419ULL,
+               0x5da4fbfc0e1108a8ULL, 0x483ada7726a3c465ULL);
+
+namespace {
+
+// p = 2^256 - kFoldC where kFoldC = 2^32 + 977.
+constexpr uint64_t kFoldC = 0x1000003d1ULL;
+
+// Reduces a 512-bit value (hi:lo) mod p using two folds of
+// hi * 2^256 ≡ hi * kFoldC.
+U256 FeReduceWide(const U256& lo, const U256& hi) {
+  // First fold: acc (257+33 bits) = lo + hi * kFoldC.
+  uint64_t acc_limbs[5] = {0};
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 cur = static_cast<unsigned __int128>(hi.limb[i]) *
+                                kFoldC +
+                            lo.limb[i] + carry;
+    acc_limbs[i] = static_cast<uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  acc_limbs[4] = static_cast<uint64_t>(carry);
+
+  // Second fold: overflow limb (≤ 2^33) times kFoldC fits in 64+ bits.
+  U256 acc{acc_limbs[0], acc_limbs[1], acc_limbs[2], acc_limbs[3]};
+  if (acc_limbs[4] != 0) {
+    unsigned __int128 extra =
+        static_cast<unsigned __int128>(acc_limbs[4]) * kFoldC;
+    U256 add_val{static_cast<uint64_t>(extra),
+                 static_cast<uint64_t>(extra >> 64), 0, 0};
+    uint64_t c2 = Add(acc, add_val, &acc);
+    if (c2) {
+      // 2^256 ≡ kFoldC once more; cannot carry again.
+      U256 fold{kFoldC, 0, 0, 0};
+      Add(acc, fold, &acc);
+    }
+  }
+  while (Compare(acc, kP) >= 0) {
+    Sub(acc, kP, &acc);
+  }
+  return acc;
+}
+
+}  // namespace
+
+U256 FeAdd(const U256& a, const U256& b) { return AddMod(a, b, kP); }
+
+U256 FeSub(const U256& a, const U256& b) { return SubMod(a, b, kP); }
+
+U256 FeMul(const U256& a, const U256& b) {
+  U256 lo, hi;
+  Mul(a, b, &lo, &hi);
+  return FeReduceWide(lo, hi);
+}
+
+U256 FeSqr(const U256& a) { return FeMul(a, a); }
+
+U256 FeInv(const U256& a) { return ModInverse(a, kP); }
+
+AffinePoint AffinePoint::Generator() {
+  AffinePoint g;
+  g.x = kGx;
+  g.y = kGy;
+  g.infinity = false;
+  return g;
+}
+
+bool AffinePoint::IsOnCurve() const {
+  if (infinity) return false;
+  U256 lhs = FeSqr(y);
+  U256 rhs = FeAdd(FeMul(FeSqr(x), x), U256(7));
+  return lhs == rhs;
+}
+
+JacobianPoint JacobianPoint::FromAffine(const AffinePoint& p) {
+  JacobianPoint out;
+  if (p.infinity) return out;
+  out.x = p.x;
+  out.y = p.y;
+  out.z = U256(1);
+  out.infinity = false;
+  return out;
+}
+
+AffinePoint JacobianPoint::ToAffine() const {
+  AffinePoint out;
+  if (infinity) return out;
+  U256 zinv = FeInv(z);
+  U256 zinv2 = FeSqr(zinv);
+  out.x = FeMul(x, zinv2);
+  out.y = FeMul(y, FeMul(zinv2, zinv));
+  out.infinity = false;
+  return out;
+}
+
+JacobianPoint Double(const JacobianPoint& p) {
+  if (p.infinity || p.y.IsZero()) return JacobianPoint();
+  // dbl-2009-l formulas for a = 0.
+  U256 a = FeSqr(p.x);                       // A = X^2
+  U256 b = FeSqr(p.y);                       // B = Y^2
+  U256 c = FeSqr(b);                         // C = B^2
+  U256 t = FeSub(FeSqr(FeAdd(p.x, b)), FeAdd(a, c));
+  U256 d = FeAdd(t, t);                      // D = 2*((X+B)^2 - A - C)
+  U256 e = FeAdd(FeAdd(a, a), a);            // E = 3*A
+  U256 f = FeSqr(e);                         // F = E^2
+  JacobianPoint out;
+  out.x = FeSub(f, FeAdd(d, d));             // X3 = F - 2*D
+  U256 c8 = FeAdd(c, c);
+  c8 = FeAdd(c8, c8);
+  c8 = FeAdd(c8, c8);
+  out.y = FeSub(FeMul(e, FeSub(d, out.x)), c8);  // Y3 = E*(D-X3) - 8*C
+  U256 yz = FeMul(p.y, p.z);
+  out.z = FeAdd(yz, yz);                     // Z3 = 2*Y*Z
+  out.infinity = false;
+  return out;
+}
+
+JacobianPoint Add(const JacobianPoint& p, const JacobianPoint& q) {
+  if (p.infinity) return q;
+  if (q.infinity) return p;
+  U256 z1z1 = FeSqr(p.z);
+  U256 z2z2 = FeSqr(q.z);
+  U256 u1 = FeMul(p.x, z2z2);
+  U256 u2 = FeMul(q.x, z1z1);
+  U256 s1 = FeMul(p.y, FeMul(z2z2, q.z));
+  U256 s2 = FeMul(q.y, FeMul(z1z1, p.z));
+  if (u1 == u2) {
+    if (s1 == s2) return Double(p);
+    return JacobianPoint();  // P + (-P) = infinity.
+  }
+  U256 h = FeSub(u2, u1);
+  U256 r = FeSub(s2, s1);
+  U256 h2 = FeSqr(h);
+  U256 h3 = FeMul(h2, h);
+  U256 u1h2 = FeMul(u1, h2);
+  JacobianPoint out;
+  out.x = FeSub(FeSub(FeSqr(r), h3), FeAdd(u1h2, u1h2));
+  out.y = FeSub(FeMul(r, FeSub(u1h2, out.x)), FeMul(s1, h3));
+  out.z = FeMul(FeMul(p.z, q.z), h);
+  out.infinity = false;
+  return out;
+}
+
+JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q) {
+  if (q.infinity) return p;
+  if (p.infinity) return JacobianPoint::FromAffine(q);
+  U256 z1z1 = FeSqr(p.z);
+  U256 u2 = FeMul(q.x, z1z1);
+  U256 s2 = FeMul(q.y, FeMul(z1z1, p.z));
+  if (p.x == u2) {
+    if (p.y == s2) return Double(p);
+    return JacobianPoint();
+  }
+  U256 h = FeSub(u2, p.x);
+  U256 r = FeSub(s2, p.y);
+  U256 h2 = FeSqr(h);
+  U256 h3 = FeMul(h2, h);
+  U256 u1h2 = FeMul(p.x, h2);
+  JacobianPoint out;
+  out.x = FeSub(FeSub(FeSqr(r), h3), FeAdd(u1h2, u1h2));
+  out.y = FeSub(FeMul(r, FeSub(u1h2, out.x)), FeMul(p.y, h3));
+  out.z = FeMul(p.z, h);
+  out.infinity = false;
+  return out;
+}
+
+JacobianPoint ScalarMul(const U256& k, const AffinePoint& p) {
+  JacobianPoint acc;
+  int bits = k.BitLength();
+  for (int i = bits - 1; i >= 0; --i) {
+    acc = Double(acc);
+    if (k.Bit(i)) acc = AddMixed(acc, p);
+  }
+  return acc;
+}
+
+namespace {
+
+/// Comb table: kBaseTable[w][v-1] = (v << (4w)) * G for v in 1..15.
+struct BaseTable {
+  AffinePoint entries[64][15];
+
+  BaseTable() {
+    AffinePoint window_base = AffinePoint::Generator();
+    for (int w = 0; w < 64; ++w) {
+      JacobianPoint acc;  // infinity
+      for (int v = 1; v <= 15; ++v) {
+        acc = AddMixed(acc, window_base);
+        entries[w][v - 1] = acc.ToAffine();
+      }
+      // Advance to the next window base: multiply by 16.
+      JacobianPoint next = JacobianPoint::FromAffine(window_base);
+      for (int d = 0; d < 4; ++d) next = Double(next);
+      window_base = next.ToAffine();
+    }
+  }
+};
+
+}  // namespace
+
+JacobianPoint ScalarMulBase(const U256& k) {
+  static const BaseTable* table = new BaseTable();  // intentionally leaked
+  JacobianPoint acc;
+  for (int w = 0; w < 64; ++w) {
+    uint64_t nibble = (k.limb[w / 16] >> (4 * (w % 16))) & 0xf;
+    if (nibble != 0) {
+      acc = AddMixed(acc, table->entries[w][nibble - 1]);
+    }
+  }
+  return acc;
+}
+
+JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
+                              const AffinePoint& q) {
+  const AffinePoint g = AffinePoint::Generator();
+  // Precompute G + Q once for the interleaved ladder.
+  AffinePoint gq = Add(JacobianPoint::FromAffine(g),
+                       JacobianPoint::FromAffine(q))
+                       .ToAffine();
+  JacobianPoint acc;
+  int bits = std::max(k1.BitLength(), k2.BitLength());
+  for (int i = bits - 1; i >= 0; --i) {
+    acc = Double(acc);
+    bool b1 = k1.Bit(i);
+    bool b2 = k2.Bit(i);
+    if (b1 && b2) {
+      acc = AddMixed(acc, gq);
+    } else if (b1) {
+      acc = AddMixed(acc, g);
+    } else if (b2) {
+      acc = AddMixed(acc, q);
+    }
+  }
+  return acc;
+}
+
+}  // namespace ledgerdb::secp256k1

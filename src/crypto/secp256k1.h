@@ -1,0 +1,71 @@
+#ifndef LEDGERDB_CRYPTO_SECP256K1_H_
+#define LEDGERDB_CRYPTO_SECP256K1_H_
+
+#include "crypto/u256.h"
+
+namespace ledgerdb::secp256k1 {
+
+/// Field prime p = 2^256 - 2^32 - 977.
+extern const U256 kP;
+/// Group order n.
+extern const U256 kN;
+/// Generator point coordinates.
+extern const U256 kGx;
+extern const U256 kGy;
+
+/// Field arithmetic mod p with the specialized 2^256 ≡ 2^32 + 977 folding
+/// reduction (fast path for point operations). Inputs must be < p.
+U256 FeAdd(const U256& a, const U256& b);
+U256 FeSub(const U256& a, const U256& b);
+U256 FeMul(const U256& a, const U256& b);
+U256 FeSqr(const U256& a);
+U256 FeInv(const U256& a);
+
+/// Affine curve point. Infinity is encoded by `infinity == true`.
+struct AffinePoint {
+  U256 x;
+  U256 y;
+  bool infinity = true;
+
+  static AffinePoint Generator();
+
+  /// Checks y^2 == x^3 + 7 (mod p).
+  bool IsOnCurve() const;
+
+  bool operator==(const AffinePoint& o) const {
+    if (infinity || o.infinity) return infinity == o.infinity;
+    return x == o.x && y == o.y;
+  }
+};
+
+/// Jacobian projective point (X/Z^2, Y/Z^3), used internally so that scalar
+/// multiplication needs a single field inversion.
+struct JacobianPoint {
+  U256 x;
+  U256 y;
+  U256 z;
+  bool infinity = true;
+
+  static JacobianPoint FromAffine(const AffinePoint& p);
+  AffinePoint ToAffine() const;
+};
+
+JacobianPoint Double(const JacobianPoint& p);
+JacobianPoint Add(const JacobianPoint& p, const JacobianPoint& q);
+JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q);
+
+/// Scalar multiplication k*P (double-and-add, MSB first).
+JacobianPoint ScalarMul(const U256& k, const AffinePoint& p);
+
+/// Fixed-base multiplication k*G via a lazily-built comb table (64 4-bit
+/// windows, 15 precomputed multiples each): no doublings at all, ~64
+/// additions per call. Used by the signing hot path.
+JacobianPoint ScalarMulBase(const U256& k);
+
+/// k1*G + k2*Q via interleaved Shamir's trick — the ECDSA-verify hot path.
+JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
+                              const AffinePoint& q);
+
+}  // namespace ledgerdb::secp256k1
+
+#endif  // LEDGERDB_CRYPTO_SECP256K1_H_

@@ -1,0 +1,179 @@
+#include "crypto/u256.h"
+
+namespace ledgerdb {
+
+int U256::BitLength() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[i] != 0) {
+      return 64 * i + 64 - __builtin_clzll(limb[i]);
+    }
+  }
+  return 0;
+}
+
+U256 U256::FromBigEndian(const uint8_t* data) {
+  U256 out;
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = 0;
+    for (int b = 0; b < 8; ++b) {
+      v = (v << 8) | data[8 * (3 - i) + b];
+    }
+    out.limb[i] = v;
+  }
+  return out;
+}
+
+void U256::ToBigEndian(uint8_t* out) const {
+  for (int i = 0; i < 4; ++i) {
+    uint64_t v = limb[3 - i];
+    for (int b = 0; b < 8; ++b) {
+      out[8 * i + b] = static_cast<uint8_t>(v >> (56 - 8 * b));
+    }
+  }
+}
+
+Bytes U256::ToBytes() const {
+  Bytes out(32);
+  ToBigEndian(out.data());
+  return out;
+}
+
+int Compare(const U256& a, const U256& b) {
+  for (int i = 3; i >= 0; --i) {
+    if (a.limb[i] < b.limb[i]) return -1;
+    if (a.limb[i] > b.limb[i]) return 1;
+  }
+  return 0;
+}
+
+uint64_t Add(const U256& a, const U256& b, U256* out) {
+  unsigned __int128 carry = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 sum = static_cast<unsigned __int128>(a.limb[i]) +
+                            b.limb[i] + carry;
+    out->limb[i] = static_cast<uint64_t>(sum);
+    carry = sum >> 64;
+  }
+  return static_cast<uint64_t>(carry);
+}
+
+uint64_t Sub(const U256& a, const U256& b, U256* out) {
+  unsigned __int128 borrow = 0;
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 diff = static_cast<unsigned __int128>(a.limb[i]) -
+                             b.limb[i] - borrow;
+    out->limb[i] = static_cast<uint64_t>(diff);
+    borrow = (diff >> 64) & 1;
+  }
+  return static_cast<uint64_t>(borrow);
+}
+
+U256 Shr1(const U256& a, uint64_t carry_in) {
+  U256 out;
+  out.limb[3] = (a.limb[3] >> 1) | (carry_in << 63);
+  out.limb[2] = (a.limb[2] >> 1) | (a.limb[3] << 63);
+  out.limb[1] = (a.limb[1] >> 1) | (a.limb[2] << 63);
+  out.limb[0] = (a.limb[0] >> 1) | (a.limb[1] << 63);
+  return out;
+}
+
+void Mul(const U256& a, const U256& b, U256* lo, U256* hi) {
+  uint64_t prod[8] = {0};
+  for (int i = 0; i < 4; ++i) {
+    unsigned __int128 carry = 0;
+    for (int j = 0; j < 4; ++j) {
+      unsigned __int128 cur = static_cast<unsigned __int128>(a.limb[i]) *
+                                  b.limb[j] +
+                              prod[i + j] + carry;
+      prod[i + j] = static_cast<uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    prod[i + 4] = static_cast<uint64_t>(carry);
+  }
+  for (int i = 0; i < 4; ++i) {
+    lo->limb[i] = prod[i];
+    hi->limb[i] = prod[i + 4];
+  }
+}
+
+U256 ReduceWide(const U256& lo, const U256& hi, const U256& m) {
+  // Classic MSB-first shift-and-subtract. The accumulator r always stays
+  // below m; since m's top bit is set, (2r + bit) fits in 257 bits, tracked
+  // by `overflow`.
+  U256 r;
+  for (int i = 511; i >= 0; --i) {
+    uint64_t bit =
+        i >= 256 ? static_cast<uint64_t>(hi.Bit(i - 256)) : lo.Bit(i);
+    uint64_t overflow = r.limb[3] >> 63;
+    // r = (r << 1) | bit.
+    r.limb[3] = (r.limb[3] << 1) | (r.limb[2] >> 63);
+    r.limb[2] = (r.limb[2] << 1) | (r.limb[1] >> 63);
+    r.limb[1] = (r.limb[1] << 1) | (r.limb[0] >> 63);
+    r.limb[0] = (r.limb[0] << 1) | bit;
+    if (overflow || Compare(r, m) >= 0) {
+      Sub(r, m, &r);
+    }
+  }
+  return r;
+}
+
+U256 AddMod(const U256& a, const U256& b, const U256& m) {
+  U256 sum;
+  uint64_t carry = Add(a, b, &sum);
+  if (carry || Compare(sum, m) >= 0) {
+    Sub(sum, m, &sum);
+  }
+  return sum;
+}
+
+U256 SubMod(const U256& a, const U256& b, const U256& m) {
+  U256 diff;
+  if (Sub(a, b, &diff)) {
+    Add(diff, m, &diff);
+  }
+  return diff;
+}
+
+U256 MulMod(const U256& a, const U256& b, const U256& m) {
+  U256 lo, hi;
+  Mul(a, b, &lo, &hi);
+  return ReduceWide(lo, hi, m);
+}
+
+U256 ModInverse(const U256& a, const U256& m) {
+  if (a.IsZero()) return U256();
+  // Binary extended GCD maintaining u*a == x (mod m), v*a == y (mod m).
+  U256 x = a, y = m;
+  U256 u(1), v(0);
+  while (!x.IsZero()) {
+    while (!x.IsOdd()) {
+      x = Shr1(x);
+      if (u.IsOdd()) {
+        uint64_t carry = Add(u, m, &u);
+        u = Shr1(u, carry);
+      } else {
+        u = Shr1(u);
+      }
+    }
+    while (!y.IsOdd()) {
+      y = Shr1(y);
+      if (v.IsOdd()) {
+        uint64_t carry = Add(v, m, &v);
+        v = Shr1(v, carry);
+      } else {
+        v = Shr1(v);
+      }
+    }
+    if (Compare(x, y) >= 0) {
+      Sub(x, y, &x);
+      u = SubMod(u, v, m);
+    } else {
+      Sub(y, x, &y);
+      v = SubMod(v, u, m);
+    }
+  }
+  // gcd is in y; for prime m and a != 0 it is 1 and v holds the inverse.
+  return v;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,75 @@
+#ifndef LEDGERDB_CRYPTO_U256_H_
+#define LEDGERDB_CRYPTO_U256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ledgerdb {
+
+/// 256-bit unsigned integer with 4 little-endian 64-bit limbs. This is the
+/// storage type for secp256k1 field elements and scalars. All arithmetic
+/// helpers here are generic (modulus-agnostic); the hot-path specialized
+/// reductions live in secp256k1.cc.
+struct U256 {
+  std::array<uint64_t, 4> limb{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(uint64_t l0, uint64_t l1, uint64_t l2, uint64_t l3)
+      : limb{l0, l1, l2, l3} {}
+
+  bool IsZero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+  bool IsOdd() const { return limb[0] & 1; }
+
+  bool operator==(const U256& o) const { return limb == o.limb; }
+  bool operator!=(const U256& o) const { return !(*this == o); }
+
+  /// Value of bit `i` (0 = least significant).
+  bool Bit(int i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+
+  /// Index of the highest set bit, or -1 if zero.
+  int BitLength() const;
+
+  /// Big-endian 32-byte conversions (the wire format for keys/signatures).
+  static U256 FromBigEndian(const uint8_t* data);
+  void ToBigEndian(uint8_t* out) const;
+  Bytes ToBytes() const;
+};
+
+/// Returns -1/0/1 for a<b, a==b, a>b.
+int Compare(const U256& a, const U256& b);
+
+/// out = a + b; returns the carry-out bit.
+uint64_t Add(const U256& a, const U256& b, U256* out);
+
+/// out = a - b; returns the borrow-out bit (1 if a < b).
+uint64_t Sub(const U256& a, const U256& b, U256* out);
+
+/// Right shift by one bit, shifting `carry_in` into the top bit.
+U256 Shr1(const U256& a, uint64_t carry_in = 0);
+
+/// Full 256x256 -> 512-bit product. `lo` receives the low 256 bits and `hi`
+/// the high 256 bits.
+void Mul(const U256& a, const U256& b, U256* lo, U256* hi);
+
+/// (hi:lo) mod m via bitwise reduction. Correct for any m with the top bit
+/// set (both secp256k1's p and n qualify). O(512) word ops — used only on
+/// scalar (mod n) paths, not the field hot path.
+U256 ReduceWide(const U256& lo, const U256& hi, const U256& m);
+
+/// Modular helpers for odd modulus m. Inputs must already be < m.
+U256 AddMod(const U256& a, const U256& b, const U256& m);
+U256 SubMod(const U256& a, const U256& b, const U256& m);
+U256 MulMod(const U256& a, const U256& b, const U256& m);
+
+/// Modular inverse via the binary extended-GCD; requires odd m and
+/// gcd(a, m) == 1. Returns zero if a is zero.
+U256 ModInverse(const U256& a, const U256& m);
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_CRYPTO_U256_H_

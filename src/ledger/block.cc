@@ -1,0 +1,39 @@
+#include "ledger/block.h"
+
+namespace ledgerdb {
+
+Bytes BlockHeader::Serialize() const {
+  Bytes out;
+  PutU64(&out, height);
+  PutU64(&out, first_jsn);
+  PutU32(&out, journal_count);
+  PutU64(&out, static_cast<uint64_t>(timestamp));
+  for (const Digest* d :
+       {&prev_block_hash, &tx_root, &fam_root, &clue_root, &state_root}) {
+    out.insert(out.end(), d->bytes.begin(), d->bytes.end());
+  }
+  return out;
+}
+
+bool BlockHeader::Deserialize(const Bytes& raw, BlockHeader* out) {
+  size_t pos = 0;
+  if (!GetU64(raw, &pos, &out->height)) return false;
+  if (!GetU64(raw, &pos, &out->first_jsn)) return false;
+  if (!GetU32(raw, &pos, &out->journal_count)) return false;
+  uint64_t ts = 0;
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->timestamp = static_cast<Timestamp>(ts);
+  for (Digest* d :
+       {&out->prev_block_hash, &out->tx_root, &out->fam_root, &out->clue_root,
+        &out->state_root}) {
+    if (pos + 32 > raw.size()) return false;
+    std::copy(raw.begin() + static_cast<long>(pos),
+              raw.begin() + static_cast<long>(pos) + 32, d->bytes.begin());
+    pos += 32;
+  }
+  return pos == raw.size();
+}
+
+Digest BlockHeader::Hash() const { return Sha256::Hash(Serialize()); }
+
+}  // namespace ledgerdb

@@ -1,0 +1,160 @@
+#include "ledger/journal.h"
+
+namespace ledgerdb {
+
+Digest ClientTransaction::RequestHash() const {
+  Bytes buf = StringToBytes("request");
+  PutLengthPrefixed(&buf, StringToBytes(ledger_uri));
+  buf.push_back(static_cast<uint8_t>(type));
+  PutU32(&buf, static_cast<uint32_t>(clues.size()));
+  for (const std::string& clue : clues) {
+    PutLengthPrefixed(&buf, StringToBytes(clue));
+  }
+  PutLengthPrefixed(&buf, payload);
+  PutU64(&buf, nonce);
+  PutU64(&buf, static_cast<uint64_t>(client_ts));
+  if (client_key.valid()) {
+    Bytes key = client_key.Serialize();
+    buf.insert(buf.end(), key.begin(), key.end());
+  }
+  return Sha256::Hash(buf);
+}
+
+void ClientTransaction::Sign(const KeyPair& key) {
+  client_key = key.public_key();
+  client_sig = key.Sign(RequestHash());
+}
+
+bool ClientTransaction::VerifyClientSignature() const {
+  return VerifySignature(client_key, RequestHash(), client_sig);
+}
+
+Digest Journal::TxHash() const {
+  Bytes buf = StringToBytes("journal");
+  PutU64(&buf, jsn);
+  buf.push_back(static_cast<uint8_t>(type));
+  PutU64(&buf, static_cast<uint64_t>(server_ts));
+  PutU32(&buf, static_cast<uint32_t>(clues.size()));
+  for (const std::string& clue : clues) {
+    PutLengthPrefixed(&buf, StringToBytes(clue));
+  }
+  // Only the digest of the payload: occulting must not change the tx-hash
+  // (Protocol 2).
+  buf.insert(buf.end(), payload_digest.bytes.begin(), payload_digest.bytes.end());
+  buf.insert(buf.end(), request_hash.bytes.begin(), request_hash.bytes.end());
+  if (client_key.valid()) {
+    Bytes key = client_key.Serialize();
+    buf.insert(buf.end(), key.begin(), key.end());
+    Bytes sig = client_sig.Serialize();
+    buf.insert(buf.end(), sig.begin(), sig.end());
+  }
+  return Sha256::Hash(buf);
+}
+
+Digest Journal::EndorsementHash() const {
+  Bytes buf = StringToBytes("endorse");
+  Digest tx = TxHash();
+  buf.insert(buf.end(), tx.bytes.begin(), tx.bytes.end());
+  return Sha256::Hash(buf);
+}
+
+Bytes Journal::Serialize() const {
+  Bytes out;
+  PutU64(&out, jsn);
+  out.push_back(static_cast<uint8_t>(type));
+  PutU64(&out, static_cast<uint64_t>(server_ts));
+  PutU32(&out, static_cast<uint32_t>(clues.size()));
+  for (const std::string& clue : clues) {
+    PutLengthPrefixed(&out, StringToBytes(clue));
+  }
+  PutLengthPrefixed(&out, payload);
+  out.insert(out.end(), payload_digest.bytes.begin(), payload_digest.bytes.end());
+  out.push_back(occulted ? 1 : 0);
+  out.insert(out.end(), request_hash.bytes.begin(), request_hash.bytes.end());
+  out.push_back(client_key.valid() ? 1 : 0);
+  if (client_key.valid()) {
+    Bytes key = client_key.Serialize();
+    out.insert(out.end(), key.begin(), key.end());
+    Bytes sig = client_sig.Serialize();
+    out.insert(out.end(), sig.begin(), sig.end());
+  }
+  PutU32(&out, static_cast<uint32_t>(endorsements.size()));
+  for (const Endorsement& e : endorsements) {
+    Bytes key = e.key.Serialize();
+    out.insert(out.end(), key.begin(), key.end());
+    Bytes sig = e.signature.Serialize();
+    out.insert(out.end(), sig.begin(), sig.end());
+  }
+  return out;
+}
+
+namespace {
+
+bool ReadDigest(const Bytes& raw, size_t* pos, Digest* out) {
+  if (*pos + 32 > raw.size()) return false;
+  std::copy(raw.begin() + static_cast<long>(*pos),
+            raw.begin() + static_cast<long>(*pos) + 32, out->bytes.begin());
+  *pos += 32;
+  return true;
+}
+
+bool ReadKeySig(const Bytes& raw, size_t* pos, PublicKey* key, Signature* sig) {
+  if (*pos + 128 > raw.size()) return false;
+  Bytes key_raw(raw.begin() + static_cast<long>(*pos),
+                raw.begin() + static_cast<long>(*pos) + 64);
+  if (!PublicKey::Deserialize(key_raw, key)) return false;
+  *pos += 64;
+  Bytes sig_raw(raw.begin() + static_cast<long>(*pos),
+                raw.begin() + static_cast<long>(*pos) + 64);
+  if (!Signature::Deserialize(sig_raw, sig)) return false;
+  *pos += 64;
+  return true;
+}
+
+}  // namespace
+
+bool Journal::Deserialize(const Bytes& raw, Journal* out) {
+  size_t pos = 0;
+  if (!GetU64(raw, &pos, &out->jsn)) return false;
+  if (pos >= raw.size()) return false;
+  out->type = static_cast<JournalType>(raw[pos++]);
+  uint64_t ts = 0;
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->server_ts = static_cast<Timestamp>(ts);
+  uint32_t clue_count = 0;
+  if (!GetU32(raw, &pos, &clue_count)) return false;
+  if (clue_count > 1024) return false;
+  out->clues.clear();
+  for (uint32_t i = 0; i < clue_count; ++i) {
+    Bytes clue;
+    if (!GetLengthPrefixed(raw, &pos, &clue)) return false;
+    out->clues.emplace_back(clue.begin(), clue.end());
+  }
+  if (!GetLengthPrefixed(raw, &pos, &out->payload)) return false;
+  if (!ReadDigest(raw, &pos, &out->payload_digest)) return false;
+  if (pos >= raw.size()) return false;
+  // Canonical booleans only: any other byte is a forgery/corruption.
+  if (raw[pos] > 1) return false;
+  out->occulted = raw[pos++] == 1;
+  if (!ReadDigest(raw, &pos, &out->request_hash)) return false;
+  if (pos >= raw.size()) return false;
+  if (raw[pos] > 1) return false;
+  bool has_client = raw[pos++] == 1;
+  if (has_client) {
+    if (!ReadKeySig(raw, &pos, &out->client_key, &out->client_sig)) return false;
+  } else {
+    out->client_key = PublicKey();
+  }
+  uint32_t endorsement_count = 0;
+  if (!GetU32(raw, &pos, &endorsement_count)) return false;
+  if (endorsement_count > 1024) return false;
+  out->endorsements.clear();
+  for (uint32_t i = 0; i < endorsement_count; ++i) {
+    Endorsement e;
+    if (!ReadKeySig(raw, &pos, &e.key, &e.signature)) return false;
+    out->endorsements.push_back(std::move(e));
+  }
+  return pos == raw.size();
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,86 @@
+#ifndef LEDGERDB_LEDGER_JOURNAL_H_
+#define LEDGERDB_LEDGER_JOURNAL_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hash.h"
+
+namespace ledgerdb {
+
+/// Journal kinds. Purge, occult and time journals are first-class entries
+/// on the ledger so the audit procedure (§V) can locate and validate them.
+enum class JournalType : uint8_t {
+  kGenesis = 0,
+  kNormal = 1,
+  kPurge = 2,
+  kOccult = 3,
+  kTime = 4,
+  kPseudoGenesis = 5,
+};
+
+/// A client-side transaction: payload plus metadata, signed with the
+/// client's secret key before submission (π_c in Figure 1).
+struct ClientTransaction {
+  std::string ledger_uri;
+  JournalType type = JournalType::kNormal;
+  std::vector<std::string> clues;
+  Bytes payload;
+  uint64_t nonce = 0;
+  Timestamp client_ts = 0;
+  PublicKey client_key;
+  Signature client_sig;
+
+  /// The request-hash: digest over the entire transaction minus the
+  /// signature itself. This is what the client signs.
+  Digest RequestHash() const;
+
+  /// Signs the request-hash with `key` and attaches the public key.
+  void Sign(const KeyPair& key);
+
+  /// Checks π_c against the embedded public key.
+  bool VerifyClientSignature() const;
+};
+
+/// An additional endorsement on a journal (multi-signature prerequisite
+/// for purge/occult, or extra co-signers on a normal journal).
+struct Endorsement {
+  PublicKey key;
+  Signature signature;
+};
+
+/// A committed journal entry. `payload_digest` is always retained; the
+/// payload itself may be erased by an occult operation, in which case
+/// Protocol 2 applies: verification uses the retained digest.
+struct Journal {
+  uint64_t jsn = 0;
+  JournalType type = JournalType::kNormal;
+  Timestamp server_ts = 0;
+  std::vector<std::string> clues;
+  Bytes payload;
+  Digest payload_digest;
+  bool occulted = false;
+  Digest request_hash;
+  PublicKey client_key;
+  Signature client_sig;
+  std::vector<Endorsement> endorsements;
+
+  /// The tx-hash: server-side digest of the journal. Deliberately excludes
+  /// the raw payload (only `payload_digest` enters), so occulting a journal
+  /// does not change its hash and the ledger stays verifiable.
+  Digest TxHash() const;
+
+  /// Signed-message digest for endorsements over this journal.
+  Digest EndorsementHash() const;
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, Journal* out);
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_LEDGER_JOURNAL_H_

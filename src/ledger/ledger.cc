@@ -1,0 +1,793 @@
+#include "ledger/ledger.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace ledgerdb {
+
+namespace {
+
+constexpr uint64_t kUnsealedBlock = ~0ULL;
+
+// Purge tombstone frame: retains exactly what the fam tree and CM-Tree
+// need to survive recovery — the tx-hash, the payload digest, and the clue
+// labels — never the payload.
+constexpr uint8_t kTombstoneTag = 0xff;
+
+Bytes EncodeTombstone(const Journal& journal) {
+  Bytes out;
+  out.push_back(kTombstoneTag);
+  Digest tx_hash = journal.TxHash();
+  out.insert(out.end(), tx_hash.bytes.begin(), tx_hash.bytes.end());
+  out.insert(out.end(), journal.payload_digest.bytes.begin(),
+             journal.payload_digest.bytes.end());
+  PutU32(&out, static_cast<uint32_t>(journal.clues.size()));
+  for (const std::string& clue : journal.clues) {
+    PutLengthPrefixed(&out, StringToBytes(clue));
+  }
+  return out;
+}
+
+struct Tombstone {
+  Digest tx_hash;
+  Digest payload_digest;
+  std::vector<std::string> clues;
+};
+
+bool DecodeTombstone(const Bytes& raw, Tombstone* out) {
+  if (raw.empty() || raw[0] != kTombstoneTag || raw.size() < 69) return false;
+  std::copy(raw.begin() + 1, raw.begin() + 33, out->tx_hash.bytes.begin());
+  std::copy(raw.begin() + 33, raw.begin() + 65,
+            out->payload_digest.bytes.begin());
+  size_t pos = 65;
+  uint32_t count = 0;
+  if (!GetU32(raw, &pos, &count) || count > 1024) return false;
+  out->clues.clear();
+  for (uint32_t i = 0; i < count; ++i) {
+    Bytes clue;
+    if (!GetLengthPrefixed(raw, &pos, &clue)) return false;
+    out->clues.emplace_back(clue.begin(), clue.end());
+  }
+  return pos == raw.size();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// TimeEvidence serialization
+// ---------------------------------------------------------------------------
+
+Bytes TimeEvidence::Serialize() const {
+  Bytes out;
+  out.push_back(static_cast<uint8_t>(mode));
+  out.insert(out.end(), ledger_digest.bytes.begin(), ledger_digest.bytes.end());
+  PutU64(&out, covered_jsn_count);
+  Bytes att = attestation.Serialize();
+  out.insert(out.end(), att.begin(), att.end());
+  PutU64(&out, tledger_index);
+  PutU64(&out, tledger_receipt.index);
+  PutU64(&out, static_cast<uint64_t>(tledger_receipt.client_ts));
+  PutU64(&out, static_cast<uint64_t>(tledger_receipt.tledger_ts));
+  Bytes sig = tledger_receipt.lsp_signature.Serialize();
+  out.insert(out.end(), sig.begin(), sig.end());
+  return out;
+}
+
+bool TimeEvidence::Deserialize(const Bytes& raw, TimeEvidence* out) {
+  size_t expected = 1 + 32 + 8 + (32 + 8 + 64) + 8 + 8 + 8 + 8 + 64;
+  if (raw.size() != expected) return false;
+  size_t pos = 0;
+  out->mode = static_cast<TimeNotaryMode>(raw[pos++]);
+  std::copy(raw.begin() + 1, raw.begin() + 33, out->ledger_digest.bytes.begin());
+  pos += 32;
+  if (!GetU64(raw, &pos, &out->covered_jsn_count)) return false;
+  Bytes att(raw.begin() + static_cast<long>(pos),
+            raw.begin() + static_cast<long>(pos) + 104);
+  if (!TimeAttestation::Deserialize(att, &out->attestation)) return false;
+  pos += 104;
+  if (!GetU64(raw, &pos, &out->tledger_index)) return false;
+  if (!GetU64(raw, &pos, &out->tledger_receipt.index)) return false;
+  uint64_t ts = 0;
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->tledger_receipt.client_ts = static_cast<Timestamp>(ts);
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->tledger_receipt.tledger_ts = static_cast<Timestamp>(ts);
+  Bytes sig(raw.begin() + static_cast<long>(pos), raw.end());
+  return Signature::Deserialize(sig, &out->tledger_receipt.lsp_signature);
+}
+
+// ---------------------------------------------------------------------------
+// Ledger
+// ---------------------------------------------------------------------------
+
+Ledger::Ledger(std::string uri, const LedgerOptions& options, Clock* clock,
+               KeyPair lsp_key, const MemberRegistry* members,
+               LedgerStorage storage)
+    : uri_(std::move(uri)),
+      options_(options),
+      clock_(clock),
+      lsp_key_(std::move(lsp_key)),
+      members_(members),
+      storage_(storage),
+      fam_(options.fractal_height),
+      cmtree_(&cmtree_store_, options.mpt_cache_depth) {
+  // Genesis journal, authored by the LSP.
+  AppendInternal(JournalType::kGenesis, {},
+                 StringToBytes("genesis:" + uri_), {});
+}
+
+Ledger::Ledger(RecoveryTag, std::string uri, const LedgerOptions& options,
+               Clock* clock, KeyPair lsp_key, const MemberRegistry* members,
+               LedgerStorage storage)
+    : uri_(std::move(uri)),
+      options_(options),
+      clock_(clock),
+      lsp_key_(std::move(lsp_key)),
+      members_(members),
+      storage_(storage),
+      recovering_(true),
+      fam_(options.fractal_height),
+      cmtree_(&cmtree_store_, options.mpt_cache_depth) {}
+
+uint64_t Ledger::CommitJournal(Journal journal, bool persist) {
+  uint64_t jsn = journals_.size();
+  journal.jsn = jsn;
+  Digest tx_hash = journal.TxHash();
+
+  fam_.Append(tx_hash);
+  for (const std::string& clue : journal.clues) {
+    cmtree_.Append(clue, tx_hash, nullptr);
+    clue_index_.Append(clue, jsn);
+    world_state_.Put(clue, journal.payload_digest.ToBytes());
+  }
+
+  if (persist && storage_.enabled()) {
+    uint64_t index = 0;
+    storage_.journals->Append(Slice(journal.Serialize()), &index);
+  }
+  journals_.push_back(std::move(journal));
+  occult_bitmap_.Resize(jsn + 1);
+  jsn_to_block_.push_back(kUnsealedBlock);
+  if (!recovering_) {
+    pending_block_.push_back(jsn);
+    if (pending_block_.size() >= options_.block_capacity) SealBlock();
+  }
+  return jsn;
+}
+
+uint64_t Ledger::AppendInternal(JournalType type,
+                                const std::vector<std::string>& clues,
+                                Bytes payload,
+                                std::vector<Endorsement> endorsements) {
+  ClientTransaction tx;
+  tx.ledger_uri = uri_;
+  tx.type = type;
+  tx.clues = clues;
+  tx.payload = std::move(payload);
+  tx.nonce = journals_.size();
+  tx.client_ts = clock_->Now();
+  tx.Sign(lsp_key_);
+
+  Journal journal;
+  journal.type = type;
+  journal.server_ts = clock_->Now();
+  journal.clues = clues;
+  journal.payload = tx.payload;
+  journal.payload_digest = Sha256::Hash(tx.payload);
+  journal.request_hash = tx.RequestHash();
+  journal.client_key = tx.client_key;
+  journal.client_sig = tx.client_sig;
+  journal.endorsements = std::move(endorsements);
+  return CommitJournal(std::move(journal));
+}
+
+Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
+  if (tx.ledger_uri != uri_) {
+    return Status::InvalidArgument("transaction addressed to another ledger");
+  }
+  if (tx.type != JournalType::kNormal) {
+    return Status::PermissionDenied(
+        "clients may only append normal journals; mutations use "
+        "Purge/Occult APIs");
+  }
+  // who (π_c): reject unsigned or mis-signed transactions at the door
+  // (threat-A: tamper-on-receipt becomes client-detectable).
+  if (!tx.VerifyClientSignature()) {
+    return Status::VerificationFailed("client signature invalid");
+  }
+  if (members_ != nullptr && !members_->IsRegistered(tx.client_key)) {
+    return Status::PermissionDenied("client is not a registered member");
+  }
+
+  Journal journal;
+  journal.type = JournalType::kNormal;
+  journal.server_ts = clock_->Now();
+  journal.clues = tx.clues;
+  journal.payload = tx.payload;
+  journal.payload_digest = Sha256::Hash(tx.payload);
+  journal.request_hash = tx.RequestHash();
+  journal.client_key = tx.client_key;
+  journal.client_sig = tx.client_sig;
+  uint64_t assigned = CommitJournal(std::move(journal));
+  if (jsn != nullptr) *jsn = assigned;
+  return Status::OK();
+}
+
+void Ledger::SealBlock() {
+  if (pending_block_.empty()) return;
+  ShrubsAccumulator tx_tree;
+  for (uint64_t jsn : pending_block_) {
+    tx_tree.Append(journals_[jsn]->TxHash());
+  }
+  BlockHeader header;
+  header.height = blocks_.size();
+  header.first_jsn = pending_block_.front();
+  header.journal_count = static_cast<uint32_t>(pending_block_.size());
+  header.timestamp = clock_->Now();
+  header.prev_block_hash = blocks_.empty() ? Digest() : blocks_.back().Hash();
+  header.tx_root = tx_tree.Root();
+  header.fam_root = fam_.Root();
+  header.clue_root = cmtree_.Root();
+  header.state_root = world_state_.Root();
+  for (uint64_t jsn : pending_block_) jsn_to_block_[jsn] = header.height;
+  if (storage_.enabled()) {
+    uint64_t index = 0;
+    storage_.blocks->Append(Slice(header.Serialize()), &index);
+  }
+  blocks_.push_back(header);
+  pending_block_.clear();
+}
+
+Status Ledger::GetReceipt(uint64_t jsn, Receipt* receipt) {
+  if (jsn >= journals_.size()) return Status::NotFound("no such journal");
+  if (jsn < purged_boundary_ || !journals_[jsn].has_value()) {
+    return Status::NotFound("journal purged");
+  }
+  if (jsn_to_block_[jsn] == kUnsealedBlock) SealBlock();
+  const Journal& journal = *journals_[jsn];
+  receipt->jsn = jsn;
+  receipt->request_hash = journal.request_hash;
+  receipt->tx_hash = journal.TxHash();
+  receipt->block_hash = blocks_[jsn_to_block_[jsn]].Hash();
+  receipt->timestamp = clock_->Now();
+  receipt->lsp_sig = lsp_key_.Sign(receipt->MessageHash());
+  return Status::OK();
+}
+
+Status Ledger::GetJournal(uint64_t jsn, Journal* out) const {
+  if (jsn >= journals_.size()) return Status::NotFound("no such journal");
+  if (!journals_[jsn].has_value()) return Status::NotFound("journal purged");
+  *out = *journals_[jsn];
+  if (occult_bitmap_.Get(jsn)) {
+    // Protocol 2: the payload is unretrievable; the retained digest stands
+    // in for the original journal during verification.
+    out->occulted = true;
+    out->payload.clear();
+  }
+  return Status::OK();
+}
+
+Status Ledger::ListTx(const std::string& clue,
+                      std::vector<uint64_t>* jsns) const {
+  const std::vector<uint64_t>* postings = clue_index_.Find(clue);
+  if (postings == nullptr) return Status::NotFound("unknown clue");
+  *jsns = *postings;
+  return Status::OK();
+}
+
+Status Ledger::GetProof(uint64_t jsn, FamProof* proof) const {
+  return fam_.GetProof(jsn, proof);
+}
+
+Status Ledger::GetProofAnchored(uint64_t jsn, const TrustedAnchor& anchor,
+                                FamProof* proof) const {
+  return fam_.GetProofAnchored(jsn, anchor, proof);
+}
+
+Status Ledger::MakeAnchor(TrustedAnchor* anchor) const {
+  return fam_.MakeAnchor(anchor);
+}
+
+bool Ledger::VerifyJournalProof(const Journal& journal, const FamProof& proof,
+                                const Digest& trusted_fam_root) {
+  return FamAccumulator::VerifyProof(journal.TxHash(), proof,
+                                     trusted_fam_root);
+}
+
+Status Ledger::GetClueProof(const std::string& clue, uint64_t begin,
+                            uint64_t end, ClueProof* proof) const {
+  return cmtree_.GetClueProof(clue, begin, end, proof);
+}
+
+Status Ledger::AnchorTime(uint64_t* time_jsn) {
+  if (direct_tsa_ == nullptr && tledger_ == nullptr && tsa_pool_ == nullptr) {
+    return Status::InvalidArgument("no time notary attached");
+  }
+  TimeEvidence evidence;
+  evidence.ledger_digest = FamRoot();
+  evidence.covered_jsn_count = NumJournals();
+  if (tledger_ != nullptr) {
+    evidence.mode = TimeNotaryMode::kTLedger;
+    TLedgerReceipt receipt;
+    LEDGERDB_RETURN_IF_ERROR(
+        tledger_->Submit(evidence.ledger_digest, clock_->Now(), &receipt));
+    evidence.tledger_index = receipt.index;
+    evidence.tledger_receipt = receipt;
+  } else if (tsa_pool_ != nullptr) {
+    evidence.mode = TimeNotaryMode::kDirectTsa;
+    evidence.attestation = tsa_pool_->Endorse(evidence.ledger_digest);
+  } else {
+    evidence.mode = TimeNotaryMode::kDirectTsa;
+    // Protocol 3: TSA endorses, and the signed pair is anchored back as a
+    // time journal below.
+    evidence.attestation = direct_tsa_->Endorse(evidence.ledger_digest);
+  }
+  uint64_t jsn = AppendInternal(JournalType::kTime, {}, evidence.Serialize(), {});
+  time_journals_.push_back({jsn, evidence});
+  if (time_jsn != nullptr) *time_jsn = jsn;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Purge
+// ---------------------------------------------------------------------------
+
+Digest Ledger::PurgeRequestHash(const std::string& uri,
+                                uint64_t purge_before_jsn) {
+  Bytes buf = StringToBytes("purge-request");
+  PutLengthPrefixed(&buf, StringToBytes(uri));
+  PutU64(&buf, purge_before_jsn);
+  return Sha256::Hash(buf);
+}
+
+Digest Ledger::OccultRequestHash(const std::string& uri, uint64_t jsn) {
+  Bytes buf = StringToBytes("occult-request");
+  PutLengthPrefixed(&buf, StringToBytes(uri));
+  PutU64(&buf, jsn);
+  return Sha256::Hash(buf);
+}
+
+Status Ledger::Purge(uint64_t purge_before_jsn,
+                     const std::vector<Endorsement>& endorsements,
+                     const std::vector<uint64_t>& survivors,
+                     uint64_t* purge_jsn) {
+  if (purge_before_jsn <= purged_boundary_) {
+    return Status::InvalidArgument("purge point before current boundary");
+  }
+  if (purge_before_jsn > journals_.size()) {
+    return Status::OutOfRange("purge point beyond ledger size");
+  }
+
+  // Prerequisite 1: multi-signatures from a DBA and every member owning a
+  // journal before the purge point.
+  Digest request = PurgeRequestHash(uri_, purge_before_jsn);
+  std::unordered_set<std::string> signers;
+  bool dba_signed = false;
+  for (const Endorsement& e : endorsements) {
+    if (!VerifySignature(e.key, request, e.signature)) {
+      return Status::VerificationFailed("invalid purge endorsement signature");
+    }
+    signers.insert(e.key.Id().ToHex());
+    if (members_ != nullptr && members_->HasRole(e.key, Role::kDba)) {
+      dba_signed = true;
+    }
+  }
+  if (members_ != nullptr && !dba_signed) {
+    return Status::PermissionDenied("purge requires a DBA signature");
+  }
+  for (uint64_t jsn = purged_boundary_; jsn < purge_before_jsn; ++jsn) {
+    if (!journals_[jsn].has_value()) continue;
+    const Journal& journal = *journals_[jsn];
+    if (!journal.client_key.valid()) continue;
+    if (journal.client_key == lsp_key_.public_key()) continue;  // LSP-authored
+    if (signers.count(journal.client_key.Id().ToHex()) == 0) {
+      return Status::PermissionDenied(
+          "purge requires signatures from all affected members");
+    }
+  }
+
+  // Snapshot states at the purge point (clue and membership status live on
+  // in the pseudo genesis).
+  Bytes snapshot = StringToBytes("pseudo-genesis");
+  PutU64(&snapshot, purge_before_jsn);
+  Digest fam_root = fam_.Root();
+  Digest clue_root = cmtree_.Root();
+  Digest state_root = world_state_.Root();
+  for (const Digest* d : {&fam_root, &clue_root, &state_root}) {
+    snapshot.insert(snapshot.end(), d->bytes.begin(), d->bytes.end());
+  }
+  uint64_t pg_jsn = AppendInternal(JournalType::kPseudoGenesis, {},
+                                   std::move(snapshot), {});
+
+  // The purge journal, doubly linked with the pseudo genesis for mutual
+  // proving and fast locating.
+  Bytes purge_payload = StringToBytes("purge");
+  PutU64(&purge_payload, purge_before_jsn);
+  PutU64(&purge_payload, pg_jsn);
+  uint64_t pj = AppendInternal(JournalType::kPurge, {},
+                               std::move(purge_payload), endorsements);
+
+  // Copy milestone journals into the survival stream before erasure.
+  for (uint64_t jsn : survivors) {
+    if (jsn < purged_boundary_ || jsn >= purge_before_jsn ||
+        !journals_[jsn].has_value()) {
+      return Status::InvalidArgument("survivor outside purge range");
+    }
+    uint64_t index;
+    survival_stream_.Append(Slice(journals_[jsn]->Serialize()), &index);
+  }
+
+  // Erase the journal entries. The fam tree is retained in full: only
+  // digests, no raw payloads, so its space cost is acceptable and every
+  // surviving proof still verifies. On disk, each record is replaced by a
+  // digest-only tombstone.
+  for (uint64_t jsn = purged_boundary_; jsn < purge_before_jsn; ++jsn) {
+    if (journals_[jsn].has_value()) PersistTombstone(jsn, *journals_[jsn]);
+    journals_[jsn].reset();
+  }
+  purged_boundary_ = purge_before_jsn;
+  pseudo_genesis_jsns_.push_back(pg_jsn);
+  if (options_.prune_fam_on_purge && purge_before_jsn > 0) {
+    // Drop fam interiors for epochs wholly before the purge point; the
+    // epoch containing the boundary stays intact.
+    fam_.PruneSealedEpochsBefore(fam_.EpochOfJournal(purge_before_jsn - 1));
+  }
+  if (purge_jsn != nullptr) *purge_jsn = pj;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Occult
+// ---------------------------------------------------------------------------
+
+Status Ledger::Occult(uint64_t jsn, const std::vector<Endorsement>& endorsements,
+                      uint64_t* occult_jsn) {
+  if (jsn >= journals_.size() || !journals_[jsn].has_value()) {
+    return Status::NotFound("no such journal");
+  }
+  if (occult_bitmap_.Get(jsn)) return Status::AlreadyExists("already occulted");
+  if (journals_[jsn]->type != JournalType::kNormal) {
+    return Status::InvalidArgument("only normal journals can be occulted");
+  }
+
+  // Prerequisite 2: DBA + regulator multi-signatures.
+  Digest request = OccultRequestHash(uri_, jsn);
+  bool dba_signed = false, regulator_signed = false;
+  for (const Endorsement& e : endorsements) {
+    if (!VerifySignature(e.key, request, e.signature)) {
+      return Status::VerificationFailed("invalid occult endorsement signature");
+    }
+    if (members_ != nullptr) {
+      if (members_->HasRole(e.key, Role::kDba)) dba_signed = true;
+      if (members_->HasRole(e.key, Role::kRegulator)) regulator_signed = true;
+    }
+  }
+  if (members_ != nullptr && (!dba_signed || !regulator_signed)) {
+    return Status::PermissionDenied(
+        "occult requires DBA and regulator signatures");
+  }
+
+  // Set the occult bit first (the journal is immediately unretrievable),
+  // then erase synchronously or defer to the reorganization utility.
+  occult_bitmap_.Set(jsn);
+  journals_[jsn]->occulted = true;
+  if (options_.sync_occult_erasure) {
+    ErasePayload(jsn);
+  } else {
+    PersistRewrite(jsn);  // flag flip reaches disk before the erasure does
+    pending_occult_.push_back(jsn);
+  }
+
+  Bytes payload = StringToBytes("occult");
+  PutU64(&payload, jsn);
+  uint64_t oj = AppendInternal(JournalType::kOccult, {}, std::move(payload),
+                               endorsements);
+  if (occult_jsn != nullptr) *occult_jsn = oj;
+  return Status::OK();
+}
+
+Digest Ledger::OccultClueRequestHash(const std::string& uri,
+                                     const std::string& clue) {
+  Bytes buf = StringToBytes("occult-clue-request");
+  PutLengthPrefixed(&buf, StringToBytes(uri));
+  PutLengthPrefixed(&buf, StringToBytes(clue));
+  return Sha256::Hash(buf);
+}
+
+Status Ledger::OccultByClue(const std::string& clue,
+                            const std::vector<Endorsement>& endorsements,
+                            size_t* occulted_count, uint64_t* occult_jsn) {
+  const std::vector<uint64_t>* postings = clue_index_.Find(clue);
+  if (postings == nullptr) return Status::NotFound("unknown clue");
+
+  // Prerequisite 2, at clue granularity.
+  Digest request = OccultClueRequestHash(uri_, clue);
+  bool dba_signed = false, regulator_signed = false;
+  for (const Endorsement& e : endorsements) {
+    if (!VerifySignature(e.key, request, e.signature)) {
+      return Status::VerificationFailed("invalid occult endorsement signature");
+    }
+    if (members_ != nullptr) {
+      if (members_->HasRole(e.key, Role::kDba)) dba_signed = true;
+      if (members_->HasRole(e.key, Role::kRegulator)) regulator_signed = true;
+    }
+  }
+  if (members_ != nullptr && (!dba_signed || !regulator_signed)) {
+    return Status::PermissionDenied(
+        "occult requires DBA and regulator signatures");
+  }
+
+  size_t count = 0;
+  for (uint64_t jsn : *postings) {
+    if (jsn < purged_boundary_ || !journals_[jsn].has_value()) continue;
+    if (occult_bitmap_.Get(jsn)) continue;
+    if (journals_[jsn]->type != JournalType::kNormal) continue;
+    occult_bitmap_.Set(jsn);
+    journals_[jsn]->occulted = true;
+    if (options_.sync_occult_erasure) {
+      ErasePayload(jsn);
+    } else {
+      PersistRewrite(jsn);
+      pending_occult_.push_back(jsn);
+    }
+    ++count;
+  }
+  if (occulted_count != nullptr) *occulted_count = count;
+
+  Bytes payload = StringToBytes("occult-clue");
+  PutLengthPrefixed(&payload, StringToBytes(clue));
+  PutU64(&payload, count);
+  uint64_t oj = AppendInternal(JournalType::kOccult, {}, std::move(payload),
+                               endorsements);
+  if (occult_jsn != nullptr) *occult_jsn = oj;
+  return Status::OK();
+}
+
+Status Ledger::ResolveClueRange(const std::string& clue, Timestamp from,
+                                Timestamp to, uint64_t* begin,
+                                uint64_t* end) const {
+  const std::vector<uint64_t>* postings = clue_index_.Find(clue);
+  if (postings == nullptr) return Status::NotFound("unknown clue");
+  const std::vector<uint64_t>& jsns = *postings;
+  uint64_t b = jsns.size(), e = 0;
+  for (uint64_t i = 0; i < jsns.size(); ++i) {
+    // Purged journals lost their timestamps; a range query across the
+    // purge boundary is not resolvable.
+    if (!journals_[jsns[i]].has_value()) continue;
+    Timestamp ts = journals_[jsns[i]]->server_ts;
+    if (ts >= from && ts < to) {
+      b = std::min(b, i);
+      e = std::max(e, i + 1);
+    }
+  }
+  if (b >= e) return Status::NotFound("no clue entries in time range");
+  *begin = b;
+  *end = e;
+  return Status::OK();
+}
+
+Status Ledger::VerifyJournal(uint64_t jsn, const Digest& claimed_tx_hash,
+                             VerifyLevel level, const Digest& trusted_root,
+                             bool* valid) const {
+  if (jsn >= journals_.size()) return Status::NotFound("no such journal");
+  if (level == VerifyLevel::kServer) {
+    // Server side: compare against the ledger's own record (skip proof
+    // materialization, §IV-C server variant).
+    if (!journals_[jsn].has_value()) {
+      return Status::NotFound("journal purged");
+    }
+    *valid = journals_[jsn]->TxHash() == claimed_tx_hash;
+    return Status::OK();
+  }
+  FamProof proof;
+  LEDGERDB_RETURN_IF_ERROR(fam_.GetProof(jsn, &proof));
+  *valid = FamAccumulator::VerifyProof(claimed_tx_hash, proof, trusted_root);
+  return Status::OK();
+}
+
+Status Ledger::VerifyClue(const std::string& clue,
+                          const std::vector<Digest>& txdata, uint64_t begin,
+                          uint64_t end, VerifyLevel level,
+                          const Digest& trusted_clue_root, bool* valid) const {
+  if (level == VerifyLevel::kServer) {
+    return cmtree_.VerifyClueServerSide(clue, txdata, begin, valid);
+  }
+  ClueProof proof;
+  LEDGERDB_RETURN_IF_ERROR(cmtree_.GetClueProof(clue, begin, end, &proof));
+  *valid = CmTree::VerifyClueProof(trusted_clue_root, txdata, proof);
+  return Status::OK();
+}
+
+void Ledger::ErasePayload(uint64_t jsn) {
+  if (journals_[jsn].has_value()) {
+    journals_[jsn]->payload.clear();
+    journals_[jsn]->payload.shrink_to_fit();
+    PersistRewrite(jsn);
+  }
+}
+
+void Ledger::PersistRewrite(uint64_t jsn) {
+  if (!storage_.enabled() || !journals_[jsn].has_value()) return;
+  // Rewrites only ever shrink (flag flips or payload erasure), so the
+  // in-place overwrite always fits the original frame.
+  storage_.journals->Overwrite(jsn, Slice(journals_[jsn]->Serialize()));
+}
+
+void Ledger::PersistTombstone(uint64_t jsn, const Journal& journal) {
+  if (!storage_.enabled()) return;
+  storage_.journals->Overwrite(jsn, Slice(EncodeTombstone(journal)));
+}
+
+size_t Ledger::ReorganizeOcculted() {
+  size_t erased = 0;
+  for (uint64_t jsn : pending_occult_) {
+    ErasePayload(jsn);
+    ++erased;
+  }
+  pending_occult_.clear();
+  return erased;
+}
+
+void Ledger::ApplyJournalEffects(const Journal& journal) {
+  switch (journal.type) {
+    case JournalType::kPurge: {
+      size_t pos = StringToBytes("purge").size();
+      uint64_t purge_before = 0;
+      if (GetU64(journal.payload, &pos, &purge_before) &&
+          purge_before > purged_boundary_) {
+        purged_boundary_ = purge_before;
+      }
+      break;
+    }
+    case JournalType::kOccult: {
+      // Single-journal form only: "occult" + u64. The by-clue form
+      // ("occult-clue" + ...) needs no replay here because each hidden
+      // journal's record was rewritten with its occult flag set.
+      size_t prefix = StringToBytes("occult").size();
+      if (journal.payload.size() == prefix + 8) {
+        size_t pos = prefix;
+        uint64_t target = 0;
+        if (GetU64(journal.payload, &pos, &target) &&
+            target < occult_bitmap_.size()) {
+          occult_bitmap_.Set(target);
+          if (journals_[target].has_value()) {
+            journals_[target]->occulted = true;
+          }
+        }
+      }
+      break;
+    }
+    case JournalType::kTime: {
+      TimeEvidence evidence;
+      if (TimeEvidence::Deserialize(journal.payload, &evidence)) {
+        time_journals_.push_back({journal.jsn, evidence});
+      }
+      break;
+    }
+    case JournalType::kPseudoGenesis:
+      pseudo_genesis_jsns_.push_back(journal.jsn);
+      break;
+    default:
+      break;
+  }
+}
+
+Status Ledger::Recover(std::string uri, const LedgerOptions& options,
+                       Clock* clock, KeyPair lsp_key,
+                       const MemberRegistry* members, LedgerStorage storage,
+                       std::unique_ptr<Ledger>* out) {
+  if (!storage.enabled()) {
+    return Status::InvalidArgument("recovery requires journal+block streams");
+  }
+  std::unique_ptr<Ledger> ledger(new Ledger(RecoveryTag{}, std::move(uri),
+                                            options, clock, std::move(lsp_key),
+                                            members, storage));
+
+  // Phase 1: replay the journal stream through the accumulators.
+  const uint64_t n = storage.journals->Count();
+  for (uint64_t i = 0; i < n; ++i) {
+    Bytes raw;
+    LEDGERDB_RETURN_IF_ERROR(storage.journals->Read(i, &raw));
+    Tombstone tombstone;
+    if (!raw.empty() && raw[0] == kTombstoneTag) {
+      if (!DecodeTombstone(raw, &tombstone)) {
+        return Status::Corruption("undecodable purge tombstone");
+      }
+      // Digest-only replay of a purged journal.
+      ledger->fam_.Append(tombstone.tx_hash);
+      for (const std::string& clue : tombstone.clues) {
+        ledger->cmtree_.Append(clue, tombstone.tx_hash, nullptr);
+        ledger->clue_index_.Append(clue, i);
+        ledger->world_state_.Put(clue, tombstone.payload_digest.ToBytes());
+      }
+      ledger->journals_.push_back(std::nullopt);
+      ledger->occult_bitmap_.Resize(i + 1);
+      ledger->jsn_to_block_.push_back(kUnsealedBlock);
+      continue;
+    }
+    Journal journal;
+    if (!Journal::Deserialize(raw, &journal)) {
+      return Status::Corruption("undecodable journal record at index " +
+                                std::to_string(i));
+    }
+    if (journal.jsn != i) {
+      return Status::Corruption("journal stream out of order");
+    }
+    // A present payload must still match its retained digest (occulted
+    // journals carry an empty payload and are exempt: the digest IS the
+    // record, per Protocol 2).
+    if (!journal.payload.empty() &&
+        !(Sha256::Hash(journal.payload) == journal.payload_digest)) {
+      return Status::Corruption("journal payload digest mismatch at jsn " +
+                                std::to_string(i));
+    }
+    uint64_t assigned = ledger->CommitJournal(journal, /*persist=*/false);
+    // Restore the occult bit from the rewritten record's flag (covers both
+    // the single-journal and by-clue occult forms).
+    if (ledger->journals_[assigned]->occulted) {
+      ledger->occult_bitmap_.Set(assigned);
+    }
+    ledger->ApplyJournalEffects(*ledger->journals_[assigned]);
+  }
+
+  // Phase 2: restore sealed blocks and cross-check them against the
+  // recovered accumulator state.
+  const uint64_t nb = storage.blocks->Count();
+  uint64_t covered = 0;
+  Digest prev_hash;
+  for (uint64_t h = 0; h < nb; ++h) {
+    Bytes raw;
+    LEDGERDB_RETURN_IF_ERROR(storage.blocks->Read(h, &raw));
+    BlockHeader header;
+    if (!BlockHeader::Deserialize(raw, &header)) {
+      return Status::Corruption("undecodable block header");
+    }
+    if (header.height != h || header.first_jsn != covered ||
+        !(header.prev_block_hash == prev_hash)) {
+      return Status::Corruption("block chain linkage broken");
+    }
+    if (header.first_jsn + header.journal_count > n) {
+      return Status::Corruption("block covers unknown journals");
+    }
+    Digest fam_at_block;
+    LEDGERDB_RETURN_IF_ERROR(ledger->fam_.RootAtJournalCount(
+        header.first_jsn + header.journal_count, &fam_at_block));
+    if (!(fam_at_block == header.fam_root)) {
+      return Status::Corruption("recovered fam root mismatch at block " +
+                                std::to_string(h));
+    }
+    for (uint64_t jsn = header.first_jsn;
+         jsn < header.first_jsn + header.journal_count; ++jsn) {
+      ledger->jsn_to_block_[jsn] = h;
+    }
+    covered = header.first_jsn + header.journal_count;
+    prev_hash = header.Hash();
+    ledger->blocks_.push_back(header);
+  }
+  for (uint64_t jsn = covered; jsn < n; ++jsn) {
+    ledger->pending_block_.push_back(jsn);
+  }
+
+  ledger->recovering_ = false;
+  *out = std::move(ledger);
+  return Status::OK();
+}
+
+Status Ledger::ReadSurvivor(uint64_t index, Journal* out) const {
+  Bytes raw;
+  LEDGERDB_RETURN_IF_ERROR(survival_stream_.Read(index, &raw));
+  if (!Journal::Deserialize(raw, out)) {
+    return Status::Corruption("undecodable survivor journal");
+  }
+  return Status::OK();
+}
+
+Status Ledger::LatestPseudoGenesis(uint64_t* jsn) const {
+  if (pseudo_genesis_jsns_.empty()) {
+    return Status::NotFound("ledger never purged");
+  }
+  *jsn = pseudo_genesis_jsns_.back();
+  return Status::OK();
+}
+
+}  // namespace ledgerdb

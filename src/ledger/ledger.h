@@ -1,0 +1,393 @@
+#ifndef LEDGERDB_LEDGER_LEDGER_H_
+#define LEDGERDB_LEDGER_LEDGER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "accum/fam.h"
+#include "cmtree/cm_tree.h"
+#include "common/clock.h"
+#include "common/status.h"
+#include "ledger/block.h"
+#include "ledger/journal.h"
+#include "ledger/members.h"
+#include "ledger/receipt.h"
+#include "ledger/world_state.h"
+#include "storage/bitmap_index.h"
+#include "storage/clue_skiplist.h"
+#include "storage/node_store.h"
+#include "storage/stream_store.h"
+#include "timestamp/t_ledger.h"
+#include "timestamp/tsa.h"
+
+namespace ledgerdb {
+
+/// Tuning knobs for a ledger instance.
+struct LedgerOptions {
+  /// fam fractal height δ (epoch capacity 2^δ). fam-15 is the paper's
+  /// "commonly used" setting.
+  int fractal_height = 15;
+  /// Journals per block (receipt commitment granularity).
+  uint32_t block_capacity = 64;
+  /// Occult erasure mode: synchronous erases the payload inside the occult
+  /// operation; asynchronous defers to ReorganizeOcculted() (§III-A3).
+  bool sync_occult_erasure = false;
+  /// MPT tier hint depth for CM-Tree1 ("top 6 layers cached").
+  int mpt_cache_depth = 6;
+  /// Purge fam-erasure option (§III-A2): when true, purging also drops the
+  /// interior fam nodes of epochs that lie entirely before the purge point
+  /// (proofs there become unavailable; the trusted anchor covers them).
+  /// When false the fam tree is retained in full — "its space consumption
+  /// is acceptable (we only need digest but not raw payload)".
+  bool prune_fam_on_purge = false;
+};
+
+/// How a time journal's evidence was obtained (§III-B).
+enum class TimeNotaryMode : uint8_t {
+  kDirectTsa = 0,  ///< Protocol 3 against the TSA directly
+  kTLedger = 1,    ///< Protocol 4 via the shared T-Ledger
+};
+
+/// The when-evidence carried by a time journal's payload.
+struct TimeEvidence {
+  TimeNotaryMode mode = TimeNotaryMode::kDirectTsa;
+  Digest ledger_digest;           ///< fam root that was pegged
+  uint64_t covered_jsn_count = 0; ///< journals committed by that root
+  /// Direct mode: the TSA attestation (complete evidence).
+  TimeAttestation attestation;
+  /// T-Ledger mode: the admission receipt; the TSA binding is fetched from
+  /// the public T-Ledger via GetTimeProof(tledger_index).
+  uint64_t tledger_index = 0;
+  TLedgerReceipt tledger_receipt;
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, TimeEvidence* out);
+};
+
+/// Per-ledger record of an anchored time journal (also discoverable by
+/// scanning journals of type kTime).
+struct TimeJournalInfo {
+  uint64_t jsn = 0;
+  TimeEvidence evidence;
+};
+
+/// Durable backing for a ledger: an append-only journal stream plus a
+/// block-header stream (the "stream file system" of §II-C). Both stores
+/// are owned by the caller and must outlive the ledger. When present,
+/// every committed journal and sealed block header is persisted, purge
+/// tombstones and occult erasures are applied in place, and
+/// Ledger::Recover can rebuild the full ledger state from the streams.
+struct LedgerStorage {
+  StreamStore* journals = nullptr;
+  StreamStore* blocks = nullptr;
+
+  bool enabled() const { return journals != nullptr && blocks != nullptr; }
+};
+
+/// The LedgerDB ledger: an auditable, tamper-evident journal store with
+/// native Dasein (what-when-who) verification.
+///
+///  * what  — every journal's tx-hash is accumulated in a fam tree
+///            (GetProof / VerifyJournalProof), and clue lineage lives in a
+///            CM-Tree (GetClueProof).
+///  * when  — AnchorTime() pegs the fam root to a TSA directly (Protocol 3)
+///            or through the shared T-Ledger (Protocol 4), recording a time
+///            journal.
+///  * who   — π_c client signatures are checked at append; π_s receipts are
+///            signed by the LSP; purge/occult carry multi-signatures.
+///
+/// Single-threaded by design (one ledger shard); shard externally for
+/// concurrency.
+class Ledger {
+ public:
+  Ledger(std::string uri, const LedgerOptions& options, Clock* clock,
+         KeyPair lsp_key, const MemberRegistry* members,
+         LedgerStorage storage = {});
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  /// Rebuilds a ledger from its persistent streams (crash recovery / cold
+  /// start). Replays every journal through the accumulators, restores
+  /// purge boundaries, occult bits, time journals and sealed blocks, and
+  /// cross-checks the recovered fam roots against every stored block
+  /// header — returning Corruption if the streams were tampered with.
+  static Status Recover(std::string uri, const LedgerOptions& options,
+                        Clock* clock, KeyPair lsp_key,
+                        const MemberRegistry* members, LedgerStorage storage,
+                        std::unique_ptr<Ledger>* out);
+
+  const std::string& uri() const { return uri_; }
+  const PublicKey& lsp_key() const { return lsp_key_.public_key(); }
+
+  // -------------------------------------------------------------------
+  // Write path
+  // -------------------------------------------------------------------
+
+  /// Appends a client transaction (Figure 1 journal-level commitment).
+  /// Validates membership and π_c, assigns a jsn, and threads the journal
+  /// through the fam tree, CM-Tree and world-state.
+  Status Append(const ClientTransaction& tx, uint64_t* jsn);
+
+  /// Seals the pending block (no-op when empty).
+  void SealBlock();
+
+  /// Issues the signed LSP receipt π_s for `jsn`; seals the containing
+  /// block first if needed (receipts commit at block granularity).
+  Status GetReceipt(uint64_t jsn, Receipt* receipt);
+
+  // -------------------------------------------------------------------
+  // Read path
+  // -------------------------------------------------------------------
+
+  /// Total journals ever appended (including purged positions).
+  uint64_t NumJournals() const { return journals_.size(); }
+
+  /// First jsn not erased by a purge (0 if never purged).
+  uint64_t PurgedBoundary() const { return purged_boundary_; }
+
+  /// Fetches a journal. Purged journals return NotFound; occulted journals
+  /// are returned with `occulted == true` and an empty payload (Protocol 2:
+  /// the retained digest still verifies).
+  Status GetJournal(uint64_t jsn, Journal* out) const;
+
+  /// All jsns recorded under `clue`, in append order (cSL index lookup).
+  Status ListTx(const std::string& clue, std::vector<uint64_t>* jsns) const;
+
+  /// Clue labels in [from, to), lexicographically ordered (cSL range
+  /// scan); pass "" and "\x7f" sentinels for a full listing.
+  std::vector<std::string> ListClues(const std::string& from,
+                                     const std::string& to) const;
+
+  const std::vector<BlockHeader>& blocks() const { return blocks_; }
+  const std::vector<TimeJournalInfo>& time_journals() const {
+    return time_journals_;
+  }
+
+  // -------------------------------------------------------------------
+  // what verification
+  // -------------------------------------------------------------------
+
+  Digest FamRoot() const { return fam_.Root(); }
+
+  /// Historical fam commitment after exactly `count` journals (audit use).
+  Status FamRootAtCount(uint64_t count, Digest* out) const {
+    return fam_.RootAtJournalCount(count, out);
+  }
+  Digest ClueRoot() const { return cmtree_.Root(); }
+  Digest StateRoot() const { return world_state_.Root(); }
+
+  /// fam existence proof for `jsn` against the current fam root.
+  Status GetProof(uint64_t jsn, FamProof* proof) const;
+
+  /// fam-aoa anchored proof (§III-A1 trusted anchors).
+  Status GetProofAnchored(uint64_t jsn, const TrustedAnchor& anchor,
+                          FamProof* proof) const;
+
+  /// Pins a trusted anchor at the last sealed fam epoch.
+  Status MakeAnchor(TrustedAnchor* anchor) const;
+
+  /// Client-side journal existence verification: binds the journal's
+  /// tx-hash through the fam proof to `trusted_fam_root`.
+  static bool VerifyJournalProof(const Journal& journal, const FamProof& proof,
+                                 const Digest& trusted_fam_root);
+
+  /// Clue-oriented lineage proof (§IV-C). `end == 0` means latest.
+  Status GetClueProof(const std::string& clue, uint64_t begin, uint64_t end,
+                      ClueProof* proof) const;
+
+  /// Resolves a clue's entry-index range from timestamp boundaries
+  /// (§IV-C: "verify within a range specified by version (or timestamp)
+  /// boundaries"). Entries with server_ts in [from, to) are selected.
+  Status ResolveClueRange(const std::string& clue, Timestamp from,
+                          Timestamp to, uint64_t* begin, uint64_t* end) const;
+
+  // -------------------------------------------------------------------
+  // Unified Verify API (the paper's
+  // Verify(lgid, CLUE, *{key, txdata, rho, root}, level) entry point)
+  // -------------------------------------------------------------------
+
+  enum class VerifyLevel : uint8_t {
+    kServer = 0,  ///< LSP-trusted fast path: validated against live trees
+    kClient = 1,  ///< distrusted LSP: full proof materialization + check
+  };
+
+  /// Journal existence verification at either trust level. At kClient the
+  /// proof is built and independently re-verified against `trusted_root`
+  /// (pass the fam root obtained out-of-band); at kServer the ledger
+  /// checks its own accumulator directly.
+  Status VerifyJournal(uint64_t jsn, const Digest& claimed_tx_hash,
+                       VerifyLevel level, const Digest& trusted_root,
+                       bool* valid) const;
+
+  /// Clue verification at either trust level over entries [begin, end)
+  /// (`end == 0` = latest). `txdata` are the claimed journal tx-hashes.
+  Status VerifyClue(const std::string& clue,
+                    const std::vector<Digest>& txdata, uint64_t begin,
+                    uint64_t end, VerifyLevel level,
+                    const Digest& trusted_clue_root, bool* valid) const;
+
+  /// World-state access (single-layer state accumulator, Figure 2).
+  const WorldState& world_state() const { return world_state_; }
+
+  /// Proof that world-state update `update_index` recorded a specific
+  /// (key, version, value) transition; verify with
+  /// WorldState::VerifyUpdate against StateRoot().
+  Status GetStateUpdateProof(uint64_t update_index,
+                             MembershipProof* proof) const {
+    return world_state_.GetUpdateProof(update_index, proof);
+  }
+
+  // -------------------------------------------------------------------
+  // when verification
+  // -------------------------------------------------------------------
+
+  /// Chooses direct TSA pegging (Protocol 3). Mutually exclusive with
+  /// AttachTLedger.
+  void AttachDirectTsa(TsaService* tsa) { direct_tsa_ = tsa; }
+
+  /// Chooses T-Ledger pegging (Protocol 4).
+  void AttachTLedger(TLedger* tledger) { tledger_ = tledger; }
+
+  /// Chooses direct pegging against a pool of independent TSAs (§III-B1's
+  /// availability enhancement); endorsements rotate round-robin.
+  void AttachTsaPool(TsaPool* pool) { tsa_pool_ = pool; }
+
+  /// Pegs the current fam root to the attached notary and records a time
+  /// journal. Returns the time journal's jsn.
+  Status AnchorTime(uint64_t* time_jsn);
+
+  // -------------------------------------------------------------------
+  // Mutations (verifiable purge / occult)
+  // -------------------------------------------------------------------
+
+  /// Message each required member must sign to authorize a purge up to
+  /// (excluding) `purge_before_jsn`.
+  static Digest PurgeRequestHash(const std::string& uri,
+                                 uint64_t purge_before_jsn);
+
+  /// Message DBA + regulator must sign to authorize occulting `jsn`.
+  static Digest OccultRequestHash(const std::string& uri, uint64_t jsn);
+
+  /// Purge (§III-A2): erases journals [PurgedBoundary(), purge_before_jsn),
+  /// except `survivors` which are copied to the survival stream. Requires
+  /// Prerequisite 1: endorsements over PurgeRequestHash from a DBA and
+  /// every member owning a journal in the purged range. Records a purge
+  /// journal doubly linked with a fresh pseudo-genesis journal; the fam
+  /// tree is retained in full (digest-only, §III-A2's "erasure not
+  /// allowed" option).
+  Status Purge(uint64_t purge_before_jsn,
+               const std::vector<Endorsement>& endorsements,
+               const std::vector<uint64_t>& survivors, uint64_t* purge_jsn);
+
+  /// Occult (§III-A3): hides journal `jsn`, retaining its digest. Requires
+  /// Prerequisite 2: endorsements over OccultRequestHash from a DBA and a
+  /// regulator. Erasure is synchronous or deferred per LedgerOptions.
+  Status Occult(uint64_t jsn, const std::vector<Endorsement>& endorsements,
+                uint64_t* occult_jsn);
+
+  /// Message DBA + regulator sign to authorize occulting every journal of
+  /// a clue.
+  static Digest OccultClueRequestHash(const std::string& uri,
+                                      const std::string& clue);
+
+  /// Occult-by-clue ("a common case", §III-A3): hides every not-yet-
+  /// occulted journal recorded under `clue` in one authorized operation.
+  /// `occulted_count` receives how many journals were hidden.
+  Status OccultByClue(const std::string& clue,
+                      const std::vector<Endorsement>& endorsements,
+                      size_t* occulted_count, uint64_t* occult_jsn);
+
+  /// Asynchronous occult erasure pass ("data reorganization utility during
+  /// system idle"): physically clears payloads of occulted journals.
+  /// Returns the number of journals erased.
+  size_t ReorganizeOcculted();
+
+  /// Idle-time CM-Tree1 compaction: reclaims copy-on-write snapshot nodes
+  /// unreachable from the current clue root.
+  Status CompactClueTree(size_t* reclaimed) {
+    return cmtree_.Compact(reclaimed);
+  }
+
+  /// Number of journals occulted but not yet physically erased.
+  size_t PendingOccultErasures() const { return pending_occult_.size(); }
+
+  /// Total journals currently marked occulted (bitmap-index popcount).
+  uint64_t OccultedCount() const { return occult_bitmap_.Count(); }
+
+  /// Survival stream access: journals preserved across purges.
+  uint64_t SurvivorCount() const { return survival_stream_.Count(); }
+  Status ReadSurvivor(uint64_t index, Journal* out) const;
+
+  /// jsn of the pseudo-genesis created by the latest purge (Protocol 1
+  /// verification datum), or NotFound if never purged.
+  Status LatestPseudoGenesis(uint64_t* jsn) const;
+
+ private:
+  struct RecoveryTag {};
+
+  /// Recovery constructor: does not create a genesis journal.
+  Ledger(RecoveryTag, std::string uri, const LedgerOptions& options,
+         Clock* clock, KeyPair lsp_key, const MemberRegistry* members,
+         LedgerStorage storage);
+
+  /// Commits a fully-formed journal: accumulators, clue tree, world state,
+  /// pending block. `persist` is false during recovery replay.
+  uint64_t CommitJournal(Journal journal, bool persist = true);
+
+  /// Tracks ledger-level side effects of special journal types (purge
+  /// boundaries, occult bits, time evidence). Used by both the live
+  /// mutation paths and recovery replay.
+  void ApplyJournalEffects(const Journal& journal);
+
+  /// Writes the purge tombstone / occult rewrite for `jsn` to the journal
+  /// stream (no-op without storage).
+  void PersistRewrite(uint64_t jsn);
+  void PersistTombstone(uint64_t jsn, const Journal& journal);
+
+  /// Builds and commits an internal (LSP-authored) journal.
+  uint64_t AppendInternal(JournalType type, const std::vector<std::string>& clues,
+                          Bytes payload,
+                          std::vector<Endorsement> endorsements);
+
+  /// Erases one journal's payload in place (keeps digest + metadata).
+  void ErasePayload(uint64_t jsn);
+
+  std::string uri_;
+  LedgerOptions options_;
+  Clock* clock_;
+  KeyPair lsp_key_;
+  const MemberRegistry* members_;
+  LedgerStorage storage_;
+  bool recovering_ = false;
+
+  std::vector<std::optional<Journal>> journals_;
+  FamAccumulator fam_;
+  MemoryNodeStore cmtree_store_;
+  CmTree cmtree_;
+  WorldState world_state_;
+  ClueSkipList clue_index_;
+
+  std::vector<BlockHeader> blocks_;
+  std::vector<uint64_t> pending_block_;          // jsns awaiting sealing
+  std::vector<uint64_t> jsn_to_block_;           // jsn -> block height (sealed)
+  ShrubsAccumulator pending_tx_tree_;            // scratch per block
+
+  TsaService* direct_tsa_ = nullptr;
+  TsaPool* tsa_pool_ = nullptr;
+  TLedger* tledger_ = nullptr;
+  std::vector<TimeJournalInfo> time_journals_;
+
+  uint64_t purged_boundary_ = 0;
+  std::vector<uint64_t> pseudo_genesis_jsns_;
+  MemoryStreamStore survival_stream_;
+  std::vector<uint64_t> pending_occult_;
+  BitmapIndex occult_bitmap_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_LEDGER_LEDGER_H_

@@ -1,0 +1,67 @@
+#include "ledger/members.h"
+
+namespace ledgerdb {
+
+Digest Member::CertHash() const {
+  Bytes buf = StringToBytes("member-cert");
+  PutLengthPrefixed(&buf, StringToBytes(name));
+  Bytes key_raw = key.Serialize();
+  buf.insert(buf.end(), key_raw.begin(), key_raw.end());
+  buf.push_back(static_cast<uint8_t>(role));
+  return Sha256::Hash(buf);
+}
+
+Member CertificateAuthority::Certify(const std::string& name,
+                                     const PublicKey& key, Role role) const {
+  Member member;
+  member.name = name;
+  member.key = key;
+  member.role = role;
+  member.ca_cert = key_.Sign(member.CertHash());
+  return member;
+}
+
+bool CertificateAuthority::Validate(const Member& member) const {
+  return VerifySignature(key_.public_key(), member.CertHash(), member.ca_cert);
+}
+
+Status MemberRegistry::Register(const Member& member) {
+  if (!member.key.valid()) {
+    return Status::InvalidArgument("invalid member key");
+  }
+  if (!ca_->Validate(member)) {
+    return Status::PermissionDenied("CA certificate validation failed");
+  }
+  Digest id = member.key.Id();
+  if (members_.count(id) > 0) {
+    return Status::AlreadyExists("member already registered");
+  }
+  members_.emplace(id, member);
+  return Status::OK();
+}
+
+Status MemberRegistry::Lookup(const PublicKey& key, Member* member) const {
+  auto it = members_.find(key.Id());
+  if (it == members_.end()) return Status::NotFound("unknown member");
+  *member = it->second;
+  return Status::OK();
+}
+
+bool MemberRegistry::IsRegistered(const PublicKey& key) const {
+  return members_.count(key.Id()) > 0;
+}
+
+bool MemberRegistry::HasRole(const PublicKey& key, Role role) const {
+  auto it = members_.find(key.Id());
+  return it != members_.end() && it->second.role == role;
+}
+
+std::vector<Member> MemberRegistry::MembersWithRole(Role role) const {
+  std::vector<Member> out;
+  for (const auto& [id, member] : members_) {
+    if (member.role == role) out.push_back(member);
+  }
+  return out;
+}
+
+}  // namespace ledgerdb

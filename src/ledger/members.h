@@ -1,0 +1,82 @@
+#ifndef LEDGERDB_LEDGER_MEMBERS_H_
+#define LEDGERDB_LEDGER_MEMBERS_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hash.h"
+
+namespace ledgerdb {
+
+/// Ledger participant roles (§II-B threat model: user, LSP, TSA, regulator
+/// identities are authentic and CA-certified).
+enum class Role : uint8_t {
+  kUser = 0,
+  kDba = 1,
+  kRegulator = 2,
+  kLsp = 3,
+  kTsa = 4,
+};
+
+/// A registered ledger member: a named public key with a role, certified
+/// by the CA.
+struct Member {
+  std::string name;
+  PublicKey key;
+  Role role = Role::kUser;
+  Signature ca_cert;
+
+  /// The CA-signed message: H("member-cert" || name || key || role).
+  Digest CertHash() const;
+};
+
+/// Minimal certificate authority: certifies member identities so that all
+/// participants "disclose their public keys certified by a CA".
+class CertificateAuthority {
+ public:
+  explicit CertificateAuthority(KeyPair key) : key_(std::move(key)) {}
+
+  /// Issues a certified member record.
+  Member Certify(const std::string& name, const PublicKey& key, Role role) const;
+
+  /// Validates a member's certificate.
+  bool Validate(const Member& member) const;
+
+  const PublicKey& public_key() const { return key_.public_key(); }
+
+ private:
+  KeyPair key_;
+};
+
+/// Registry of ledger members keyed by public-key id. Registration
+/// validates CA certificates; role checks back the purge/occult
+/// prerequisites and the who audit.
+class MemberRegistry {
+ public:
+  explicit MemberRegistry(const CertificateAuthority* ca) : ca_(ca) {}
+
+  /// Registers a member after validating its CA certificate.
+  Status Register(const Member& member);
+
+  /// Looks up a member by public key.
+  Status Lookup(const PublicKey& key, Member* member) const;
+
+  bool IsRegistered(const PublicKey& key) const;
+  bool HasRole(const PublicKey& key, Role role) const;
+
+  /// All registered members with the given role.
+  std::vector<Member> MembersWithRole(Role role) const;
+
+  size_t size() const { return members_.size(); }
+
+ private:
+  const CertificateAuthority* ca_;
+  std::unordered_map<Digest, Member, DigestHasher> members_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_LEDGER_MEMBERS_H_

@@ -1,0 +1,48 @@
+#include "ledger/receipt.h"
+
+namespace ledgerdb {
+
+Digest Receipt::MessageHash() const {
+  Bytes buf = StringToBytes("receipt");
+  PutU64(&buf, jsn);
+  for (const Digest* d : {&request_hash, &tx_hash, &block_hash}) {
+    buf.insert(buf.end(), d->bytes.begin(), d->bytes.end());
+  }
+  PutU64(&buf, static_cast<uint64_t>(timestamp));
+  return Sha256::Hash(buf);
+}
+
+bool Receipt::Verify(const PublicKey& lsp_key) const {
+  return VerifySignature(lsp_key, MessageHash(), lsp_sig);
+}
+
+Bytes Receipt::Serialize() const {
+  Bytes out;
+  PutU64(&out, jsn);
+  for (const Digest* d : {&request_hash, &tx_hash, &block_hash}) {
+    out.insert(out.end(), d->bytes.begin(), d->bytes.end());
+  }
+  PutU64(&out, static_cast<uint64_t>(timestamp));
+  Bytes sig = lsp_sig.Serialize();
+  out.insert(out.end(), sig.begin(), sig.end());
+  return out;
+}
+
+bool Receipt::Deserialize(const Bytes& raw, Receipt* out) {
+  size_t pos = 0;
+  if (!GetU64(raw, &pos, &out->jsn)) return false;
+  for (Digest* d : {&out->request_hash, &out->tx_hash, &out->block_hash}) {
+    if (pos + 32 > raw.size()) return false;
+    std::copy(raw.begin() + static_cast<long>(pos),
+              raw.begin() + static_cast<long>(pos) + 32, d->bytes.begin());
+    pos += 32;
+  }
+  uint64_t ts = 0;
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->timestamp = static_cast<Timestamp>(ts);
+  if (pos + 64 != raw.size()) return false;
+  Bytes sig(raw.begin() + static_cast<long>(pos), raw.end());
+  return Signature::Deserialize(sig, &out->lsp_sig);
+}
+
+}  // namespace ledgerdb

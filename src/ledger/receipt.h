@@ -1,0 +1,35 @@
+#ifndef LEDGERDB_LEDGER_RECEIPT_H_
+#define LEDGERDB_LEDGER_RECEIPT_H_
+
+#include "common/clock.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hash.h"
+
+namespace ledgerdb {
+
+/// LSP commitment receipt (π_s, §III-C): packs the three digests —
+/// request-hash (client intent), tx-hash (server journal) and block-hash
+/// (commitment point) — plus jsn and timestamp, signed by the LSP. The
+/// client keeps it externally; it is the anti-repudiation evidence used in
+/// audit step 5.
+struct Receipt {
+  uint64_t jsn = 0;
+  Digest request_hash;
+  Digest tx_hash;
+  Digest block_hash;
+  Timestamp timestamp = 0;
+  Signature lsp_sig;
+
+  /// The signed message digest over all receipt fields.
+  Digest MessageHash() const;
+
+  /// Checks π_s against the LSP's public key.
+  bool Verify(const PublicKey& lsp_key) const;
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, Receipt* out);
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_LEDGER_RECEIPT_H_

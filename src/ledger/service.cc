@@ -1,0 +1,65 @@
+#include "ledger/service.h"
+
+namespace ledgerdb {
+
+LedgerService::LedgerService(Clock* clock, KeyPair lsp_key,
+                             const MemberRegistry* members, TsaService* tsa,
+                             Options options)
+    : clock_(clock),
+      lsp_key_(std::move(lsp_key)),
+      members_(members),
+      options_(options),
+      tledger_(tsa, clock, lsp_key_, options.tledger) {}
+
+Status LedgerService::CreateLedger(const std::string& uri, Ledger** out) {
+  if (ledgers_.count(uri) > 0) {
+    return Status::AlreadyExists("ledger uri already hosted");
+  }
+  Hosted hosted;
+  hosted.ledger = std::make_unique<Ledger>(uri, options_.ledger_defaults,
+                                           clock_, lsp_key_, members_);
+  hosted.ledger->AttachTLedger(&tledger_);
+  // The genesis journal alone does not warrant an anchor.
+  hosted.anchored_jsn_count = hosted.ledger->NumJournals();
+  Ledger* raw = hosted.ledger.get();
+  ledgers_.emplace(uri, std::move(hosted));
+  if (out != nullptr) *out = raw;
+  return Status::OK();
+}
+
+Status LedgerService::GetLedger(const std::string& uri, Ledger** out) const {
+  auto it = ledgers_.find(uri);
+  if (it == ledgers_.end()) return Status::NotFound("ledger not hosted");
+  *out = it->second.ledger.get();
+  return Status::OK();
+}
+
+std::vector<std::string> LedgerService::ListLedgers() const {
+  std::vector<std::string> uris;
+  uris.reserve(ledgers_.size());
+  for (const auto& [uri, hosted] : ledgers_) uris.push_back(uri);
+  return uris;
+}
+
+size_t LedgerService::Tick() {
+  Timestamp now = clock_->Now();
+  size_t anchored = 0;
+  for (auto& [uri, hosted] : ledgers_) {
+    if (hosted.last_anchor >= 0 &&
+        now - hosted.last_anchor < options_.anchor_interval) {
+      continue;
+    }
+    // Skip idle ledgers: no new journals since the last anchor.
+    if (hosted.ledger->NumJournals() == hosted.anchored_jsn_count) continue;
+    if (hosted.ledger->AnchorTime(nullptr).ok()) {
+      hosted.last_anchor = now;
+      hosted.anchored_jsn_count = hosted.ledger->NumJournals();
+      ++anchored;
+    }
+  }
+  // Top layer: the T-Ledger's own Protocol-3 finalization against the TSA.
+  tledger_.Tick();
+  return anchored;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,68 @@
+#ifndef LEDGERDB_LEDGER_SERVICE_H_
+#define LEDGERDB_LEDGER_SERVICE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ledger/ledger.h"
+
+namespace ledgerdb {
+
+/// The ledger service provider (LSP) hosting surface: manages many ledgers
+/// under one operator key, shares a single T-Ledger across all of them
+/// (the two-layer time-notary architecture of §III-B2 — "a public TSA
+/// notary anchoring service for all ledgers"), and drives the periodic
+/// anchoring heartbeat.
+class LedgerService {
+ public:
+  struct Options {
+    /// Defaults applied to ledgers created by this service.
+    LedgerOptions ledger_defaults;
+    /// Shared T-Ledger configuration (Δτ, τ_Δ).
+    TLedger::Options tledger;
+    /// Per-ledger anchoring cadence: each heartbeat anchors ledgers whose
+    /// last anchor is older than this.
+    Timestamp anchor_interval = kMicrosPerSecond;
+  };
+
+  LedgerService(Clock* clock, KeyPair lsp_key, const MemberRegistry* members,
+                TsaService* tsa, Options options);
+
+  /// Creates (and owns) a new ledger attached to the shared T-Ledger.
+  Status CreateLedger(const std::string& uri, Ledger** out);
+
+  /// Looks up a hosted ledger.
+  Status GetLedger(const std::string& uri, Ledger** out) const;
+
+  /// URIs of all hosted ledgers, sorted.
+  std::vector<std::string> ListLedgers() const;
+
+  /// Service heartbeat: anchors every due ledger to the T-Ledger, then
+  /// runs the T-Ledger's TSA finalization tick. Returns the number of
+  /// ledgers anchored.
+  size_t Tick();
+
+  TLedger* tledger() { return &tledger_; }
+  const TLedger* tledger() const { return &tledger_; }
+  const PublicKey& lsp_key() const { return lsp_key_.public_key(); }
+
+ private:
+  struct Hosted {
+    std::unique_ptr<Ledger> ledger;
+    Timestamp last_anchor = -1;
+    uint64_t anchored_jsn_count = 0;
+  };
+
+  Clock* clock_;
+  KeyPair lsp_key_;
+  const MemberRegistry* members_;
+  Options options_;
+  TLedger tledger_;
+  std::map<std::string, Hosted> ledgers_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_LEDGER_SERVICE_H_

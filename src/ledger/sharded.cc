@@ -1,0 +1,132 @@
+#include "ledger/sharded.h"
+
+namespace ledgerdb {
+
+Digest GroupCommitment::Combined() const {
+  Sha256 h;
+  Bytes tag = StringToBytes("group-commitment");
+  h.Update(tag);
+  for (const Digest& root : shard_roots) {
+    h.Update(root.bytes.data(), root.bytes.size());
+  }
+  return h.Finish();
+}
+
+ShardedLedgerGroup::ShardedLedgerGroup(const std::string& uri,
+                                       size_t shard_count,
+                                       const LedgerOptions& options,
+                                       Clock* clock, KeyPair lsp_key,
+                                       const MemberRegistry* members) {
+  if (shard_count == 0) shard_count = 1;
+  shards_.reserve(shard_count);
+  for (size_t i = 0; i < shard_count; ++i) {
+    // All shards share the logical uri so client signatures (which cover
+    // the uri) route unchanged.
+    shards_.push_back(
+        std::make_unique<Ledger>(uri, options, clock, lsp_key, members));
+  }
+}
+
+size_t ShardedLedgerGroup::ShardOfClue(const std::string& clue) const {
+  Digest d = Sha256::Hash(clue);
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) h = (h << 8) | d.bytes[i];
+  return h % shards_.size();
+}
+
+Status ShardedLedgerGroup::Append(const ClientTransaction& tx,
+                                  Location* location) {
+  size_t shard;
+  if (!tx.clues.empty()) {
+    shard = ShardOfClue(tx.clues[0]);
+    // A journal's clues must all live on one shard, or lineage would split.
+    for (const std::string& clue : tx.clues) {
+      if (ShardOfClue(clue) != shard) {
+        return Status::InvalidArgument(
+            "clues of one journal map to different shards");
+      }
+    }
+  } else {
+    Digest rh = tx.RequestHash();
+    uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) h = (h << 8) | rh.bytes[i];
+    shard = h % shards_.size();
+  }
+  uint64_t jsn = 0;
+  LEDGERDB_RETURN_IF_ERROR(shards_[shard]->Append(tx, &jsn));
+  if (location != nullptr) {
+    location->shard = shard;
+    location->jsn = jsn;
+  }
+  return Status::OK();
+}
+
+Status ShardedLedgerGroup::GetJournal(const Location& location,
+                                      Journal* journal) const {
+  if (location.shard >= shards_.size()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  return shards_[location.shard]->GetJournal(location.jsn, journal);
+}
+
+Status ShardedLedgerGroup::GetReceipt(const Location& location,
+                                      Receipt* receipt) {
+  if (location.shard >= shards_.size()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  return shards_[location.shard]->GetReceipt(location.jsn, receipt);
+}
+
+Status ShardedLedgerGroup::GetProof(const Location& location,
+                                    FamProof* proof) const {
+  if (location.shard >= shards_.size()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  return shards_[location.shard]->GetProof(location.jsn, proof);
+}
+
+GroupCommitment ShardedLedgerGroup::Commitment() const {
+  GroupCommitment commitment;
+  commitment.shard_roots.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    commitment.shard_roots.push_back(shard->FamRoot());
+  }
+  return commitment;
+}
+
+bool ShardedLedgerGroup::VerifyJournalProof(const Journal& journal,
+                                            const FamProof& proof,
+                                            const Location& location,
+                                            const GroupCommitment& commitment,
+                                            const Digest& pinned_combined) {
+  if (location.shard >= commitment.shard_roots.size()) return false;
+  // The supplied shard-root set must fold into the pinned group digest.
+  if (!(commitment.Combined() == pinned_combined)) return false;
+  return Ledger::VerifyJournalProof(journal, proof,
+                                    commitment.shard_roots[location.shard]);
+}
+
+Status ShardedLedgerGroup::ListTx(const std::string& clue,
+                                  std::vector<uint64_t>* jsns,
+                                  size_t* shard) const {
+  size_t s = ShardOfClue(clue);
+  if (shard != nullptr) *shard = s;
+  return shards_[s]->ListTx(clue, jsns);
+}
+
+Status ShardedLedgerGroup::GetClueProof(const std::string& clue,
+                                        uint64_t begin, uint64_t end,
+                                        ClueProof* proof,
+                                        size_t* shard) const {
+  size_t s = ShardOfClue(clue);
+  if (shard != nullptr) *shard = s;
+  return shards_[s]->GetClueProof(clue, begin, end, proof);
+}
+
+uint64_t ShardedLedgerGroup::TotalJournals() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->NumJournals();
+  return total;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,85 @@
+#ifndef LEDGERDB_LEDGER_SHARDED_H_
+#define LEDGERDB_LEDGER_SHARDED_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ledger/ledger.h"
+
+namespace ledgerdb {
+
+/// Commitment over a sharded ledger group: the ordered shard fam roots,
+/// folded into one digest. A verifier pins the combined digest and checks
+/// any journal with (shard proof, shard root, sibling roots).
+struct GroupCommitment {
+  std::vector<Digest> shard_roots;
+
+  /// H(chain of shard roots) — the single published group commitment.
+  Digest Combined() const;
+};
+
+/// Horizontal scale-out for a single logical ledger (§II-C: LedgerDB's
+/// production throughput exceeds 300K TPS via a centralized scale-out
+/// architecture; each Ledger object here is single-threaded by design).
+/// Journals are partitioned across `shard_count` Ledger shards — by the
+/// first clue's hash when present (keeping every clue's lineage on one
+/// shard), else by request hash. Every shard is an ordinary, fully
+/// verifiable Ledger; the group additionally publishes a combined
+/// commitment binding all shard roots.
+class ShardedLedgerGroup {
+ public:
+  /// Identifies a journal inside the group.
+  struct Location {
+    size_t shard = 0;
+    uint64_t jsn = 0;
+  };
+
+  ShardedLedgerGroup(const std::string& uri, size_t shard_count,
+                     const LedgerOptions& options, Clock* clock,
+                     KeyPair lsp_key, const MemberRegistry* members);
+
+  size_t shard_count() const { return shards_.size(); }
+  Ledger* shard(size_t i) { return shards_[i].get(); }
+  const Ledger* shard(size_t i) const { return shards_[i].get(); }
+
+  /// Shard that owns `clue` (stable: lineage never crosses shards).
+  size_t ShardOfClue(const std::string& clue) const;
+
+  /// Routes and appends; `location` receives (shard, jsn).
+  Status Append(const ClientTransaction& tx, Location* location);
+
+  Status GetJournal(const Location& location, Journal* journal) const;
+  Status GetReceipt(const Location& location, Receipt* receipt);
+
+  /// Existence proof inside the owning shard, plus the group context
+  /// needed to check it against the combined commitment.
+  Status GetProof(const Location& location, FamProof* proof) const;
+
+  /// Current group commitment (all shard fam roots).
+  GroupCommitment Commitment() const;
+
+  /// Verifies a journal against a pinned group commitment: the shard
+  /// proof must bind to its shard root, and the shard roots must fold to
+  /// the pinned combined digest.
+  static bool VerifyJournalProof(const Journal& journal, const FamProof& proof,
+                                 const Location& location,
+                                 const GroupCommitment& commitment,
+                                 const Digest& pinned_combined);
+
+  /// Clue APIs route to the owning shard.
+  Status ListTx(const std::string& clue, std::vector<uint64_t>* jsns,
+                size_t* shard) const;
+  Status GetClueProof(const std::string& clue, uint64_t begin, uint64_t end,
+                      ClueProof* proof, size_t* shard) const;
+
+  /// Total journals across shards (including per-shard genesis entries).
+  uint64_t TotalJournals() const;
+
+ private:
+  std::vector<std::unique_ptr<Ledger>> shards_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_LEDGER_SHARDED_H_

@@ -1,0 +1,72 @@
+#include "ledger/world_state.h"
+
+namespace ledgerdb {
+
+Digest WorldState::UpdateDigest(const std::string& key, uint64_t version,
+                                const Bytes& value) {
+  Bytes buf = StringToBytes("state-update");
+  PutLengthPrefixed(&buf, StringToBytes(key));
+  PutU64(&buf, version);
+  PutLengthPrefixed(&buf, value);
+  return Sha256::Hash(buf);
+}
+
+Bytes WorldState::EncodeCurrent(uint64_t version, const Bytes& value) {
+  Bytes out;
+  PutU64(&out, version);
+  Digest vd = Sha256::Hash(value);
+  out.insert(out.end(), vd.bytes.begin(), vd.bytes.end());
+  return out;
+}
+
+Status WorldState::Put(const std::string& key, const Bytes& value,
+                       uint64_t* update_index) {
+  Entry& entry = state_[key];
+  uint64_t version = entry.version++;
+  entry.value = value;
+  uint64_t index = accum_.Append(UpdateDigest(key, version, value));
+  LEDGERDB_RETURN_IF_ERROR(mpt_.Put(mpt_root_, Sha3_256::Hash(key),
+                                    Slice(EncodeCurrent(version, value)),
+                                    &mpt_root_));
+  if (update_index != nullptr) *update_index = index;
+  return Status::OK();
+}
+
+Status WorldState::Get(const std::string& key, Bytes* value) const {
+  auto it = state_.find(key);
+  if (it == state_.end()) return Status::NotFound("state key absent");
+  *value = it->second.value;
+  return Status::OK();
+}
+
+uint64_t WorldState::Version(const std::string& key) const {
+  auto it = state_.find(key);
+  return it == state_.end() ? 0 : it->second.version;
+}
+
+Status WorldState::GetUpdateProof(uint64_t update_index,
+                                  MembershipProof* proof) const {
+  return accum_.GetProof(update_index, proof);
+}
+
+Status WorldState::GetCurrentProof(const std::string& key,
+                                   MptProof* proof) const {
+  return mpt_.GetProof(mpt_root_, Sha3_256::Hash(key), proof);
+}
+
+bool WorldState::VerifyUpdate(const std::string& key, uint64_t version,
+                              const Bytes& value, const MembershipProof& proof,
+                              const Digest& trusted_root) {
+  return ShrubsAccumulator::VerifyProof(UpdateDigest(key, version, value),
+                                        proof, trusted_root);
+}
+
+bool WorldState::VerifyCurrent(const std::string& key, uint64_t version,
+                               const Bytes& value, const MptProof& proof,
+                               const Digest& trusted_current_root) {
+  Bytes expected = EncodeCurrent(version, value);
+  return Mpt::VerifyProof(trusted_current_root, Sha3_256::Hash(key),
+                          Slice(expected), proof);
+}
+
+}  // namespace ledgerdb

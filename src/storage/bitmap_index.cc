@@ -1,0 +1,71 @@
+#include "storage/bitmap_index.h"
+
+namespace ledgerdb {
+
+void BitmapIndex::Resize(uint64_t bits) {
+  if (bits <= bits_) return;
+  bits_ = bits;
+  words_.resize((bits + 63) / 64, 0);
+}
+
+void BitmapIndex::Set(uint64_t pos) {
+  if (pos >= bits_) Resize(pos + 1);
+  words_[pos / 64] |= 1ULL << (pos % 64);
+}
+
+void BitmapIndex::Clear(uint64_t pos) {
+  if (pos >= bits_) return;
+  words_[pos / 64] &= ~(1ULL << (pos % 64));
+}
+
+bool BitmapIndex::Get(uint64_t pos) const {
+  if (pos >= bits_) return false;
+  return (words_[pos / 64] >> (pos % 64)) & 1;
+}
+
+uint64_t BitmapIndex::Count() const {
+  uint64_t total = 0;
+  for (uint64_t word : words_) total += __builtin_popcountll(word);
+  return total;
+}
+
+uint64_t BitmapIndex::CountRange(uint64_t begin, uint64_t end) const {
+  if (end > bits_) end = bits_;
+  uint64_t total = 0;
+  for (uint64_t pos = begin; pos < end;) {
+    if (pos % 64 == 0 && pos + 64 <= end) {
+      total += __builtin_popcountll(words_[pos / 64]);
+      pos += 64;
+    } else {
+      total += Get(pos) ? 1 : 0;
+      ++pos;
+    }
+  }
+  return total;
+}
+
+std::vector<uint64_t> BitmapIndex::SetBits(uint64_t begin, uint64_t end) const {
+  if (end > bits_) end = bits_;
+  std::vector<uint64_t> out;
+  for (uint64_t pos = NextSetBit(begin); pos < end; pos = NextSetBit(pos + 1)) {
+    out.push_back(pos);
+  }
+  return out;
+}
+
+uint64_t BitmapIndex::NextSetBit(uint64_t pos) const {
+  if (pos >= bits_) return bits_;
+  uint64_t word_index = pos / 64;
+  uint64_t word = words_[word_index] >> (pos % 64);
+  if (word != 0) {
+    return pos + __builtin_ctzll(word);
+  }
+  for (++word_index; word_index < words_.size(); ++word_index) {
+    if (words_[word_index] != 0) {
+      return word_index * 64 + __builtin_ctzll(words_[word_index]);
+    }
+  }
+  return bits_;
+}
+
+}  // namespace ledgerdb

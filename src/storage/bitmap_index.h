@@ -1,0 +1,51 @@
+#ifndef LEDGERDB_STORAGE_BITMAP_INDEX_H_
+#define LEDGERDB_STORAGE_BITMAP_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ledgerdb {
+
+/// Word-packed bitmap index — the "occult bitmap index" of §III-A3: one
+/// bit per jsn marking occulted journals, cheap to set on the occult
+/// path and cheap to scan during the idle data-reorganization pass.
+class BitmapIndex {
+ public:
+  BitmapIndex() = default;
+
+  /// Grows the bitmap to cover at least `bits` positions (new bits are 0).
+  void Resize(uint64_t bits);
+
+  uint64_t size() const { return bits_; }
+
+  /// Sets/clears bit `pos` (grows if needed on Set).
+  void Set(uint64_t pos);
+  void Clear(uint64_t pos);
+
+  bool Get(uint64_t pos) const;
+
+  /// Number of set bits in [0, size()).
+  uint64_t Count() const;
+
+  /// Number of set bits in [begin, end).
+  uint64_t CountRange(uint64_t begin, uint64_t end) const;
+
+  /// Positions of all set bits in [begin, end), ascending — the
+  /// reorganization utility's scan.
+  std::vector<uint64_t> SetBits(uint64_t begin, uint64_t end) const;
+
+  /// First set bit at or after `pos`, or size() if none.
+  uint64_t NextSetBit(uint64_t pos) const;
+
+  /// Approximate memory footprint in bytes.
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  uint64_t bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_STORAGE_BITMAP_INDEX_H_

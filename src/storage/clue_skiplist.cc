@@ -1,0 +1,73 @@
+#include "storage/clue_skiplist.h"
+
+namespace ledgerdb {
+
+ClueSkipList::ClueSkipList(uint64_t seed)
+    : head_(std::make_unique<Node>("", kMaxHeight)), rng_(seed) {}
+
+int ClueSkipList::RandomHeight() {
+  // Geometric distribution with p = 1/4 (LevelDB's branching choice).
+  int height = 1;
+  while (height < kMaxHeight && rng_.Uniform(4) == 0) ++height;
+  return height;
+}
+
+ClueSkipList::Node* ClueSkipList::FindGreaterOrEqual(
+    const std::string& key, Node* prev[kMaxHeight]) const {
+  Node* node = head_.get();
+  for (int level = height_ - 1; level >= 0; --level) {
+    while (node->next[level] != nullptr && node->next[level]->key < key) {
+      node = node->next[level];
+    }
+    if (prev != nullptr) prev[level] = node;
+  }
+  return node->next[0];
+}
+
+void ClueSkipList::Append(const std::string& clue, uint64_t jsn) {
+  Node* prev[kMaxHeight];
+  for (int i = 0; i < kMaxHeight; ++i) prev[i] = head_.get();
+  Node* found = FindGreaterOrEqual(clue, prev);
+  if (found != nullptr && found->key == clue) {
+    found->jsns.push_back(jsn);  // O(1) tail append — the write-optimized path
+    return;
+  }
+  int height = RandomHeight();
+  if (height > height_) height_ = height;
+  auto node = std::make_unique<Node>(clue, height);
+  node->jsns.push_back(jsn);
+  for (int level = 0; level < height; ++level) {
+    node->next[level] = prev[level]->next[level];
+    prev[level]->next[level] = node.get();
+  }
+  nodes_.push_back(std::move(node));
+  ++size_;
+}
+
+const std::vector<uint64_t>* ClueSkipList::Find(const std::string& clue) const {
+  Node* node = FindGreaterOrEqual(clue, nullptr);
+  if (node != nullptr && node->key == clue) return &node->jsns;
+  return nullptr;
+}
+
+std::vector<std::pair<std::string, const std::vector<uint64_t>*>>
+ClueSkipList::Scan(const std::string& from, const std::string& to) const {
+  std::vector<std::pair<std::string, const std::vector<uint64_t>*>> out;
+  Node* node = FindGreaterOrEqual(from, nullptr);
+  while (node != nullptr && node->key < to) {
+    out.emplace_back(node->key, &node->jsns);
+    node = node->next[0];
+  }
+  return out;
+}
+
+std::vector<std::string> ClueSkipList::Keys() const {
+  std::vector<std::string> out;
+  out.reserve(size_);
+  for (Node* node = head_->next[0]; node != nullptr; node = node->next[0]) {
+    out.push_back(node->key);
+  }
+  return out;
+}
+
+}  // namespace ledgerdb

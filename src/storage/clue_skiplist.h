@@ -1,0 +1,76 @@
+#ifndef LEDGERDB_STORAGE_CLUE_SKIPLIST_H_
+#define LEDGERDB_STORAGE_CLUE_SKIPLIST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+
+namespace ledgerdb {
+
+/// Write-optimized clue SkipList index (cSL, §IV-A): maps each clue label
+/// to its ordered jsn posting list. Appending to an existing clue is O(1)
+/// (tail push); inserting a new clue and point lookups are O(log c) in the
+/// number of clues; clues are kept in lexicographic order, enabling range
+/// scans (e.g. all `shipment-*` clues).
+///
+/// The index is deliberately non-authenticated — clue authenticity always
+/// comes from CM-Tree proofs; cSL only locates journals quickly.
+class ClueSkipList {
+ public:
+  static constexpr int kMaxHeight = 16;
+
+  explicit ClueSkipList(uint64_t seed = 0x5eed);
+
+  ClueSkipList(const ClueSkipList&) = delete;
+  ClueSkipList& operator=(const ClueSkipList&) = delete;
+
+  /// Appends `jsn` to `clue`'s posting list, creating the clue on first
+  /// use. jsns must arrive in increasing order per clue (they do: journal
+  /// commit order).
+  void Append(const std::string& clue, uint64_t jsn);
+
+  /// Posting list for `clue`, or nullptr if absent. The pointer stays
+  /// valid until the skiplist is destroyed.
+  const std::vector<uint64_t>* Find(const std::string& clue) const;
+
+  bool Contains(const std::string& clue) const {
+    return Find(clue) != nullptr;
+  }
+
+  /// Clues in [from, to) in lexicographic order, with their posting lists.
+  std::vector<std::pair<std::string, const std::vector<uint64_t>*>> Scan(
+      const std::string& from, const std::string& to) const;
+
+  /// All clues, in order.
+  std::vector<std::string> Keys() const;
+
+  size_t ClueCount() const { return size_; }
+
+ private:
+  struct Node {
+    std::string key;
+    std::vector<uint64_t> jsns;
+    std::vector<Node*> next;  // forward pointers, one per level
+
+    Node(std::string k, int height)
+        : key(std::move(k)), next(height, nullptr) {}
+  };
+
+  int RandomHeight();
+
+  /// Greatest node with key < `key` at every level; fills `prev`.
+  Node* FindGreaterOrEqual(const std::string& key,
+                           Node* prev[kMaxHeight]) const;
+
+  std::unique_ptr<Node> head_;
+  std::vector<std::unique_ptr<Node>> nodes_;  // ownership pool
+  Random rng_;
+  int height_ = 1;
+  size_t size_ = 0;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_STORAGE_CLUE_SKIPLIST_H_

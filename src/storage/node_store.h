@@ -1,0 +1,85 @@
+#ifndef LEDGERDB_STORAGE_NODE_STORE_H_
+#define LEDGERDB_STORAGE_NODE_STORE_H_
+
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/bytes.h"
+#include "common/status.h"
+#include "crypto/hash.h"
+
+namespace ledgerdb {
+
+/// Content-addressed store for serialized Merkle/MPT nodes, keyed by their
+/// digest. MPT versioned roots rely on nodes being immutable once written,
+/// so the store never mutates an entry.
+class NodeStore {
+ public:
+  virtual ~NodeStore() = default;
+
+  /// Stores `node` under `key`. Idempotent: re-putting the same key is a
+  /// no-op (contents are content-addressed, so they cannot differ).
+  virtual Status Put(const Digest& key, Slice node) = 0;
+
+  /// Fetches the node stored under `key`.
+  virtual Status Get(const Digest& key, Bytes* out) const = 0;
+
+  virtual bool Contains(const Digest& key) const = 0;
+
+  /// Number of distinct nodes stored.
+  virtual size_t Size() const = 0;
+
+  /// Garbage collection: deletes every node NOT in `live` (the retention
+  /// set built with Mpt::CollectReachable over the roots to keep).
+  /// Returns the number of nodes removed.
+  virtual size_t Sweep(
+      const std::unordered_set<Digest, DigestHasher>& live) = 0;
+};
+
+/// Hash-map-backed node store.
+class MemoryNodeStore : public NodeStore {
+ public:
+  Status Put(const Digest& key, Slice node) override;
+  Status Get(const Digest& key, Bytes* out) const override;
+  bool Contains(const Digest& key) const override;
+  size_t Size() const override { return map_.size(); }
+  size_t Sweep(const std::unordered_set<Digest, DigestHasher>& live) override;
+
+ private:
+  std::unordered_map<Digest, Bytes, DigestHasher> map_;
+};
+
+/// Two-tier store modeling the paper's "top layers cached in memory, bottom
+/// layers on disk" MPT deployment (§IV-B2): entries written with
+/// `hot == true` stay in the memory tier; everything else goes to the
+/// backing tier. Reads check memory first.
+class TieredNodeStore : public NodeStore {
+ public:
+  explicit TieredNodeStore(std::unique_ptr<NodeStore> cold)
+      : cold_(std::move(cold)) {}
+
+  Status Put(const Digest& key, Slice node) override {
+    return PutTiered(key, node, /*hot=*/false);
+  }
+
+  /// Tier-aware put.
+  Status PutTiered(const Digest& key, Slice node, bool hot);
+
+  Status Get(const Digest& key, Bytes* out) const override;
+  bool Contains(const Digest& key) const override;
+  size_t Size() const override { return hot_.Size() + cold_->Size(); }
+  size_t Sweep(const std::unordered_set<Digest, DigestHasher>& live) override {
+    return hot_.Sweep(live) + cold_->Sweep(live);
+  }
+
+  size_t HotSize() const { return hot_.Size(); }
+
+ private:
+  MemoryNodeStore hot_;
+  std::unique_ptr<NodeStore> cold_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_STORAGE_NODE_STORE_H_

@@ -1,0 +1,131 @@
+#include "timestamp/attacks.h"
+
+#include "crypto/hash.h"
+#include "timestamp/pegging.h"
+#include "timestamp/t_ledger.h"
+#include "timestamp/tsa.h"
+
+namespace ledgerdb {
+
+namespace {
+
+KeyPair TestTsaKey() { return KeyPair::FromSeedString("attack-sim-tsa"); }
+
+}  // namespace
+
+TamperWindowReport SimulateOneWayAttack(Timestamp delta_tau,
+                                        Timestamp adversary_delay) {
+  SimulatedClock clock(0);
+  KeyPair tsa_key = TestTsaKey();
+  TsaService tsa(tsa_key, &clock);
+  OneWayPegging pegging(&tsa, &clock);
+
+  // The target journal is created immediately after a flush boundary.
+  Digest target = Sha256::Hash(std::string_view("target-journal"));
+  pegging.Submit(target);
+
+  // An honest LSP would flush after delta_tau; the adversary stalls for
+  // adversary_delay more. Nothing in the protocol stops it: the relative
+  // order of queued digests is preserved, which is all one-way pegging
+  // checks.
+  clock.Advance(delta_tau + adversary_delay);
+  std::vector<PeggedDigest> flushed = pegging.Flush();
+
+  TamperWindowReport report;
+  report.window = flushed[0].anchored_at - flushed[0].created_at;
+  report.bounded = false;  // grows linearly with adversary_delay
+  return report;
+}
+
+TamperWindowReport SimulateTwoWayAttack(Timestamp delta_tau,
+                                        Timestamp adversary_delay) {
+  SimulatedClock clock(0);
+  KeyPair tsa_key = TestTsaKey();
+  TsaService tsa(tsa_key, &clock);
+  TwoWayPegging pegging(&tsa, &clock, delta_tau);
+
+  // τ1: a time journal anchors (honest heartbeat).
+  pegging.Peg(Sha256::Hash(std::string_view("ledger-digest-1")));
+  Timestamp tau1 = clock.Now();
+
+  // τ2 ≈ τ1: the adversary forges/creates the journal right after the
+  // epoch opened (the worst case of Figure 5b).
+  Timestamp tau2 = tau1;
+
+  // Honest time journals keep anchoring every Δτ regardless of the
+  // adversary. The forged journal must appear on the ledger *before* the
+  // time journal that closes the next epoch — otherwise its claimed epoch
+  // (τ1, τ3) is contradicted by ledger order.
+  Timestamp tau3 = tau1 + delta_tau;      // closes the claimed epoch
+  Timestamp tau5 = tau3 + delta_tau;      // next anchor: hard deadline
+  clock.SetTime(tau3);
+  pegging.Peg(Sha256::Hash(std::string_view("ledger-digest-2")));
+
+  // The adversary stalls as long as it can, capped by the τ5 deadline.
+  Timestamp tau4 = tau2 + adversary_delay;
+  if (tau4 > tau5) tau4 = tau5;
+  clock.SetTime(tau4);
+  pegging.Peg(Sha256::Hash(std::string_view("ledger-digest-3")));
+
+  TamperWindowReport report;
+  report.window = tau4 - tau2;  // maximum ≈ 2·Δτ
+  report.bounded = true;
+  return report;
+}
+
+TamperWindowReport SimulateTLedgerAttack(Timestamp delta_tau,
+                                         Timestamp tau_delta,
+                                         Timestamp adversary_delay) {
+  SimulatedClock clock(0);
+  KeyPair tsa_key = TestTsaKey();
+  TsaService tsa(tsa_key, &clock);
+  TLedger::Options options;
+  options.tau_delta = tau_delta;
+  options.finalize_interval = delta_tau;
+  TLedger tledger(&tsa, &clock, KeyPair::FromSeedString("attack-sim-lsp"),
+                  options);
+
+  TamperWindowReport report;
+  report.bounded = true;
+
+  // The journal is created at τ_c; the adversary wants to delay its
+  // submission (keeping it tamperable) as long as possible.
+  Timestamp tau_c = clock.Now();
+  Digest target = Sha256::Hash(std::string_view("target-journal"));
+
+  // Try the full stall first: Protocol 4 rejects anything staler than τ_Δ.
+  Timestamp desired = tau_c + adversary_delay;
+  clock.SetTime(desired);
+  TLedgerReceipt receipt;
+  Status s = tledger.Submit(target, tau_c, &receipt);
+  Timestamp submitted_at;
+  if (s.ok()) {
+    submitted_at = clock.Now();
+  } else {
+    report.rejections = tledger.rejected_count();
+    // Replay the attack at the latest admissible moment (just inside τ_Δ).
+    SimulatedClock clock2(0);
+    TsaService tsa2(tsa_key, &clock2);
+    TLedger tledger2(&tsa2, &clock2, KeyPair::FromSeedString("attack-sim-lsp"),
+                     options);
+    clock2.SetTime(tau_c + tau_delta - 1);
+    Status s2 = tledger2.Submit(target, tau_c, &receipt);
+    if (!s2.ok()) {
+      report.window = 0;
+      return report;
+    }
+    // Binding completes at the next TSA finalization.
+    clock2.Advance(delta_tau);
+    tledger2.Tick();
+    report.window = clock2.Now() - tau_c;
+    return report;
+  }
+  // Admitted: binding completes at the next finalization.
+  clock.Advance(delta_tau);
+  tledger.Tick();
+  report.window = clock.Now() - tau_c;
+  (void)submitted_at;
+  return report;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,45 @@
+#ifndef LEDGERDB_TIMESTAMP_ATTACKS_H_
+#define LEDGERDB_TIMESTAMP_ATTACKS_H_
+
+#include "common/clock.h"
+
+namespace ledgerdb {
+
+/// Outcome of driving a timestamp-pegging protocol with an adversarial LSP
+/// (threat-B/threat-C of §II-B). `window` is the measured interval during
+/// which the target journal could be rewritten without any external
+/// evidence contradicting it; `bounded` says whether the window stays
+/// bounded as the adversary's willingness to delay grows.
+struct TamperWindowReport {
+  Timestamp window = 0;
+  bool bounded = false;
+  /// How many submissions the protocol rejected while the adversary
+  /// stalled (only T-Ledger rejects).
+  uint64_t rejections = 0;
+};
+
+/// Figure 5(a): one-way pegging (ProvenDB model). The LSP postpones each
+/// anchor flush by `adversary_delay`; the journal created right after the
+/// previous flush stays unbound the whole time — the window grows linearly
+/// with the delay (infinite time amplification).
+TamperWindowReport SimulateOneWayAttack(Timestamp delta_tau,
+                                        Timestamp adversary_delay);
+
+/// Figure 5(b): two-way pegging (Protocol 3). Honest time journals anchor
+/// every `delta_tau` regardless of the adversary, so a forged journal must
+/// slot between two consecutive time journals: the window saturates at
+/// ≈ 2·Δτ no matter how long the adversary stalls.
+TamperWindowReport SimulateTwoWayAttack(Timestamp delta_tau,
+                                        Timestamp adversary_delay);
+
+/// T-Ledger bottom layer (Protocol 4): submissions staler than `tau_delta`
+/// are rejected, and finalization runs every `delta_tau`; the achievable
+/// window saturates at ≈ τ_Δ + Δτ. With the production defaults (1 s / 0.5 s)
+/// tampering "within two seconds" is impractical (§III-B2).
+TamperWindowReport SimulateTLedgerAttack(Timestamp delta_tau,
+                                         Timestamp tau_delta,
+                                         Timestamp adversary_delay);
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_TIMESTAMP_ATTACKS_H_

@@ -1,0 +1,47 @@
+#include "timestamp/pegging.h"
+
+namespace ledgerdb {
+
+void OneWayPegging::Submit(const Digest& digest) {
+  PeggedDigest record;
+  record.digest = digest;
+  record.created_at = clock_->Now();
+  pending_.push_back(record);
+}
+
+std::vector<PeggedDigest> OneWayPegging::Flush() {
+  std::vector<PeggedDigest> flushed;
+  Timestamp now = clock_->Now();
+  while (!pending_.empty()) {
+    PeggedDigest record = pending_.front();
+    pending_.pop_front();
+    record.submitted_at = now;
+    record.attestation = tsa_->Endorse(record.digest);
+    record.anchored_at = record.attestation.timestamp;
+    anchored_.push_back(record);
+    flushed.push_back(record);
+  }
+  return flushed;
+}
+
+PeggedDigest TwoWayPegging::Peg(const Digest& digest) {
+  PeggedDigest record;
+  record.digest = digest;
+  record.created_at = clock_->Now();
+  record.submitted_at = record.created_at;
+  record.attestation = tsa_->Endorse(digest);
+  record.anchored_at = clock_->Now();
+  if (anchor_cb_ != nullptr) anchor_cb_(anchor_ctx_, record.attestation);
+  anchored_.push_back(record);
+  last_peg_ = record.anchored_at;
+  return record;
+}
+
+bool TwoWayPegging::MaybePeg(const Digest& digest) {
+  Timestamp now = clock_->Now();
+  if (last_peg_ >= 0 && now - last_peg_ < delta_tau_) return false;
+  Peg(digest);
+  return true;
+}
+
+}  // namespace ledgerdb

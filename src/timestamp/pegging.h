@@ -1,0 +1,92 @@
+#ifndef LEDGERDB_TIMESTAMP_PEGGING_H_
+#define LEDGERDB_TIMESTAMP_PEGGING_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/status.h"
+#include "timestamp/tsa.h"
+
+namespace ledgerdb {
+
+/// A pegged digest with its lifecycle timestamps, used both by the honest
+/// protocol paths and by the attack simulators to measure tamper windows.
+struct PeggedDigest {
+  Digest digest;
+  Timestamp created_at = 0;    ///< when the journal was produced (τ2)
+  Timestamp submitted_at = 0;  ///< when its digest reached the notary (τ3)
+  Timestamp anchored_at = 0;   ///< when the evidence became immutable (τ4)
+  TimeAttestation attestation;
+};
+
+/// One-way timestamp pegging — the ProvenDB protocol (§III-B1, Figure 5a).
+/// The ledger queues digests and the **LSP decides when** to flush them to
+/// the notary. Until a digest is flushed, nothing external binds it, so a
+/// malicious LSP can rewrite a journal arbitrarily long after creation as
+/// long as relative order is preserved: the *infinite time amplification*
+/// defect.
+class OneWayPegging {
+ public:
+  OneWayPegging(TsaService* tsa, Clock* clock) : tsa_(tsa), clock_(clock) {}
+
+  /// Queues a digest (journal creation time is recorded).
+  void Submit(const Digest& digest);
+
+  /// LSP-controlled anchoring moment: endorses every queued digest now.
+  /// Returns the pegged records (appended to the anchored history).
+  std::vector<PeggedDigest> Flush();
+
+  size_t PendingCount() const { return pending_.size(); }
+  const std::vector<PeggedDigest>& anchored() const { return anchored_; }
+
+ private:
+  TsaService* tsa_;
+  Clock* clock_;
+  std::deque<PeggedDigest> pending_;
+  std::vector<PeggedDigest> anchored_;
+};
+
+/// Two-way timestamp pegging (Protocol 3, Figure 5b): the TSA endorses the
+/// submitted digest, and the signed time journal is anchored **back onto
+/// the ledger**. Because honest time journals land every `delta_tau`, a
+/// journal's position between consecutive time journals brackets its
+/// creation time, shrinking the malicious window to ≈ 2·Δτ.
+class TwoWayPegging {
+ public:
+  /// `anchor_back` is invoked with each attestation so the owning ledger
+  /// can record the time journal; kept as a callback to avoid a dependency
+  /// cycle with the ledger module.
+  using AnchorCallback = void (*)(void* ctx, const TimeAttestation&);
+
+  TwoWayPegging(TsaService* tsa, Clock* clock, Timestamp delta_tau)
+      : tsa_(tsa), clock_(clock), delta_tau_(delta_tau) {}
+
+  void SetAnchorCallback(AnchorCallback cb, void* ctx) {
+    anchor_cb_ = cb;
+    anchor_ctx_ = ctx;
+  }
+
+  /// Pegs `digest` immediately: TSA endorsement + anchor-back.
+  PeggedDigest Peg(const Digest& digest);
+
+  /// Called on the ledger's heartbeat; pegs `digest` if `delta_tau` has
+  /// elapsed since the last peg. Returns true if a peg happened.
+  bool MaybePeg(const Digest& digest);
+
+  Timestamp delta_tau() const { return delta_tau_; }
+  const std::vector<PeggedDigest>& anchored() const { return anchored_; }
+
+ private:
+  TsaService* tsa_;
+  Clock* clock_;
+  Timestamp delta_tau_;
+  Timestamp last_peg_ = -1;
+  AnchorCallback anchor_cb_ = nullptr;
+  void* anchor_ctx_ = nullptr;
+  std::vector<PeggedDigest> anchored_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_TIMESTAMP_PEGGING_H_

@@ -1,0 +1,58 @@
+#include "timestamp/tsa.h"
+
+namespace ledgerdb {
+
+Digest TimeAttestation::MessageHash() const {
+  Bytes buf = StringToBytes("tsa-attest");
+  buf.insert(buf.end(), digest.bytes.begin(), digest.bytes.end());
+  PutU64(&buf, static_cast<uint64_t>(timestamp));
+  return Sha256::Hash(buf);
+}
+
+bool TimeAttestation::Verify(const PublicKey& tsa_key) const {
+  return VerifySignature(tsa_key, MessageHash(), signature);
+}
+
+Bytes TimeAttestation::Serialize() const {
+  Bytes out;
+  out.insert(out.end(), digest.bytes.begin(), digest.bytes.end());
+  PutU64(&out, static_cast<uint64_t>(timestamp));
+  Bytes sig = signature.Serialize();
+  out.insert(out.end(), sig.begin(), sig.end());
+  return out;
+}
+
+bool TimeAttestation::Deserialize(const Bytes& raw, TimeAttestation* out) {
+  if (raw.size() != 32 + 8 + 64) return false;
+  std::copy(raw.begin(), raw.begin() + 32, out->digest.bytes.begin());
+  size_t pos = 32;
+  uint64_t ts = 0;
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->timestamp = static_cast<Timestamp>(ts);
+  Bytes sig(raw.begin() + 40, raw.end());
+  return Signature::Deserialize(sig, &out->signature);
+}
+
+TimeAttestation TsaService::Endorse(const Digest& digest) {
+  TimeAttestation attestation;
+  attestation.digest = digest;
+  attestation.timestamp = clock_->Now();
+  attestation.signature = key_.Sign(attestation.MessageHash());
+  ++endorsements_;
+  return attestation;
+}
+
+TimeAttestation TsaPool::Endorse(const Digest& digest) {
+  TimeAttestation attestation = members_[next_]->Endorse(digest);
+  next_ = (next_ + 1) % members_.size();
+  return attestation;
+}
+
+bool TsaPool::VerifyAny(const TimeAttestation& attestation) const {
+  for (const TsaService* tsa : members_) {
+    if (attestation.Verify(tsa->public_key())) return true;
+  }
+  return false;
+}
+
+}  // namespace ledgerdb

@@ -1,0 +1,237 @@
+#include <gtest/gtest.h>
+
+#include "audit/dasein_auditor.h"
+#include "ledger/ledger.h"
+
+namespace ledgerdb {
+namespace {
+
+/// Adversarial tests exercising the §II-B threat model end to end:
+/// threat-A (tamper-on-receive), threat-B (tamper/forge at rest), and
+/// threat-C (LSP-client collusion against a third-party auditor).
+class AdversarialTest : public ::testing::Test {
+ protected:
+  AdversarialTest()
+      : clock_(1000 * kMicrosPerSecond),
+        ca_(KeyPair::FromSeedString("adv-ca")),
+        registry_(&ca_),
+        lsp_(KeyPair::FromSeedString("adv-lsp")),
+        alice_(KeyPair::FromSeedString("adv-alice")),
+        mallory_(KeyPair::FromSeedString("adv-mallory")),
+        tsa_(KeyPair::FromSeedString("adv-tsa"), &clock_) {
+    registry_.Register(ca_.Certify("lsp", lsp_.public_key(), Role::kLsp));
+    registry_.Register(ca_.Certify("alice", alice_.public_key(), Role::kUser));
+    registry_.Register(ca_.Certify("mallory", mallory_.public_key(), Role::kUser));
+    options_.fractal_height = 3;
+    options_.block_capacity = 4;
+  }
+
+  ClientTransaction MakeTx(const KeyPair& signer, const std::string& payload) {
+    ClientTransaction tx;
+    tx.ledger_uri = "lg://adv";
+    tx.payload = StringToBytes(payload);
+    tx.nonce = nonce_++;
+    tx.client_ts = clock_.Now();
+    tx.Sign(signer);
+    return tx;
+  }
+
+  SimulatedClock clock_;
+  CertificateAuthority ca_;
+  MemberRegistry registry_;
+  KeyPair lsp_, alice_, mallory_;
+  TsaService tsa_;
+  LedgerOptions options_;
+  uint64_t nonce_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// threat-A: the server (or a MITM) tampers with the incoming transaction.
+// ---------------------------------------------------------------------------
+
+TEST_F(AdversarialTest, ThreatA_TamperedRequestRejectedAtCommit) {
+  Ledger ledger("lg://adv", options_, &clock_, lsp_, &registry_);
+  ClientTransaction tx = MakeTx(alice_, "pay bob 10");
+  // The adversary rewrites the payload in flight; π_c no longer matches.
+  tx.payload = StringToBytes("pay mallory 10000");
+  uint64_t jsn;
+  EXPECT_TRUE(ledger.Append(tx, &jsn).IsVerificationFailed());
+}
+
+TEST_F(AdversarialTest, ThreatA_ReceiptBindsWhatWasActuallyCommitted) {
+  // Even if a malicious server committed something else, the receipt's
+  // request-hash would not match the client's own transaction.
+  Ledger ledger("lg://adv", options_, &clock_, lsp_, &registry_);
+  ClientTransaction honest = MakeTx(alice_, "pay bob 10");
+  uint64_t jsn = 0;
+  ASSERT_TRUE(ledger.Append(honest, &jsn).ok());
+  Receipt receipt;
+  ASSERT_TRUE(ledger.GetReceipt(jsn, &receipt).ok());
+  // Client-side check: the receipt must commit to *my* request hash.
+  EXPECT_EQ(receipt.request_hash, honest.RequestHash());
+  ClientTransaction different = MakeTx(alice_, "pay bob 11");
+  EXPECT_NE(receipt.request_hash, different.RequestHash());
+}
+
+// ---------------------------------------------------------------------------
+// threat-B: tampering with journals at rest / forging timestamps.
+// ---------------------------------------------------------------------------
+
+TEST_F(AdversarialTest, ThreatB_AtRestTamperBreaksEveryProofPath) {
+  Ledger ledger("lg://adv", options_, &clock_, lsp_, &registry_);
+  uint64_t jsn = 0;
+  ASSERT_TRUE(ledger.Append(MakeTx(alice_, "original contract"), &jsn).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ledger.Append(MakeTx(alice_, "noise"), nullptr).ok());
+  }
+  Receipt receipt;
+  ASSERT_TRUE(ledger.GetReceipt(jsn, &receipt).ok());
+
+  // The adversary presents an altered journal to a verifier holding the
+  // honest root (e.g. from a prior TSA anchor or the client's receipt).
+  Journal forged;
+  ASSERT_TRUE(ledger.GetJournal(jsn, &forged).ok());
+  forged.payload = StringToBytes("altered contract");
+  forged.payload_digest = Sha256::Hash(forged.payload);
+
+  FamProof proof;
+  ASSERT_TRUE(ledger.GetProof(jsn, &proof).ok());
+  EXPECT_FALSE(Ledger::VerifyJournalProof(forged, proof, ledger.FamRoot()));
+  // And the receipt pins the original tx-hash.
+  EXPECT_NE(forged.TxHash(), receipt.tx_hash);
+}
+
+TEST_F(AdversarialTest, ThreatB_ForgedTimestampDetectedByTsaSignature) {
+  Ledger ledger("lg://adv", options_, &clock_, lsp_, &registry_);
+  ledger.AttachDirectTsa(&tsa_);
+  ASSERT_TRUE(ledger.Append(MakeTx(alice_, "x"), nullptr).ok());
+  ASSERT_TRUE(ledger.AnchorTime(nullptr).ok());
+  TimeEvidence evidence = ledger.time_journals()[0].evidence;
+  // The LSP backdates the attestation by an hour.
+  evidence.attestation.timestamp -= 3600LL * kMicrosPerSecond;
+  EXPECT_FALSE(evidence.attestation.Verify(tsa_.public_key()));
+}
+
+// ---------------------------------------------------------------------------
+// threat-C: the LSP colludes with a client and rewrites history, re-signing
+// everything the coalition controls. The external auditor holding only the
+// TSA's keys and an honest participant's receipt must still detect it.
+// ---------------------------------------------------------------------------
+
+TEST_F(AdversarialTest, ThreatC_RewrittenLedgerContradictsTsaEvidence) {
+  // Honest timeline.
+  Ledger honest("lg://adv", options_, &clock_, lsp_, &registry_);
+  honest.AttachDirectTsa(&tsa_);
+  std::vector<std::string> payloads = {"a", "b", "mallory owes alice 100", "d"};
+  for (const auto& p : payloads) {
+    const KeyPair& signer = (p[0] == 'm') ? mallory_ : alice_;
+    ASSERT_TRUE(honest.Append(MakeTx(signer, p), nullptr).ok());
+  }
+  ASSERT_TRUE(honest.AnchorTime(nullptr).ok());
+  TimeEvidence tsa_evidence = honest.time_journals()[0].evidence;
+
+  // Collusion: LSP + mallory rebuild the ledger with mallory's journal
+  // replaced (mallory happily re-signs; the LSP re-signs receipts).
+  nonce_ = 0;
+  SimulatedClock replay_clock(1000 * kMicrosPerSecond);
+  Ledger forged("lg://adv", options_, &replay_clock, lsp_, &registry_);
+  for (const auto& p : payloads) {
+    std::string payload = (p[0] == 'm') ? std::string("alice owes mallory 100") : p;
+    const KeyPair& signer = (p[0] == 'm') ? mallory_ : alice_;
+    ClientTransaction tx;
+    tx.ledger_uri = "lg://adv";
+    tx.payload = StringToBytes(payload);
+    tx.nonce = nonce_++;
+    tx.client_ts = replay_clock.Now();
+    tx.Sign(signer);
+    ASSERT_TRUE(forged.Append(tx, nullptr).ok());
+  }
+
+  // The auditor binds the TSA-attested digest to the forged ledger's
+  // actual prefix: mismatch.
+  Digest forged_prefix_root;
+  ASSERT_TRUE(
+      forged.FamRootAtCount(tsa_evidence.covered_jsn_count, &forged_prefix_root)
+          .ok());
+  EXPECT_NE(forged_prefix_root, tsa_evidence.attestation.digest);
+  EXPECT_TRUE(tsa_evidence.attestation.Verify(tsa_.public_key()));
+}
+
+TEST_F(AdversarialTest, ThreatC_HonestClientReceiptExposesRewrite) {
+  Ledger honest("lg://adv", options_, &clock_, lsp_, &registry_);
+  uint64_t jsn = 0;
+  ASSERT_TRUE(honest.Append(MakeTx(alice_, "alice's evidence"), &jsn).ok());
+  Receipt alice_receipt;
+  ASSERT_TRUE(honest.GetReceipt(jsn, &alice_receipt).ok());
+
+  // Later the LSP presents a rewritten journal at that jsn.
+  Journal rewritten;
+  ASSERT_TRUE(honest.GetJournal(jsn, &rewritten).ok());
+  rewritten.payload = StringToBytes("alice's evidence (doctored)");
+  rewritten.payload_digest = Sha256::Hash(rewritten.payload);
+  rewritten.client_key = mallory_.public_key();
+  rewritten.request_hash = Sha256::Hash(rewritten.payload);
+  rewritten.client_sig = mallory_.Sign(rewritten.request_hash);
+
+  // Alice's externally-held receipt pins the original tx-hash; the forged
+  // journal cannot reproduce it.
+  EXPECT_TRUE(alice_receipt.Verify(honest.lsp_key()));
+  EXPECT_NE(rewritten.TxHash(), alice_receipt.tx_hash);
+}
+
+// ---------------------------------------------------------------------------
+// Property sweep: ANY single-byte corruption of ANY persisted journal is
+// caught at recovery (digest check, structural decode, or fam/block root
+// mismatch).
+// ---------------------------------------------------------------------------
+
+class CorruptionSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorruptionSweepTest, SingleByteFlipAlwaysDetected) {
+  SimulatedClock clock(0);
+  CertificateAuthority ca(KeyPair::FromSeedString("sweep-ca"));
+  MemberRegistry registry(&ca);
+  KeyPair lsp = KeyPair::FromSeedString("sweep-lsp");
+  KeyPair user = KeyPair::FromSeedString("sweep-user");
+  registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+  registry.Register(ca.Certify("user", user.public_key(), Role::kUser));
+  LedgerOptions options;
+  options.fractal_height = 3;
+  options.block_capacity = 4;
+
+  MemoryStreamStore journals, blocks;
+  LedgerStorage storage{&journals, &blocks};
+  {
+    Ledger ledger("lg://sweep", options, &clock, lsp, &registry, storage);
+    for (int i = 0; i < 8; ++i) {
+      ClientTransaction tx;
+      tx.ledger_uri = "lg://sweep";
+      tx.payload = StringToBytes("record-" + std::to_string(i));
+      tx.nonce = i;
+      tx.Sign(user);
+      uint64_t jsn;
+      ASSERT_TRUE(ledger.Append(tx, &jsn).ok());
+    }
+    ledger.SealBlock();
+  }
+
+  // Corrupt one byte, position chosen by the parameter.
+  uint64_t record = GetParam() % 9;  // 9 records incl. genesis
+  Bytes raw;
+  ASSERT_TRUE(journals.Read(record, &raw).ok());
+  size_t pos = (static_cast<size_t>(GetParam()) * 2654435761u) % raw.size();
+  raw[pos] ^= static_cast<uint8_t>(1 + (GetParam() % 255));
+  ASSERT_TRUE(journals.Overwrite(record, Slice(raw)).ok());
+
+  std::unique_ptr<Ledger> recovered;
+  Status s = Ledger::Recover("lg://sweep", options, &clock, lsp, &registry,
+                             storage, &recovered);
+  EXPECT_TRUE(s.IsCorruption()) << "param=" << GetParam()
+                                << " status=" << s.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Positions, CorruptionSweepTest,
+                         ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace ledgerdb

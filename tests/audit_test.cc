@@ -1,0 +1,249 @@
+#include <gtest/gtest.h>
+
+#include "audit/dasein_auditor.h"
+
+namespace ledgerdb {
+namespace {
+
+class AuditTest : public ::testing::Test {
+ protected:
+  AuditTest()
+      : clock_(1700000000LL * kMicrosPerSecond),
+        ca_(KeyPair::FromSeedString("ca")),
+        registry_(&ca_),
+        lsp_key_(KeyPair::FromSeedString("lsp")),
+        alice_(KeyPair::FromSeedString("alice")),
+        bob_(KeyPair::FromSeedString("bob")),
+        dba_(KeyPair::FromSeedString("dba")),
+        regulator_(KeyPair::FromSeedString("regulator")),
+        tsa_key_(KeyPair::FromSeedString("tsa")),
+        tsa_(tsa_key_, &clock_),
+        tledger_(&tsa_, &clock_, KeyPair::FromSeedString("tl-lsp"), {}) {
+    registry_.Register(ca_.Certify("lsp", lsp_key_.public_key(), Role::kLsp));
+    registry_.Register(ca_.Certify("alice", alice_.public_key(), Role::kUser));
+    registry_.Register(ca_.Certify("bob", bob_.public_key(), Role::kUser));
+    registry_.Register(ca_.Certify("dba", dba_.public_key(), Role::kDba));
+    registry_.Register(
+        ca_.Certify("regulator", regulator_.public_key(), Role::kRegulator));
+    LedgerOptions options;
+    options.fractal_height = 4;
+    options.block_capacity = 4;
+    ledger_ = std::make_unique<Ledger>("lg://audit", options, &clock_,
+                                       lsp_key_, &registry_);
+  }
+
+  uint64_t Append(const KeyPair& signer, const std::string& payload,
+                  std::vector<std::string> clues = {}) {
+    ClientTransaction tx;
+    tx.ledger_uri = "lg://audit";
+    tx.clues = std::move(clues);
+    tx.payload = StringToBytes(payload);
+    tx.nonce = nonce_++;
+    tx.client_ts = clock_.Now();
+    tx.Sign(signer);
+    uint64_t jsn = 0;
+    EXPECT_TRUE(ledger_->Append(tx, &jsn).ok());
+    clock_.Advance(50 * kMicrosPerMilli);
+    return jsn;
+  }
+
+  DaseinAuditor MakeAuditor(bool with_tledger = false) {
+    DaseinAuditor::Context context;
+    context.ledger = ledger_.get();
+    context.members = &registry_;
+    context.tsa_key = tsa_.public_key();
+    context.tledger = with_tledger ? &tledger_ : nullptr;
+    return DaseinAuditor(context);
+  }
+
+  Receipt LatestReceipt() {
+    Receipt receipt;
+    EXPECT_TRUE(ledger_->GetReceipt(ledger_->NumJournals() - 1, &receipt).ok());
+    return receipt;
+  }
+
+  Endorsement Endorse(const KeyPair& key, const Digest& request) {
+    return Endorsement{key.public_key(), key.Sign(request)};
+  }
+
+  SimulatedClock clock_;
+  CertificateAuthority ca_;
+  MemberRegistry registry_;
+  KeyPair lsp_key_, alice_, bob_, dba_, regulator_, tsa_key_;
+  TsaService tsa_;
+  TLedger tledger_;
+  std::unique_ptr<Ledger> ledger_;
+  uint64_t nonce_ = 0;
+};
+
+TEST_F(AuditTest, CleanLedgerPasses) {
+  ledger_->AttachDirectTsa(&tsa_);
+  for (int i = 0; i < 10; ++i) Append(i % 2 ? alice_ : bob_, "p" + std::to_string(i));
+  ASSERT_TRUE(ledger_->AnchorTime(nullptr).ok());
+  for (int i = 0; i < 5; ++i) Append(alice_, "q" + std::to_string(i));
+  ASSERT_TRUE(ledger_->AnchorTime(nullptr).ok());
+  Receipt receipt = LatestReceipt();
+
+  AuditReport report;
+  ASSERT_TRUE(MakeAuditor().Audit(receipt, {}, &report).ok())
+      << report.failure_reason;
+  EXPECT_TRUE(report.passed);
+  EXPECT_EQ(report.time_journals_verified, 2u);
+  EXPECT_GT(report.journals_replayed, 15u);
+  EXPECT_GT(report.blocks_verified, 2u);
+  EXPECT_GT(report.signatures_verified, 15u);
+  EXPECT_GT(report.boundaries_verified, 0u);
+}
+
+TEST_F(AuditTest, TLedgerEvidencePasses) {
+  ledger_->AttachTLedger(&tledger_);
+  for (int i = 0; i < 6; ++i) Append(alice_, "p" + std::to_string(i));
+  ASSERT_TRUE(ledger_->AnchorTime(nullptr).ok());
+  tledger_.ForceFinalize();
+  Receipt receipt = LatestReceipt();
+  AuditReport report;
+  ASSERT_TRUE(MakeAuditor(/*with_tledger=*/true).Audit(receipt, {}, &report).ok())
+      << report.failure_reason;
+  EXPECT_TRUE(report.passed);
+  EXPECT_EQ(report.time_journals_verified, 1u);
+}
+
+TEST_F(AuditTest, TLedgerEvidenceWithoutContextFails) {
+  ledger_->AttachTLedger(&tledger_);
+  Append(alice_, "p");
+  ASSERT_TRUE(ledger_->AnchorTime(nullptr).ok());
+  tledger_.ForceFinalize();
+  Receipt receipt = LatestReceipt();
+  AuditReport report;
+  EXPECT_TRUE(MakeAuditor(false).Audit(receipt, {}, &report).IsVerificationFailed());
+  EXPECT_FALSE(report.passed);
+}
+
+TEST_F(AuditTest, AuditSurvivesOccult) {
+  uint64_t target = Append(alice_, "pii-data");
+  Append(bob_, "other");
+  Digest request = Ledger::OccultRequestHash("lg://audit", target);
+  std::vector<Endorsement> sigs = {Endorse(dba_, request),
+                                   Endorse(regulator_, request)};
+  ASSERT_TRUE(ledger_->Occult(target, sigs, nullptr).ok());
+  ledger_->ReorganizeOcculted();
+  Receipt receipt = LatestReceipt();
+  AuditReport report;
+  ASSERT_TRUE(MakeAuditor().Audit(receipt, {}, &report).ok())
+      << report.failure_reason;
+  EXPECT_TRUE(report.passed);
+  EXPECT_EQ(report.occult_journals, 1u);
+}
+
+TEST_F(AuditTest, AuditSurvivesPurge) {
+  for (int i = 0; i < 8; ++i) Append(alice_, "p" + std::to_string(i));
+  Digest request = Ledger::PurgeRequestHash("lg://audit", 5);
+  std::vector<Endorsement> sigs = {Endorse(dba_, request),
+                                   Endorse(alice_, request)};
+  ASSERT_TRUE(ledger_->Purge(5, sigs, {}, nullptr).ok());
+  Append(bob_, "after-purge");
+  Receipt receipt = LatestReceipt();
+  AuditReport report;
+  ASSERT_TRUE(MakeAuditor().Audit(receipt, {}, &report).ok())
+      << report.failure_reason;
+  EXPECT_TRUE(report.passed);
+  EXPECT_EQ(report.purge_journals, 1u);
+}
+
+TEST_F(AuditTest, ForgedReceiptFails) {
+  Append(alice_, "p");
+  Receipt receipt = LatestReceipt();
+  receipt.tx_hash.bytes[0] ^= 1;
+  receipt.lsp_sig = lsp_key_.Sign(receipt.MessageHash());  // LSP collusion
+  AuditReport report;
+  EXPECT_TRUE(MakeAuditor().Audit(receipt, {}, &report).IsVerificationFailed());
+  EXPECT_FALSE(report.passed);
+  EXPECT_NE(report.failure_reason.find("receipt"), std::string::npos);
+}
+
+TEST_F(AuditTest, ReceiptSignedByImpostorFails) {
+  Append(alice_, "p");
+  Receipt receipt = LatestReceipt();
+  KeyPair impostor = KeyPair::FromSeedString("impostor");
+  receipt.lsp_sig = impostor.Sign(receipt.MessageHash());
+  AuditReport report;
+  EXPECT_TRUE(MakeAuditor().Audit(receipt, {}, &report).IsVerificationFailed());
+}
+
+TEST_F(AuditTest, TemporalPredicateFiltersTimeJournals) {
+  ledger_->AttachDirectTsa(&tsa_);
+  Append(alice_, "early");
+  ASSERT_TRUE(ledger_->AnchorTime(nullptr).ok());
+  Timestamp cutoff = clock_.Now();
+  clock_.Advance(10 * kMicrosPerSecond);
+  Append(alice_, "late");
+  ASSERT_TRUE(ledger_->AnchorTime(nullptr).ok());
+  Receipt receipt = LatestReceipt();
+
+  AuditOptions options;
+  options.to = cutoff;
+  AuditReport report;
+  ASSERT_TRUE(MakeAuditor().Audit(receipt, options, &report).ok())
+      << report.failure_reason;
+  EXPECT_EQ(report.time_journals_verified, 1u);
+}
+
+TEST_F(AuditTest, TemporalPredicateScopesJournalReplay) {
+  ledger_->AttachDirectTsa(&tsa_);
+  for (int i = 0; i < 8; ++i) Append(alice_, "early" + std::to_string(i));
+  Timestamp cutoff = clock_.Now();
+  clock_.Advance(100 * kMicrosPerSecond);
+  for (int i = 0; i < 8; ++i) Append(alice_, "late" + std::to_string(i));
+  ledger_->SealBlock();
+  Receipt receipt = LatestReceipt();
+
+  // Unbounded audit replays everything.
+  AuditReport full;
+  ASSERT_TRUE(MakeAuditor().Audit(receipt, {}, &full).ok());
+
+  // Bounded audit replays only the journals before the cutoff.
+  AuditOptions options;
+  options.to = cutoff;
+  AuditReport scoped;
+  ASSERT_TRUE(MakeAuditor().Audit(receipt, options, &scoped).ok())
+      << scoped.failure_reason;
+  EXPECT_TRUE(scoped.passed);
+  EXPECT_LT(scoped.journals_replayed, full.journals_replayed);
+  EXPECT_GT(scoped.journals_replayed, 0u);
+}
+
+TEST_F(AuditTest, WorldStateUpdateProofs) {
+  Append(alice_, "v0", {"acct"});
+  Append(alice_, "v1", {"acct"});
+  // The two transitions are provable against the state root.
+  for (uint64_t version = 0; version < 2; ++version) {
+    MembershipProof proof;
+    ASSERT_TRUE(ledger_->GetStateUpdateProof(version, &proof).ok());
+    Bytes value =
+        Sha256::Hash(std::string_view(version == 0 ? "v0" : "v1")).ToBytes();
+    EXPECT_TRUE(WorldState::VerifyUpdate("acct", version, value, proof,
+                                         ledger_->StateRoot()));
+    // A forged value fails.
+    Bytes forged = Sha256::Hash(std::string_view("vX")).ToBytes();
+    EXPECT_FALSE(WorldState::VerifyUpdate("acct", version, forged, proof,
+                                          ledger_->StateRoot()));
+  }
+}
+
+TEST_F(AuditTest, PerFactorEntryPoints) {
+  ledger_->AttachDirectTsa(&tsa_);
+  for (int i = 0; i < 6; ++i) Append(alice_, "p" + std::to_string(i));
+  ASSERT_TRUE(ledger_->AnchorTime(nullptr).ok());
+  ledger_->SealBlock();
+  DaseinAuditor auditor = MakeAuditor();
+  AuditReport report;
+  EXPECT_TRUE(auditor.VerifyWho(0, ledger_->NumJournals(), &report).ok());
+  EXPECT_TRUE(auditor.VerifyWhen({}, &report).ok());
+  EXPECT_TRUE(auditor.VerifyWhatRange(0, ledger_->NumJournals(), &report).ok());
+  EXPECT_GT(report.signatures_verified, 0u);
+  EXPECT_GT(report.journals_replayed, 0u);
+  EXPECT_EQ(report.time_journals_verified, 1u);
+}
+
+}  // namespace
+}  // namespace ledgerdb

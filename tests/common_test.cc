@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "common/clock.h"
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ledgerdb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCodesAndMessages) {
+  Status s = Status::VerificationFailed("root mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsVerificationFailed());
+  EXPECT_EQ(s.ToString(), "VerificationFailed: root mismatch");
+
+  EXPECT_TRUE(Status::NotFound().IsNotFound());
+  EXPECT_TRUE(Status::Corruption().IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument().IsInvalidArgument());
+  EXPECT_TRUE(Status::PermissionDenied().IsPermissionDenied());
+  EXPECT_TRUE(Status::OutOfRange().IsOutOfRange());
+  EXPECT_TRUE(Status::AlreadyExists().IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError().IsIOError());
+  EXPECT_TRUE(Status::NotSupported().IsNotSupported());
+  EXPECT_TRUE(Status::TimestampRejected().IsTimestampRejected());
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    LEDGERDB_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(BytesTest, HexRoundTrip) {
+  Bytes data = {0x00, 0x01, 0xab, 0xff};
+  std::string hex = ToHex(data);
+  EXPECT_EQ(hex, "0001abff");
+  Bytes back;
+  ASSERT_TRUE(FromHex(hex, &back));
+  EXPECT_EQ(back, data);
+}
+
+TEST(BytesTest, FromHexRejectsMalformed) {
+  Bytes out;
+  EXPECT_FALSE(FromHex("abc", &out));   // odd length
+  EXPECT_FALSE(FromHex("zz", &out));    // non-hex
+  EXPECT_TRUE(FromHex("", &out));       // empty ok
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(BytesTest, VarintEncodersRoundTrip) {
+  Bytes buf;
+  PutU32(&buf, 0xdeadbeef);
+  PutU64(&buf, 0x123456789abcdef0ULL);
+  PutLengthPrefixed(&buf, StringToBytes("hello"));
+
+  size_t pos = 0;
+  uint32_t v32;
+  uint64_t v64;
+  Bytes block;
+  ASSERT_TRUE(GetU32(buf, &pos, &v32));
+  EXPECT_EQ(v32, 0xdeadbeefu);
+  ASSERT_TRUE(GetU64(buf, &pos, &v64));
+  EXPECT_EQ(v64, 0x123456789abcdef0ULL);
+  ASSERT_TRUE(GetLengthPrefixed(buf, &pos, &block));
+  EXPECT_EQ(block, StringToBytes("hello"));
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(BytesTest, ReadersDetectTruncation) {
+  Bytes buf;
+  PutU64(&buf, 7);
+  buf.pop_back();
+  size_t pos = 0;
+  uint64_t v;
+  EXPECT_FALSE(GetU64(buf, &pos, &v));
+
+  Bytes buf2;
+  PutLengthPrefixed(&buf2, StringToBytes("abcdef"));
+  buf2.resize(buf2.size() - 2);
+  pos = 0;
+  Bytes block;
+  EXPECT_FALSE(GetLengthPrefixed(buf2, &pos, &block));
+}
+
+TEST(SliceTest, EqualityAndViews) {
+  Bytes data = StringToBytes("abc");
+  Slice s1(data);
+  Slice s2(std::string_view("abc"));
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.ToString(), "abc");
+  EXPECT_EQ(s1.ToBytes(), data);
+  EXPECT_TRUE(Slice().empty());
+}
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(1234), b(1234);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) any_diff |= (a.Next() != b.Next());
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RandomTest, RangeBounds) {
+  Random rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Range(10, 20);
+    EXPECT_GE(v, 10u);
+    EXPECT_LE(v, 20u);
+  }
+}
+
+TEST(RandomTest, BytesAndStringsHaveRequestedSize) {
+  Random rng(5);
+  EXPECT_EQ(rng.NextBytes(0).size(), 0u);
+  EXPECT_EQ(rng.NextBytes(7).size(), 7u);
+  EXPECT_EQ(rng.NextBytes(64).size(), 64u);
+  EXPECT_EQ(rng.NextString(33).size(), 33u);
+}
+
+TEST(ClockTest, SimulatedClockAdvances) {
+  SimulatedClock clock(100);
+  EXPECT_EQ(clock.Now(), 100);
+  clock.Advance(50);
+  EXPECT_EQ(clock.Now(), 150);
+  clock.SetTime(120);  // cannot move backwards
+  EXPECT_EQ(clock.Now(), 150);
+  clock.SetTime(400);
+  EXPECT_EQ(clock.Now(), 400);
+}
+
+TEST(ClockTest, SystemClockMonotoneNonDecreasing) {
+  SystemClock clock;
+  Timestamp a = clock.Now();
+  Timestamp b = clock.Now();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace ledgerdb

@@ -1,0 +1,386 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/ecdsa.h"
+#include "crypto/hash.h"
+#include "crypto/secp256k1.h"
+#include "crypto/u256.h"
+
+namespace ledgerdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// SHA-256 (FIPS 180-4 vectors)
+// ---------------------------------------------------------------------------
+
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(Sha256::Hash(std::string_view("")).ToHex(),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(Sha256::Hash(std::string_view("abc")).ToHex(),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(
+      Sha256::Hash(std::string_view(
+                       "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))
+          .ToHex(),
+      "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(Slice(chunk));
+  EXPECT_EQ(h.Finish().ToHex(),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  Bytes data = StringToBytes("the quick brown fox jumps over the lazy dog");
+  for (size_t split = 0; split <= data.size(); ++split) {
+    Sha256 h;
+    h.Update(data.data(), split);
+    h.Update(data.data() + split, data.size() - split);
+    EXPECT_EQ(h.Finish(), Sha256::Hash(data)) << "split=" << split;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SHA3-256 (FIPS 202 vectors)
+// ---------------------------------------------------------------------------
+
+TEST(Sha3Test, EmptyString) {
+  EXPECT_EQ(Sha3_256::Hash(std::string_view("")).ToHex(),
+            "a7ffc6f8bf1ed76651c14756a061d662f580ff4de43b49fa82d80a4b80f8434a");
+}
+
+TEST(Sha3Test, Abc) {
+  EXPECT_EQ(Sha3_256::Hash(std::string_view("abc")).ToHex(),
+            "3a985da74fe225b2045c172d6bd390bd855f086e3e9d525b46bfe24511431532");
+}
+
+TEST(Sha3Test, LongerThanRate) {
+  // 200 'a' bytes spans more than one 136-byte Keccak block.
+  std::string msg(200, 'a');
+  // Reference value from the Python hashlib sha3_256 implementation.
+  EXPECT_EQ(Sha3_256::Hash(std::string_view(msg)).ToHex(),
+            "cce34485baf2bf2aca99b94833892a4f52896d3d153f7b840cc4f9fe695f1387");
+}
+
+// ---------------------------------------------------------------------------
+// HMAC-SHA256 (RFC 4231 vectors)
+// ---------------------------------------------------------------------------
+
+TEST(HmacTest, Rfc4231Case1) {
+  Bytes key(20, 0x0b);
+  Bytes msg = StringToBytes("Hi There");
+  EXPECT_EQ(HmacSha256(Slice(key), Slice(msg)).ToHex(),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(HmacTest, Rfc4231Case2) {
+  Bytes key = StringToBytes("Jefe");
+  Bytes msg = StringToBytes("what do ya want for nothing?");
+  EXPECT_EQ(HmacSha256(Slice(key), Slice(msg)).ToHex(),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(HmacTest, LongKeyIsHashedFirst) {
+  Bytes key(131, 0xaa);
+  Bytes msg = StringToBytes("Test Using Larger Than Block-Size Key - Hash Key First");
+  EXPECT_EQ(HmacSha256(Slice(key), Slice(msg)).ToHex(),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// ---------------------------------------------------------------------------
+// Merkle hash domain separation
+// ---------------------------------------------------------------------------
+
+TEST(MerkleHashTest, LeafAndNodeDomainsDiffer) {
+  Digest d = Sha256::Hash(std::string_view("payload"));
+  EXPECT_NE(HashMerkleLeaf(d), d);
+  EXPECT_NE(HashMerkleNode(d, d), HashMerkleLeaf(d));
+  EXPECT_NE(HashChain(d, d), HashMerkleNode(d, d));
+}
+
+TEST(MerkleHashTest, NodeHashOrderSensitive) {
+  Digest a = Sha256::Hash(std::string_view("a"));
+  Digest b = Sha256::Hash(std::string_view("b"));
+  EXPECT_NE(HashMerkleNode(a, b), HashMerkleNode(b, a));
+}
+
+// ---------------------------------------------------------------------------
+// U256 arithmetic
+// ---------------------------------------------------------------------------
+
+TEST(U256Test, BigEndianRoundTrip) {
+  Bytes raw(32);
+  for (int i = 0; i < 32; ++i) raw[i] = static_cast<uint8_t>(i + 1);
+  U256 v = U256::FromBigEndian(raw.data());
+  EXPECT_EQ(v.ToBytes(), raw);
+}
+
+TEST(U256Test, AddSubInverse) {
+  U256 a(0xffffffffffffffffULL, 2, 3, 4);
+  U256 b(5, 6, 7, 8);
+  U256 sum, back;
+  EXPECT_EQ(Add(a, b, &sum), 0u);
+  EXPECT_EQ(Sub(sum, b, &back), 0u);
+  EXPECT_EQ(back, a);
+}
+
+TEST(U256Test, AddCarryPropagates) {
+  U256 a(0xffffffffffffffffULL, 0xffffffffffffffffULL, 0xffffffffffffffffULL,
+         0xffffffffffffffffULL);
+  U256 one(1);
+  U256 sum;
+  EXPECT_EQ(Add(a, one, &sum), 1u);
+  EXPECT_TRUE(sum.IsZero());
+}
+
+TEST(U256Test, MulSmall) {
+  U256 lo, hi;
+  Mul(U256(7), U256(6), &lo, &hi);
+  EXPECT_EQ(lo, U256(42));
+  EXPECT_TRUE(hi.IsZero());
+}
+
+TEST(U256Test, MulWide) {
+  // (2^128) * (2^128) = 2^256 -> hi = 1, lo = 0.
+  U256 a(0, 0, 1, 0);
+  U256 lo, hi;
+  Mul(a, a, &lo, &hi);
+  EXPECT_TRUE(lo.IsZero());
+  EXPECT_EQ(hi, U256(1));
+}
+
+TEST(U256Test, ReduceWideMatchesKnownValue) {
+  // 2^256 mod n = 2^256 - n (since n has the top bit set).
+  U256 lo, hi(1);
+  U256 expected;
+  Sub(U256(), secp256k1::kN, &expected);  // 0 - n underflows to 2^256 - n.
+  EXPECT_EQ(ReduceWide(lo, hi, secp256k1::kN), expected);
+}
+
+TEST(U256Test, ModInverseRoundTrip) {
+  Random rng(42);
+  for (int i = 0; i < 16; ++i) {
+    Bytes raw = rng.NextBytes(32);
+    U256 a = U256::FromBigEndian(raw.data());
+    a = ReduceWide(a, U256(), secp256k1::kN);
+    if (a.IsZero()) continue;
+    U256 inv = ModInverse(a, secp256k1::kN);
+    EXPECT_EQ(MulMod(a, inv, secp256k1::kN), U256(1));
+  }
+}
+
+TEST(U256Test, ModInverseFieldPrime) {
+  Random rng(7);
+  for (int i = 0; i < 16; ++i) {
+    Bytes raw = rng.NextBytes(32);
+    U256 a = U256::FromBigEndian(raw.data());
+    a = ReduceWide(a, U256(), secp256k1::kP);
+    if (a.IsZero()) continue;
+    U256 inv = ModInverse(a, secp256k1::kP);
+    EXPECT_EQ(MulMod(a, inv, secp256k1::kP), U256(1));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// secp256k1 group operations
+// ---------------------------------------------------------------------------
+
+TEST(Secp256k1Test, GeneratorOnCurve) {
+  EXPECT_TRUE(secp256k1::AffinePoint::Generator().IsOnCurve());
+}
+
+TEST(Secp256k1Test, TwoGKnownValue) {
+  auto g = secp256k1::AffinePoint::Generator();
+  auto two_g =
+      secp256k1::Double(secp256k1::JacobianPoint::FromAffine(g)).ToAffine();
+  EXPECT_TRUE(two_g.IsOnCurve());
+  EXPECT_EQ(ToHex(two_g.x.ToBytes()),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(ToHex(two_g.y.ToBytes()),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Secp256k1Test, AddMatchesDouble) {
+  auto g = secp256k1::AffinePoint::Generator();
+  auto jg = secp256k1::JacobianPoint::FromAffine(g);
+  auto via_add = secp256k1::Add(jg, jg).ToAffine();
+  auto via_double = secp256k1::Double(jg).ToAffine();
+  EXPECT_EQ(via_add, via_double);
+}
+
+TEST(Secp256k1Test, ScalarMulByOrderIsInfinity) {
+  auto g = secp256k1::AffinePoint::Generator();
+  auto result = secp256k1::ScalarMul(secp256k1::kN, g);
+  EXPECT_TRUE(result.infinity);
+}
+
+TEST(Secp256k1Test, ScalarMulDistributes) {
+  // (a+b)G == aG + bG for random scalars.
+  Random rng(99);
+  for (int i = 0; i < 4; ++i) {
+    Bytes ra = rng.NextBytes(32), rb = rng.NextBytes(32);
+    U256 a = ReduceWide(U256::FromBigEndian(ra.data()), U256(), secp256k1::kN);
+    U256 b = ReduceWide(U256::FromBigEndian(rb.data()), U256(), secp256k1::kN);
+    U256 ab = AddMod(a, b, secp256k1::kN);
+    auto g = secp256k1::AffinePoint::Generator();
+    auto lhs = secp256k1::ScalarMul(ab, g).ToAffine();
+    auto rhs = secp256k1::Add(secp256k1::ScalarMul(a, g),
+                              secp256k1::ScalarMul(b, g))
+                   .ToAffine();
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST(Secp256k1Test, ScalarMulBaseMatchesGenericLadder) {
+  Random rng(314);
+  auto g = secp256k1::AffinePoint::Generator();
+  // Edge scalars plus random ones.
+  std::vector<U256> scalars = {U256(1), U256(2), U256(15), U256(16),
+                               Shr1(secp256k1::kN)};
+  for (int i = 0; i < 8; ++i) {
+    Bytes raw = rng.NextBytes(32);
+    scalars.push_back(
+        ReduceWide(U256::FromBigEndian(raw.data()), U256(), secp256k1::kN));
+  }
+  for (const U256& k : scalars) {
+    auto expect = secp256k1::ScalarMul(k, g).ToAffine();
+    auto fast = secp256k1::ScalarMulBase(k).ToAffine();
+    EXPECT_EQ(fast, expect);
+  }
+  EXPECT_TRUE(secp256k1::ScalarMulBase(U256()).infinity);
+}
+
+TEST(Secp256k1Test, DoubleScalarMulMatchesSeparate) {
+  Random rng(123);
+  KeyPair kp = KeyPair::Generate(&rng);
+  Bytes r1 = rng.NextBytes(32), r2 = rng.NextBytes(32);
+  U256 k1 = ReduceWide(U256::FromBigEndian(r1.data()), U256(), secp256k1::kN);
+  U256 k2 = ReduceWide(U256::FromBigEndian(r2.data()), U256(), secp256k1::kN);
+  auto g = secp256k1::AffinePoint::Generator();
+  auto combined =
+      secp256k1::DoubleScalarMul(k1, k2, kp.public_key().point()).ToAffine();
+  auto separate = secp256k1::Add(secp256k1::ScalarMul(k1, g),
+                                 secp256k1::ScalarMul(k2, kp.public_key().point()))
+                      .ToAffine();
+  EXPECT_EQ(combined, separate);
+}
+
+// ---------------------------------------------------------------------------
+// ECDSA
+// ---------------------------------------------------------------------------
+
+TEST(EcdsaTest, SignVerifyRoundTrip) {
+  Random rng(1);
+  KeyPair kp = KeyPair::Generate(&rng);
+  Digest msg = Sha256::Hash(std::string_view("hello ledger"));
+  Signature sig = kp.Sign(msg);
+  EXPECT_TRUE(VerifySignature(kp.public_key(), msg, sig));
+}
+
+TEST(EcdsaTest, RejectsWrongMessage) {
+  Random rng(2);
+  KeyPair kp = KeyPair::Generate(&rng);
+  Signature sig = kp.Sign(Sha256::Hash(std::string_view("msg-a")));
+  EXPECT_FALSE(VerifySignature(kp.public_key(), Sha256::Hash(std::string_view("msg-b")), sig));
+}
+
+TEST(EcdsaTest, RejectsWrongKey) {
+  Random rng(3);
+  KeyPair kp1 = KeyPair::Generate(&rng);
+  KeyPair kp2 = KeyPair::Generate(&rng);
+  Digest msg = Sha256::Hash(std::string_view("msg"));
+  Signature sig = kp1.Sign(msg);
+  EXPECT_FALSE(VerifySignature(kp2.public_key(), msg, sig));
+}
+
+TEST(EcdsaTest, RejectsTamperedSignature) {
+  Random rng(4);
+  KeyPair kp = KeyPair::Generate(&rng);
+  Digest msg = Sha256::Hash(std::string_view("msg"));
+  Signature sig = kp.Sign(msg);
+  Signature bad = sig;
+  bad.s.limb[0] ^= 1;
+  EXPECT_FALSE(VerifySignature(kp.public_key(), msg, bad));
+  bad = sig;
+  bad.r.limb[2] ^= 0x10;
+  EXPECT_FALSE(VerifySignature(kp.public_key(), msg, bad));
+}
+
+TEST(EcdsaTest, RejectsZeroSignatureComponents) {
+  Random rng(5);
+  KeyPair kp = KeyPair::Generate(&rng);
+  Digest msg = Sha256::Hash(std::string_view("msg"));
+  Signature sig = kp.Sign(msg);
+  Signature bad = sig;
+  bad.r = U256();
+  EXPECT_FALSE(VerifySignature(kp.public_key(), msg, bad));
+  bad = sig;
+  bad.s = U256();
+  EXPECT_FALSE(VerifySignature(kp.public_key(), msg, bad));
+}
+
+TEST(EcdsaTest, DeterministicSignatures) {
+  KeyPair kp = KeyPair::FromSeedString("alice");
+  Digest msg = Sha256::Hash(std::string_view("determinism"));
+  Signature s1 = kp.Sign(msg);
+  Signature s2 = kp.Sign(msg);
+  EXPECT_EQ(s1.Serialize(), s2.Serialize());
+}
+
+TEST(EcdsaTest, LowSNormalization) {
+  // s must always be <= n/2 after normalization.
+  U256 half = Shr1(secp256k1::kN);
+  Random rng(6);
+  KeyPair kp = KeyPair::Generate(&rng);
+  for (int i = 0; i < 8; ++i) {
+    Digest msg = Sha256::Hash(rng.NextBytes(16));
+    Signature sig = kp.Sign(msg);
+    EXPECT_LE(Compare(sig.s, half), 0);
+    EXPECT_TRUE(VerifySignature(kp.public_key(), msg, sig));
+  }
+}
+
+TEST(EcdsaTest, SerializationRoundTrip) {
+  KeyPair kp = KeyPair::FromSeedString("bob");
+  Digest msg = Sha256::Hash(std::string_view("serialize"));
+  Signature sig = kp.Sign(msg);
+
+  Bytes key_raw = kp.public_key().Serialize();
+  PublicKey key2;
+  ASSERT_TRUE(PublicKey::Deserialize(key_raw, &key2));
+  EXPECT_EQ(key2, kp.public_key());
+
+  Bytes sig_raw = sig.Serialize();
+  Signature sig2;
+  ASSERT_TRUE(Signature::Deserialize(sig_raw, &sig2));
+  EXPECT_TRUE(VerifySignature(key2, msg, sig2));
+}
+
+TEST(EcdsaTest, DeserializeRejectsOffCurveKey) {
+  Bytes raw(64, 0x01);
+  PublicKey key;
+  EXPECT_FALSE(PublicKey::Deserialize(raw, &key));
+}
+
+TEST(EcdsaTest, ManyKeysRoundTrip) {
+  Random rng(77);
+  for (int i = 0; i < 8; ++i) {
+    KeyPair kp = KeyPair::Generate(&rng);
+    ASSERT_TRUE(kp.valid());
+    EXPECT_TRUE(kp.public_key().point().IsOnCurve());
+    Digest msg = Sha256::Hash(rng.NextBytes(64));
+    EXPECT_TRUE(VerifySignature(kp.public_key(), msg, kp.Sign(msg)));
+  }
+}
+
+}  // namespace
+}  // namespace ledgerdb

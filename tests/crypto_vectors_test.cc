@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "crypto/ecdsa.h"
+#include "crypto/secp256k1.h"
+#include "crypto/u256.h"
+
+namespace ledgerdb {
+namespace {
+
+/// Cross-checked vectors: every expected value below was computed
+/// independently with Python arbitrary-precision integers (and a pure
+/// Python secp256k1 implementation for the point vectors), so the C++
+/// limb arithmetic is validated against an external oracle.
+
+U256 FromHexStr(const std::string& hex) {
+  Bytes raw;
+  EXPECT_TRUE(FromHex(hex, &raw));
+  EXPECT_EQ(raw.size(), 32u);
+  return U256::FromBigEndian(raw.data());
+}
+
+const U256& Modulus(const std::string& name) {
+  return name == "P" ? secp256k1::kP : secp256k1::kN;
+}
+
+struct MulModVector {
+  const char* a;
+  const char* b;
+  const char* m;
+  const char* expected;
+};
+
+TEST(CryptoVectorsTest, MulModAgainstPythonOracle) {
+  const MulModVector kVectors[] = {
+      {"23b8c1e9392456de3eb13b9046685257bdd640fb06671ad11c80317fa3b1799d",
+       "972a846916419f828b9d2434e465e150bd9c66b3ad3c2d6d1a3d1fa7bc8960a9", "P",
+       "309d258979870b8b14fe2feb1ecc71d616cd2f0dd90a86714264b7463f4d3662"},
+      {"9a1de644815ef6d13b8faa1837f8a88b17fc695a07a0ca6e0822e8f36c031199",
+       "6b65a6a48b8148f6b38a088ca65ed389b74d0fb132e706298fadc1a606cb0fb3", "P",
+       "86776febc3aaf552a5dd09d028261ed7f7513da6a396b36ea12f24f01befb437"},
+      {"c241330b01a9e71fde8a774bcf36d58b4737819096da1dac72ff5d2a386ecbe0",
+       "371ecd7b27cd813047229389571aa8766c307511b2b9437a28df6ec4ce4a2bbd", "P",
+       "757e5946837cf338be081d46de938a3a1a7640b2b1b99de7d61543cba3a2b5f8"},
+      {"5be6128e18c267976142ea7d17be31111a2a73ed562b0f79c37459eef50bea63",
+       "759cde66bacfb3d00b1f9163ce9ff57f43b7a3a69a8dca03580d7b71d8f56413", "N",
+       "88481c0fbd1b792dbd79a03c7f35594c0173e696cd7dcaa340f274f3917bf404"},
+      {"4b0dbb418d5288f1142c3fe860e7a113ec1b8ca1f91e1d4c1ff49b7889463e85",
+       "3139d32c93cd59bf5c941cf0dc98d2c1e2acf72f9e574f7aa0ee89aed453dd32", "N",
+       "4d596860f554b91c3b56d9dc0a719d87879c67fb51722d000d52e1a8de2fb562"},
+      {"fc377a4c4a15544dc5e7ce8a3a578a8ea9488d990bbb259911ce5dd2b45ed1f0",
+       "7412b29347294739614ff3d719db3ad0ddd1dfb23b982ef8daf61a26146d3f31", "N",
+       "4a7c839e9f1520b940cd46064802727084b20b34fb0182952e930b75b37f7773"},
+  };
+  for (const auto& v : kVectors) {
+    U256 result = MulMod(FromHexStr(v.a), FromHexStr(v.b), Modulus(v.m));
+    EXPECT_EQ(ToHex(result.ToBytes()), v.expected) << v.a;
+    // The field fast path must agree with the generic reduction.
+    if (std::string(v.m) == "P") {
+      EXPECT_EQ(secp256k1::FeMul(FromHexStr(v.a), FromHexStr(v.b)), result);
+    }
+  }
+}
+
+struct InverseVector {
+  const char* a;
+  const char* m;
+  const char* expected;
+};
+
+TEST(CryptoVectorsTest, ModInverseAgainstPythonOracle) {
+  const InverseVector kVectors[] = {
+      {"ab9099a435a240ae5af305535ec42e0829a3b2e95d65a441d58842dea2bc372f", "P",
+       "55ba3cfcd581e9a68ffefa6202fd359a7c7ec571bb4d42d0257a1f3815b07c2c"},
+      {"a28defe39bf0027312476f57a5e5a5abaefcfad8efc89849b3aa7efe4458a885", "P",
+       "677e7645660610cf5d27edfb0e80dde5fb55cdf6143c00f43b3dc9344f2f55c4"},
+      {"451b4cf36123fdf77656af7229d4beef3eabedcbbaa80dd488bd64072bcfbe01", "N",
+       "fd177b75e0feb9d69e0b6383f1dacc3622475c374a42d68dcd98ab620488dce8"},
+      {"5304317faf42e12f3838b3268e944239b02b61c4a3d70628ece66fa2fd5166e6", "N",
+       "c43f718d334859cbe8edeb119b4f1c54f8a7592d67f51d885291c6bdbed87e08"},
+  };
+  for (const auto& v : kVectors) {
+    U256 result = ModInverse(FromHexStr(v.a), Modulus(v.m));
+    EXPECT_EQ(ToHex(result.ToBytes()), v.expected) << v.a;
+  }
+}
+
+struct ScalarMulVector {
+  const char* k;
+  const char* x;
+  const char* y;
+};
+
+TEST(CryptoVectorsTest, ScalarMulAgainstPythonOracle) {
+  const ScalarMulVector kVectors[] = {
+      {"0000000000000000000000000000000000000000000000000000000000000005",
+       "2f8bde4d1a07209355b4a7250a5c5128e88b84bddc619ab7cba8d569b240efe4",
+       "d8ac222636e5e3d6d4dba9dda6c9c426f788271bab0d6840dca87d3aa6ac62d6"},
+      {"deadbeefcafebabe1234567890abcdef00112233445566778899aabbccddeeff",
+       "b7bd049b1e444ab116fa592e52314a74b776800dac811df499f153adc2aa7a74",
+       "20ebbb673d253eae022d75de82013e927f6b66788314d4abacfa6b82e82f880e"},
+  };
+  auto g = secp256k1::AffinePoint::Generator();
+  for (const auto& v : kVectors) {
+    U256 k = FromHexStr(v.k);
+    auto ladder = secp256k1::ScalarMul(k, g).ToAffine();
+    EXPECT_EQ(ToHex(ladder.x.ToBytes()), v.x);
+    EXPECT_EQ(ToHex(ladder.y.ToBytes()), v.y);
+    auto comb = secp256k1::ScalarMulBase(k).ToAffine();
+    EXPECT_EQ(comb, ladder);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ECDSA boundary/edge cases
+// ---------------------------------------------------------------------------
+
+TEST(EcdsaEdgeTest, RejectsOutOfRangeComponents) {
+  KeyPair kp = KeyPair::FromSeedString("edge");
+  Digest msg = Sha256::Hash(std::string_view("m"));
+  Signature sig = kp.Sign(msg);
+  Signature bad = sig;
+  bad.r = secp256k1::kN;  // r == n is invalid
+  EXPECT_FALSE(VerifySignature(kp.public_key(), msg, bad));
+  bad = sig;
+  bad.s = secp256k1::kN;
+  EXPECT_FALSE(VerifySignature(kp.public_key(), msg, bad));
+  U256 max(~0ULL, ~0ULL, ~0ULL, ~0ULL);
+  bad = sig;
+  bad.r = max;
+  EXPECT_FALSE(VerifySignature(kp.public_key(), msg, bad));
+}
+
+TEST(EcdsaEdgeTest, SignsExtremeDigests) {
+  // All-zero and all-ones message digests must sign and verify (z is
+  // reduced mod n internally).
+  KeyPair kp = KeyPair::FromSeedString("edge2");
+  Digest zero;
+  Digest ones;
+  ones.bytes.fill(0xff);
+  for (const Digest& msg : {zero, ones}) {
+    Signature sig = kp.Sign(msg);
+    EXPECT_TRUE(VerifySignature(kp.public_key(), msg, sig));
+  }
+}
+
+TEST(EcdsaEdgeTest, BoundaryPrivateKeys) {
+  // d = 1 and d = n-1 are valid secrets.
+  U256 one(1);
+  KeyPair kp1 = KeyPair::FromSecret(one);
+  ASSERT_TRUE(kp1.valid());
+  auto g = secp256k1::AffinePoint::Generator();
+  EXPECT_EQ(kp1.public_key().point(), g);
+
+  U256 n_minus_1;
+  Sub(secp256k1::kN, one, &n_minus_1);
+  KeyPair kp2 = KeyPair::FromSecret(n_minus_1);
+  ASSERT_TRUE(kp2.valid());
+  // (n-1)G = -G: same x, negated y.
+  EXPECT_EQ(kp2.public_key().point().x, g.x);
+  EXPECT_NE(kp2.public_key().point().y, g.y);
+  Digest msg = Sha256::Hash(std::string_view("boundary"));
+  EXPECT_TRUE(VerifySignature(kp1.public_key(), msg, kp1.Sign(msg)));
+  EXPECT_TRUE(VerifySignature(kp2.public_key(), msg, kp2.Sign(msg)));
+}
+
+TEST(EcdsaEdgeTest, InvalidSecretsRejected) {
+  EXPECT_FALSE(KeyPair::FromSecret(U256()).valid());
+  EXPECT_FALSE(KeyPair::FromSecret(secp256k1::kN).valid());
+  U256 over;
+  Add(secp256k1::kN, U256(1), &over);
+  EXPECT_FALSE(KeyPair::FromSecret(over).valid());
+}
+
+TEST(EcdsaEdgeTest, SignatureNotValidForRelatedKey) {
+  // A signature by d must not verify under -d's public key (same x
+  // coordinate, mirrored y): guards against sloppy point handling.
+  U256 d = FromHexStr(
+      "00000000000000000000000000000000000000000000000000000000deadbeef");
+  KeyPair kp = KeyPair::FromSecret(d);
+  U256 neg;
+  Sub(secp256k1::kN, d, &neg);
+  KeyPair mirrored = KeyPair::FromSecret(neg);
+  Digest msg = Sha256::Hash(std::string_view("mirror"));
+  Signature sig = kp.Sign(msg);
+  EXPECT_TRUE(VerifySignature(kp.public_key(), msg, sig));
+  EXPECT_FALSE(VerifySignature(mirrored.public_key(), msg, sig));
+}
+
+}  // namespace
+}  // namespace ledgerdb

@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "ledger/block.h"
+#include "ledger/journal.h"
+#include "ledger/ledger.h"
+#include "ledger/receipt.h"
+#include "timestamp/tsa.h"
+
+namespace ledgerdb {
+namespace {
+
+/// Robustness suite: every wire-format decoder must reject malformed
+/// input cleanly (no crash, no partial acceptance) — random bytes, bit
+/// flips, truncations, and extensions of valid encodings.
+
+template <typename T>
+using Decoder = bool (*)(const Bytes&, T*);
+
+template <typename T>
+void FuzzDecoder(Decoder<T> decode, const Bytes& valid, uint64_t seed) {
+  T out;
+  // The pristine encoding decodes.
+  ASSERT_TRUE(decode(valid, &out));
+
+  Random rng(seed);
+  // Random garbage of many sizes never crashes.
+  for (int trial = 0; trial < 200; ++trial) {
+    Bytes junk = rng.NextBytes(rng.Uniform(3 * valid.size() + 4));
+    T sink;
+    decode(junk, &sink);  // must not crash; result irrelevant
+  }
+  // Truncations are rejected.
+  for (size_t cut = 0; cut < valid.size(); cut += 1 + valid.size() / 37) {
+    Bytes truncated(valid.begin(), valid.begin() + static_cast<long>(cut));
+    T sink;
+    EXPECT_FALSE(decode(truncated, &sink)) << "cut=" << cut;
+  }
+  // Extensions are rejected (decoders demand exact consumption).
+  Bytes extended = valid;
+  extended.push_back(0x00);
+  T sink;
+  EXPECT_FALSE(decode(extended, &sink));
+}
+
+Journal SampleJournal() {
+  Journal journal;
+  journal.jsn = 42;
+  journal.type = JournalType::kNormal;
+  journal.server_ts = 123456789;
+  journal.clues = {"clue-a", "clue-b"};
+  journal.payload = StringToBytes("sample payload");
+  journal.payload_digest = Sha256::Hash(journal.payload);
+  journal.request_hash = Sha256::Hash(std::string_view("request"));
+  KeyPair client = KeyPair::FromSeedString("ser-client");
+  journal.client_key = client.public_key();
+  journal.client_sig = client.Sign(journal.request_hash);
+  KeyPair co = KeyPair::FromSeedString("ser-cosigner");
+  journal.endorsements.push_back({co.public_key(), co.Sign(journal.EndorsementHash())});
+  return journal;
+}
+
+TEST(SerializationFuzzTest, Journal) {
+  FuzzDecoder<Journal>(&Journal::Deserialize, SampleJournal().Serialize(), 101);
+}
+
+TEST(SerializationFuzzTest, BlockHeader) {
+  BlockHeader header;
+  header.height = 7;
+  header.first_jsn = 100;
+  header.journal_count = 32;
+  header.timestamp = 999;
+  header.tx_root = Sha256::Hash(std::string_view("tx"));
+  header.fam_root = Sha256::Hash(std::string_view("fam"));
+  FuzzDecoder<BlockHeader>(&BlockHeader::Deserialize, header.Serialize(), 102);
+}
+
+TEST(SerializationFuzzTest, Receipt) {
+  Receipt receipt;
+  receipt.jsn = 5;
+  receipt.request_hash = Sha256::Hash(std::string_view("rq"));
+  receipt.tx_hash = Sha256::Hash(std::string_view("tx"));
+  receipt.block_hash = Sha256::Hash(std::string_view("blk"));
+  receipt.timestamp = 777;
+  receipt.lsp_sig = KeyPair::FromSeedString("ser-lsp").Sign(receipt.MessageHash());
+  FuzzDecoder<Receipt>(&Receipt::Deserialize, receipt.Serialize(), 103);
+}
+
+TEST(SerializationFuzzTest, TimeAttestation) {
+  SimulatedClock clock(1000);
+  TsaService tsa(KeyPair::FromSeedString("ser-tsa"), &clock);
+  TimeAttestation att = tsa.Endorse(Sha256::Hash(std::string_view("d")));
+  FuzzDecoder<TimeAttestation>(&TimeAttestation::Deserialize, att.Serialize(), 104);
+}
+
+TEST(SerializationFuzzTest, TimeEvidence) {
+  TimeEvidence evidence;
+  evidence.mode = TimeNotaryMode::kTLedger;
+  evidence.ledger_digest = Sha256::Hash(std::string_view("root"));
+  evidence.covered_jsn_count = 9;
+  evidence.tledger_index = 3;
+  FuzzDecoder<TimeEvidence>(&TimeEvidence::Deserialize, evidence.Serialize(), 105);
+}
+
+TEST(SerializationFuzzTest, BitFlipsNeverValidateJournalHash) {
+  // Any single-bit flip in a serialized journal either fails to decode or
+  // decodes to a journal with a different tx-hash (so downstream proofs
+  // catch it). It must never produce the same tx-hash from different bytes.
+  Journal journal = SampleJournal();
+  Bytes valid = journal.Serialize();
+  Digest original = journal.TxHash();
+  Random rng(106);
+  for (int trial = 0; trial < 300; ++trial) {
+    Bytes mutated = valid;
+    size_t pos = rng.Uniform(mutated.size());
+    uint8_t bit = 1 << rng.Uniform(8);
+    mutated[pos] ^= bit;
+    Journal out;
+    if (!Journal::Deserialize(mutated, &out)) continue;
+    if (!(out.TxHash() == original)) continue;  // caught by any fam proof
+    // Flips that leave the tx-hash intact must still be caught by one of
+    // the other commitment layers:
+    bool payload_mismatch = !(Sha256::Hash(out.payload) == out.payload_digest);
+    bool occult_flag_flip = out.occulted != journal.occulted;  // vs occult journal
+    bool endorsement_broken = false;
+    Digest emsg = out.EndorsementHash();
+    for (const Endorsement& e : out.endorsements) {
+      if (!VerifySignature(e.key, emsg, e.signature)) endorsement_broken = true;
+    }
+    if (out.endorsements.size() != journal.endorsements.size()) {
+      endorsement_broken = true;
+    }
+    EXPECT_TRUE(payload_mismatch || occult_flag_flip || endorsement_broken)
+        << "undetectable flip at byte " << pos;
+  }
+}
+
+TEST(SerializationFuzzTest, PublicKeyRejectsRandomBytes) {
+  Random rng(107);
+  int accepted = 0;
+  for (int trial = 0; trial < 100; ++trial) {
+    Bytes junk = rng.NextBytes(64);
+    PublicKey key;
+    if (PublicKey::Deserialize(junk, &key)) ++accepted;
+  }
+  // A random 64-byte string is on the curve with probability ~2^-128.
+  EXPECT_EQ(accepted, 0);
+}
+
+}  // namespace
+}  // namespace ledgerdb

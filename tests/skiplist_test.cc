@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "common/random.h"
+#include "storage/clue_skiplist.h"
+
+namespace ledgerdb {
+namespace {
+
+TEST(ClueSkipListTest, EmptyList) {
+  ClueSkipList csl;
+  EXPECT_EQ(csl.ClueCount(), 0u);
+  EXPECT_EQ(csl.Find("anything"), nullptr);
+  EXPECT_TRUE(csl.Keys().empty());
+  EXPECT_TRUE(csl.Scan("", "\x7f").empty());
+}
+
+TEST(ClueSkipListTest, AppendAndFind) {
+  ClueSkipList csl;
+  csl.Append("alpha", 1);
+  csl.Append("beta", 2);
+  csl.Append("alpha", 5);
+  EXPECT_EQ(csl.ClueCount(), 2u);
+  const auto* alpha = csl.Find("alpha");
+  ASSERT_NE(alpha, nullptr);
+  EXPECT_EQ(*alpha, (std::vector<uint64_t>{1, 5}));
+  EXPECT_TRUE(csl.Contains("beta"));
+  EXPECT_FALSE(csl.Contains("gamma"));
+}
+
+TEST(ClueSkipListTest, KeysAreSorted) {
+  ClueSkipList csl;
+  for (const char* k : {"pear", "apple", "zebra", "mango", "fig"}) {
+    csl.Append(k, 0);
+  }
+  std::vector<std::string> keys = csl.Keys();
+  EXPECT_TRUE(std::is_sorted(keys.begin(), keys.end()));
+  EXPECT_EQ(keys.size(), 5u);
+}
+
+TEST(ClueSkipListTest, RangeScan) {
+  ClueSkipList csl;
+  for (int i = 0; i < 20; ++i) {
+    csl.Append("shipment-" + std::to_string(10 + i), i);
+  }
+  csl.Append("invoice-1", 99);
+  auto hits = csl.Scan("shipment-12", "shipment-16");
+  ASSERT_EQ(hits.size(), 4u);
+  EXPECT_EQ(hits.front().first, "shipment-12");
+  EXPECT_EQ(hits.back().first, "shipment-15");
+  // Prefix-style scan.
+  auto all_shipments = csl.Scan("shipment-", "shipment-\x7f");
+  EXPECT_EQ(all_shipments.size(), 20u);
+}
+
+TEST(ClueSkipListTest, MatchesReferenceMapUnderRandomLoad) {
+  ClueSkipList csl;
+  std::map<std::string, std::vector<uint64_t>> reference;
+  Random rng(4242);
+  for (uint64_t i = 0; i < 5000; ++i) {
+    std::string clue = "clue-" + std::to_string(rng.Uniform(300));
+    csl.Append(clue, i);
+    reference[clue].push_back(i);
+  }
+  EXPECT_EQ(csl.ClueCount(), reference.size());
+  for (const auto& [clue, jsns] : reference) {
+    const auto* postings = csl.Find(clue);
+    ASSERT_NE(postings, nullptr) << clue;
+    EXPECT_EQ(*postings, jsns) << clue;
+  }
+  // Full scan equals the ordered reference.
+  auto scan = csl.Scan("", "\x7f");
+  ASSERT_EQ(scan.size(), reference.size());
+  auto it = reference.begin();
+  for (const auto& [clue, postings] : scan) {
+    EXPECT_EQ(clue, it->first);
+    ++it;
+  }
+}
+
+TEST(ClueSkipListTest, DeterministicForSeed) {
+  ClueSkipList a(7), b(7);
+  for (int i = 0; i < 100; ++i) {
+    a.Append("k" + std::to_string(i % 10), i);
+    b.Append("k" + std::to_string(i % 10), i);
+  }
+  EXPECT_EQ(a.Keys(), b.Keys());
+}
+
+TEST(ClueSkipListTest, EmptyAndInvertedScanRanges) {
+  ClueSkipList csl;
+  for (const char* k : {"b", "d", "f"}) csl.Append(k, 1);
+  EXPECT_TRUE(csl.Scan("d", "d").empty());   // empty range
+  EXPECT_TRUE(csl.Scan("f", "b").empty());   // inverted range
+  EXPECT_EQ(csl.Scan("a", "c").size(), 1u);  // partial overlap
+  EXPECT_EQ(csl.Scan("e", "zzz").size(), 1u);
+}
+
+TEST(ClueSkipListTest, LargePostingListStaysOrdered) {
+  ClueSkipList csl;
+  for (uint64_t i = 0; i < 20000; ++i) csl.Append("hot", i);
+  const auto* postings = csl.Find("hot");
+  ASSERT_NE(postings, nullptr);
+  ASSERT_EQ(postings->size(), 20000u);
+  EXPECT_TRUE(std::is_sorted(postings->begin(), postings->end()));
+  EXPECT_EQ(csl.ClueCount(), 1u);
+}
+
+TEST(ClueSkipListTest, PointerStability) {
+  ClueSkipList csl;
+  csl.Append("stable", 1);
+  const auto* before = csl.Find("stable");
+  for (int i = 0; i < 1000; ++i) csl.Append("other-" + std::to_string(i), i);
+  csl.Append("stable", 2);
+  EXPECT_EQ(csl.Find("stable"), before);
+  EXPECT_EQ(before->size(), 2u);
+}
+
+}  // namespace
+}  // namespace ledgerdb

@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/random.h"
+#include "crypto/hash.h"
+#include "storage/node_store.h"
+#include "storage/stream_store.h"
+
+namespace ledgerdb {
+namespace {
+
+std::string TempPath(std::string name) {
+  for (char& c : name) {
+    if (c == '/') c = '_';
+  }
+  // FileStreamStore::Open no longer truncates; tests want a fresh log.
+  std::string path = std::string(::testing::TempDir()) + "/" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// StreamStore
+// ---------------------------------------------------------------------------
+
+class StreamStoreTest : public ::testing::TestWithParam<bool> {
+ protected:
+  void SetUp() override {
+    if (GetParam()) {
+      std::unique_ptr<FileStreamStore> fs;
+      ASSERT_TRUE(FileStreamStore::Open(
+                      TempPath("stream_" +
+                               std::string(::testing::UnitTest::GetInstance()
+                                               ->current_test_info()
+                                               ->name()) +
+                               ".log"),
+                      &fs)
+                      .ok());
+      store_ = std::move(fs);
+    } else {
+      store_ = std::make_unique<MemoryStreamStore>();
+    }
+  }
+
+  std::unique_ptr<StreamStore> store_;
+};
+
+TEST_P(StreamStoreTest, AppendAssignsDenseIndexes) {
+  uint64_t idx;
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(store_->Append(Slice(std::string_view("rec")), &idx).ok());
+    EXPECT_EQ(idx, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(store_->Count(), 10u);
+}
+
+TEST_P(StreamStoreTest, ReadBackMatches) {
+  Random rng(11);
+  std::vector<Bytes> records;
+  for (int i = 0; i < 50; ++i) {
+    records.push_back(rng.NextBytes(rng.Range(0, 300)));
+    uint64_t idx;
+    ASSERT_TRUE(store_->Append(Slice(records.back()), &idx).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    Bytes out;
+    ASSERT_TRUE(store_->Read(i, &out).ok());
+    EXPECT_EQ(out, records[i]);
+  }
+}
+
+TEST_P(StreamStoreTest, ReadPastEndIsNotFound) {
+  Bytes out;
+  EXPECT_TRUE(store_->Read(0, &out).IsNotFound());
+  uint64_t idx;
+  ASSERT_TRUE(store_->Append(Slice(std::string_view("x")), &idx).ok());
+  EXPECT_TRUE(store_->Read(1, &out).IsNotFound());
+}
+
+TEST_P(StreamStoreTest, OverwriteSmallerRecord) {
+  uint64_t idx;
+  ASSERT_TRUE(
+      store_->Append(Slice(std::string_view("original-payload")), &idx).ok());
+  ASSERT_TRUE(store_->Overwrite(idx, Slice(std::string_view("digest"))).ok());
+  Bytes out;
+  ASSERT_TRUE(store_->Read(idx, &out).ok());
+  EXPECT_EQ(out, StringToBytes("digest"));
+}
+
+TEST_P(StreamStoreTest, OverwriteMissingIndexFails) {
+  EXPECT_TRUE(store_->Overwrite(3, Slice(std::string_view("x"))).IsNotFound());
+}
+
+INSTANTIATE_TEST_SUITE_P(MemoryAndFile, StreamStoreTest,
+                         ::testing::Values(false, true),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "File" : "Memory";
+                         });
+
+TEST(FileStreamStoreTest, OverwriteLargerIsRejected) {
+  std::unique_ptr<FileStreamStore> fs;
+  ASSERT_TRUE(FileStreamStore::Open(TempPath("grow.log"), &fs).ok());
+  uint64_t idx;
+  ASSERT_TRUE(fs->Append(Slice(std::string_view("ab")), &idx).ok());
+  EXPECT_TRUE(
+      fs->Overwrite(idx, Slice(std::string_view("abcdef"))).IsNotSupported());
+}
+
+TEST(FileStreamStoreTest, DetectsOnDiskCorruption) {
+  std::string path = TempPath("corrupt.log");
+  std::unique_ptr<FileStreamStore> fs;
+  ASSERT_TRUE(FileStreamStore::Open(path, &fs).ok());
+  uint64_t idx;
+  ASSERT_TRUE(fs->Append(Slice(std::string_view("sensitive-record")), &idx).ok());
+
+  // Flip a payload byte behind the store's back.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 12 + 3, SEEK_SET), 0);  // past 12-byte frame header
+  uint8_t b = 0;
+  ASSERT_EQ(std::fread(&b, 1, 1, f), 1u);
+  b ^= 0xff;
+  ASSERT_EQ(std::fseek(f, 12 + 3, SEEK_SET), 0);
+  ASSERT_EQ(std::fwrite(&b, 1, 1, f), 1u);
+  std::fclose(f);
+
+  Bytes out;
+  EXPECT_TRUE(fs->Read(idx, &out).IsCorruption());
+}
+
+TEST(FileStreamStoreTest, ReopenRebuildsIndexAcrossProcesses) {
+  std::string path = TempPath("reopen.log");
+  std::remove(path.c_str());
+  {
+    std::unique_ptr<FileStreamStore> fs;
+    ASSERT_TRUE(FileStreamStore::Open(path, &fs).ok());
+    uint64_t idx;
+    ASSERT_TRUE(fs->Append(Slice(std::string_view("first-record")), &idx).ok());
+    ASSERT_TRUE(fs->Append(Slice(std::string_view("second")), &idx).ok());
+    // Shrinking in-place rewrite (occult-style) before the "crash".
+    ASSERT_TRUE(fs->Overwrite(0, Slice(std::string_view("tomb"))).ok());
+  }  // close
+  std::unique_ptr<FileStreamStore> fs;
+  ASSERT_TRUE(FileStreamStore::Open(path, &fs).ok());
+  ASSERT_EQ(fs->Count(), 2u);
+  Bytes out;
+  ASSERT_TRUE(fs->Read(0, &out).ok());
+  EXPECT_EQ(out, StringToBytes("tomb"));
+  ASSERT_TRUE(fs->Read(1, &out).ok());
+  EXPECT_EQ(out, StringToBytes("second"));
+  // Appending after reopen lands after the existing frames.
+  uint64_t idx;
+  ASSERT_TRUE(fs->Append(Slice(std::string_view("third")), &idx).ok());
+  EXPECT_EQ(idx, 2u);
+  ASSERT_TRUE(fs->Read(2, &out).ok());
+  EXPECT_EQ(out, StringToBytes("third"));
+}
+
+TEST(FileStreamStoreTest, TornFinalFrameDroppedOnReopen) {
+  std::string path = TempPath("torn.log");
+  std::remove(path.c_str());
+  {
+    std::unique_ptr<FileStreamStore> fs;
+    ASSERT_TRUE(FileStreamStore::Open(path, &fs).ok());
+    uint64_t idx;
+    ASSERT_TRUE(fs->Append(Slice(std::string_view("complete")), &idx).ok());
+    ASSERT_TRUE(fs->Append(Slice(std::string_view("will-be-torn")), &idx).ok());
+  }
+  // Simulate a crash mid-append: chop bytes off the final frame.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, 0, SEEK_END), 0);
+  long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size - 5), 0);
+
+  std::unique_ptr<FileStreamStore> fs;
+  ASSERT_TRUE(FileStreamStore::Open(path, &fs).ok());
+  EXPECT_EQ(fs->Count(), 1u);
+  Bytes out;
+  ASSERT_TRUE(fs->Read(0, &out).ok());
+  EXPECT_EQ(out, StringToBytes("complete"));
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC32("123456789") = 0xcbf43926 (IEEE).
+  Bytes data = StringToBytes("123456789");
+  EXPECT_EQ(Crc32(data.data(), data.size()), 0xcbf43926u);
+}
+
+// ---------------------------------------------------------------------------
+// NodeStore
+// ---------------------------------------------------------------------------
+
+TEST(MemoryNodeStoreTest, PutGetRoundTrip) {
+  MemoryNodeStore store;
+  Digest key = Sha256::Hash(std::string_view("node-1"));
+  Bytes value = StringToBytes("serialized-node");
+  ASSERT_TRUE(store.Put(key, Slice(value)).ok());
+  EXPECT_TRUE(store.Contains(key));
+  Bytes out;
+  ASSERT_TRUE(store.Get(key, &out).ok());
+  EXPECT_EQ(out, value);
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(MemoryNodeStoreTest, GetMissingIsNotFound) {
+  MemoryNodeStore store;
+  Bytes out;
+  EXPECT_TRUE(store.Get(Sha256::Hash(std::string_view("missing")), &out).IsNotFound());
+}
+
+TEST(MemoryNodeStoreTest, PutIsIdempotent) {
+  MemoryNodeStore store;
+  Digest key = Sha256::Hash(std::string_view("k"));
+  ASSERT_TRUE(store.Put(key, Slice(std::string_view("v"))).ok());
+  ASSERT_TRUE(store.Put(key, Slice(std::string_view("v"))).ok());
+  EXPECT_EQ(store.Size(), 1u);
+}
+
+TEST(TieredNodeStoreTest, HotAndColdTiers) {
+  TieredNodeStore store(std::make_unique<MemoryNodeStore>());
+  Digest hot_key = Sha256::Hash(std::string_view("hot"));
+  Digest cold_key = Sha256::Hash(std::string_view("cold"));
+  ASSERT_TRUE(store.PutTiered(hot_key, Slice(std::string_view("h")), true).ok());
+  ASSERT_TRUE(store.PutTiered(cold_key, Slice(std::string_view("c")), false).ok());
+  EXPECT_EQ(store.HotSize(), 1u);
+  EXPECT_EQ(store.Size(), 2u);
+  Bytes out;
+  ASSERT_TRUE(store.Get(hot_key, &out).ok());
+  EXPECT_EQ(out, StringToBytes("h"));
+  ASSERT_TRUE(store.Get(cold_key, &out).ok());
+  EXPECT_EQ(out, StringToBytes("c"));
+  EXPECT_TRUE(store.Contains(hot_key));
+  EXPECT_TRUE(store.Contains(cold_key));
+  EXPECT_FALSE(store.Contains(Sha256::Hash(std::string_view("absent"))));
+}
+
+}  // namespace
+}  // namespace ledgerdb

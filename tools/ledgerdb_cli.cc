@@ -1,0 +1,337 @@
+// ledgerdb_cli — operate a file-backed ledger from the shell.
+//
+// Every invocation reopens the ledger from its on-disk streams (full
+// crash-recovery path) and replays integrity checks, so the tool doubles
+// as a recovery/fsck driver.
+//
+//   ledgerdb_cli init   <dir> <uri>              create a ledger directory
+//   ledgerdb_cli append <dir> <payload> [clue..] append a signed journal
+//   ledgerdb_cli get    <dir> <jsn>              fetch one journal
+//   ledgerdb_cli verify <dir> <jsn>              client-side fam verification
+//   ledgerdb_cli lineage <dir> <clue>            list + verify a clue
+//   ledgerdb_cli anchor <dir>                    TSA time anchor
+//   ledgerdb_cli occult <dir> <jsn>              hide a journal (DBA+regulator)
+//   ledgerdb_cli purge  <dir> <before_jsn>       purge history
+//   ledgerdb_cli audit  <dir>                    full Dasein-complete audit
+//   ledgerdb_cli status <dir>                    roots & counters
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "audit/dasein_auditor.h"
+#include "ledger/ledger.h"
+
+using namespace ledgerdb;
+
+namespace {
+
+struct CliContext {
+  std::string dir;
+  std::string uri;
+  SystemClock clock;
+  std::unique_ptr<CertificateAuthority> ca;
+  std::unique_ptr<MemberRegistry> registry;
+  KeyPair lsp, user, dba, regulator, tsa_key;
+  std::unique_ptr<TsaService> tsa;
+  std::unique_ptr<FileStreamStore> journal_stream, block_stream;
+  std::unique_ptr<Ledger> ledger;
+};
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+int FailStatus(const std::string& what, const Status& status) {
+  return Fail(what + ": " + status.ToString());
+}
+
+bool ReadFileString(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::getline(in, *out);
+  return true;
+}
+
+bool WriteFileString(const std::string& path, const std::string& value) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << value << "\n";
+  return true;
+}
+
+/// Derives the fixed cast of identities from the ledger's seed file.
+void DeriveIdentities(CliContext* ctx, const std::string& seed) {
+  ctx->ca = std::make_unique<CertificateAuthority>(
+      KeyPair::FromSeedString(seed + ":ca"));
+  ctx->registry = std::make_unique<MemberRegistry>(ctx->ca.get());
+  ctx->lsp = KeyPair::FromSeedString(seed + ":lsp");
+  ctx->user = KeyPair::FromSeedString(seed + ":user");
+  ctx->dba = KeyPair::FromSeedString(seed + ":dba");
+  ctx->regulator = KeyPair::FromSeedString(seed + ":regulator");
+  ctx->tsa_key = KeyPair::FromSeedString(seed + ":tsa");
+  ctx->registry->Register(ctx->ca->Certify("lsp", ctx->lsp.public_key(), Role::kLsp));
+  ctx->registry->Register(ctx->ca->Certify("user", ctx->user.public_key(), Role::kUser));
+  ctx->registry->Register(ctx->ca->Certify("dba", ctx->dba.public_key(), Role::kDba));
+  ctx->registry->Register(
+      ctx->ca->Certify("regulator", ctx->regulator.public_key(), Role::kRegulator));
+  ctx->registry->Register(ctx->ca->Certify("tsa", ctx->tsa_key.public_key(), Role::kTsa));
+  ctx->tsa = std::make_unique<TsaService>(ctx->tsa_key, &ctx->clock);
+}
+
+/// Opens an existing ledger directory: reads seed + uri, reopens the
+/// streams, and recovers the full ledger state from disk.
+int OpenLedger(CliContext* ctx, const std::string& dir) {
+  ctx->dir = dir;
+  std::string seed;
+  if (!ReadFileString(dir + "/seed", &seed) ||
+      !ReadFileString(dir + "/uri", &ctx->uri)) {
+    return Fail("not a ledger directory (run `init` first): " + dir);
+  }
+  DeriveIdentities(ctx, seed);
+  Status s = FileStreamStore::Open(dir + "/journals.log", &ctx->journal_stream);
+  if (!s.ok()) return FailStatus("open journals", s);
+  s = FileStreamStore::Open(dir + "/blocks.log", &ctx->block_stream);
+  if (!s.ok()) return FailStatus("open blocks", s);
+  LedgerStorage storage{ctx->journal_stream.get(), ctx->block_stream.get()};
+  LedgerOptions options;
+  options.fractal_height = 10;
+  options.block_capacity = 16;
+  s = Ledger::Recover(ctx->uri, options, &ctx->clock, ctx->lsp,
+                      ctx->registry.get(), storage, &ctx->ledger);
+  if (!s.ok()) return FailStatus("recover (ledger may be tampered)", s);
+  ctx->ledger->AttachDirectTsa(ctx->tsa.get());
+  return 0;
+}
+
+int CmdInit(const std::string& dir, const std::string& uri) {
+  std::string probe;
+  if (ReadFileString(dir + "/uri", &probe)) {
+    return Fail("ledger directory already initialized: " + dir);
+  }
+  // Seed from the system clock; identities derive deterministically.
+  SystemClock clock;
+  std::string seed = "ledgerdb-" + std::to_string(clock.Now());
+  if (!WriteFileString(dir + "/seed", seed) ||
+      !WriteFileString(dir + "/uri", uri)) {
+    return Fail("cannot write to directory (does it exist?): " + dir);
+  }
+  CliContext ctx;
+  ctx.uri = uri;
+  DeriveIdentities(&ctx, seed);
+  Status s = FileStreamStore::Open(dir + "/journals.log", &ctx.journal_stream);
+  if (!s.ok()) return FailStatus("create journals", s);
+  s = FileStreamStore::Open(dir + "/blocks.log", &ctx.block_stream);
+  if (!s.ok()) return FailStatus("create blocks", s);
+  LedgerStorage storage{ctx.journal_stream.get(), ctx.block_stream.get()};
+  LedgerOptions options;
+  options.fractal_height = 10;
+  options.block_capacity = 16;
+  Ledger ledger(uri, options, &ctx.clock, ctx.lsp, ctx.registry.get(), storage);
+  ledger.SealBlock();
+  std::printf("initialized %s (uri %s)\n", dir.c_str(), uri.c_str());
+  std::printf("genesis fam root: %s\n", ledger.FamRoot().ToHex().c_str());
+  return 0;
+}
+
+int CmdAppend(CliContext* ctx, const std::string& payload,
+              const std::vector<std::string>& clues) {
+  ClientTransaction tx;
+  tx.ledger_uri = ctx->uri;
+  tx.clues = clues;
+  tx.payload = StringToBytes(payload);
+  tx.nonce = ctx->ledger->NumJournals();
+  tx.client_ts = ctx->clock.Now();
+  tx.Sign(ctx->user);
+  uint64_t jsn = 0;
+  Status s = ctx->ledger->Append(tx, &jsn);
+  if (!s.ok()) return FailStatus("append", s);
+  Receipt receipt;
+  s = ctx->ledger->GetReceipt(jsn, &receipt);
+  if (!s.ok()) return FailStatus("receipt", s);
+  std::printf("jsn:        %llu\n", (unsigned long long)jsn);
+  std::printf("tx-hash:    %s\n", receipt.tx_hash.ToHex().c_str());
+  std::printf("block-hash: %s\n", receipt.block_hash.ToHex().c_str());
+  std::printf("receipt:    %s\n", ToHex(receipt.Serialize()).c_str());
+  return 0;
+}
+
+int CmdGet(CliContext* ctx, uint64_t jsn) {
+  Journal journal;
+  Status s = ctx->ledger->GetJournal(jsn, &journal);
+  if (!s.ok()) return FailStatus("get", s);
+  std::printf("jsn:      %llu\n", (unsigned long long)jsn);
+  std::printf("type:     %d%s\n", static_cast<int>(journal.type),
+              journal.occulted ? " (occulted)" : "");
+  std::printf("payload:  %s\n",
+              journal.occulted
+                  ? "<erased>"
+                  : std::string(journal.payload.begin(), journal.payload.end())
+                        .c_str());
+  std::printf("digest:   %s\n", journal.payload_digest.ToHex().c_str());
+  for (const std::string& clue : journal.clues) {
+    std::printf("clue:     %s\n", clue.c_str());
+  }
+  return 0;
+}
+
+int CmdVerify(CliContext* ctx, uint64_t jsn) {
+  Journal journal;
+  Status s = ctx->ledger->GetJournal(jsn, &journal);
+  if (!s.ok()) return FailStatus("get", s);
+  FamProof proof;
+  s = ctx->ledger->GetProof(jsn, &proof);
+  if (!s.ok()) return FailStatus("proof", s);
+  bool ok = Ledger::VerifyJournalProof(journal, proof, ctx->ledger->FamRoot());
+  std::printf("fam root:  %s\n", ctx->ledger->FamRoot().ToHex().c_str());
+  std::printf("proof:     %zu digests\n", proof.CostInHashes());
+  std::printf("result:    %s\n", ok ? "VALID" : "INVALID");
+  return ok ? 0 : 1;
+}
+
+int CmdLineage(CliContext* ctx, const std::string& clue) {
+  std::vector<uint64_t> jsns;
+  Status s = ctx->ledger->ListTx(clue, &jsns);
+  if (!s.ok()) return FailStatus("lineage", s);
+  std::vector<Digest> digests;
+  for (uint64_t jsn : jsns) {
+    Journal journal;
+    s = ctx->ledger->GetJournal(jsn, &journal);
+    if (!s.ok()) return FailStatus("get", s);
+    digests.push_back(journal.TxHash());
+    std::printf("jsn %-8llu %s\n", (unsigned long long)jsn,
+                journal.occulted
+                    ? "<erased>"
+                    : std::string(journal.payload.begin(), journal.payload.end())
+                          .c_str());
+  }
+  ClueProof proof;
+  s = ctx->ledger->GetClueProof(clue, 0, 0, &proof);
+  if (!s.ok()) return FailStatus("clue proof", s);
+  bool ok = CmTree::VerifyClueProof(ctx->ledger->ClueRoot(), digests, proof);
+  std::printf("%zu records; lineage %s\n", jsns.size(),
+              ok ? "VALID" : "INVALID");
+  return ok ? 0 : 1;
+}
+
+int CmdAnchor(CliContext* ctx) {
+  uint64_t jsn = 0;
+  Status s = ctx->ledger->AnchorTime(&jsn);
+  if (!s.ok()) return FailStatus("anchor", s);
+  const TimeEvidence& ev = ctx->ledger->time_journals().back().evidence;
+  std::printf("time journal jsn: %llu\n", (unsigned long long)jsn);
+  std::printf("TSA timestamp:    %lld us\n",
+              (long long)ev.attestation.timestamp);
+  std::printf("attested digest:  %s\n", ev.ledger_digest.ToHex().c_str());
+  return 0;
+}
+
+int CmdOccult(CliContext* ctx, uint64_t jsn) {
+  Digest request = Ledger::OccultRequestHash(ctx->uri, jsn);
+  std::vector<Endorsement> sigs = {
+      {ctx->dba.public_key(), ctx->dba.Sign(request)},
+      {ctx->regulator.public_key(), ctx->regulator.Sign(request)}};
+  uint64_t oj = 0;
+  Status s = ctx->ledger->Occult(jsn, sigs, &oj);
+  if (!s.ok()) return FailStatus("occult", s);
+  ctx->ledger->ReorganizeOcculted();
+  std::printf("occulted jsn %llu (occult journal %llu)\n",
+              (unsigned long long)jsn, (unsigned long long)oj);
+  return 0;
+}
+
+int CmdPurge(CliContext* ctx, uint64_t before) {
+  Digest request = Ledger::PurgeRequestHash(ctx->uri, before);
+  std::vector<Endorsement> sigs = {
+      {ctx->dba.public_key(), ctx->dba.Sign(request)},
+      {ctx->user.public_key(), ctx->user.Sign(request)}};
+  uint64_t pj = 0;
+  Status s = ctx->ledger->Purge(before, sigs, {}, &pj);
+  if (!s.ok()) return FailStatus("purge", s);
+  std::printf("purged journals before %llu (purge journal %llu)\n",
+              (unsigned long long)before, (unsigned long long)pj);
+  return 0;
+}
+
+int CmdAudit(CliContext* ctx) {
+  Receipt receipt;
+  Status s = ctx->ledger->GetReceipt(ctx->ledger->NumJournals() - 1, &receipt);
+  if (!s.ok()) return FailStatus("receipt", s);
+  DaseinAuditor::Context context;
+  context.ledger = ctx->ledger.get();
+  context.members = ctx->registry.get();
+  context.tsa_key = ctx->tsa->public_key();
+  AuditReport report;
+  s = DaseinAuditor(context).Audit(receipt, {}, &report);
+  std::printf("journals replayed:    %llu\n",
+              (unsigned long long)report.journals_replayed);
+  std::printf("blocks verified:      %llu\n",
+              (unsigned long long)report.blocks_verified);
+  std::printf("time journals:        %llu\n",
+              (unsigned long long)report.time_journals_verified);
+  std::printf("signatures verified:  %llu\n",
+              (unsigned long long)report.signatures_verified);
+  std::printf("audit: %s\n",
+              report.passed ? "PASSED"
+                            : ("FAILED — " + report.failure_reason).c_str());
+  return report.passed && s.ok() ? 0 : 1;
+}
+
+int CmdStatus(CliContext* ctx) {
+  std::printf("uri:             %s\n", ctx->uri.c_str());
+  std::printf("journals:        %llu\n",
+              (unsigned long long)ctx->ledger->NumJournals());
+  std::printf("purged boundary: %llu\n",
+              (unsigned long long)ctx->ledger->PurgedBoundary());
+  std::printf("occulted:        %llu\n",
+              (unsigned long long)ctx->ledger->OccultedCount());
+  std::printf("blocks:          %zu\n", ctx->ledger->blocks().size());
+  std::printf("time journals:   %zu\n", ctx->ledger->time_journals().size());
+  std::printf("fam root:        %s\n", ctx->ledger->FamRoot().ToHex().c_str());
+  std::printf("clue root:       %s\n", ctx->ledger->ClueRoot().ToHex().c_str());
+  std::printf("state root:      %s\n", ctx->ledger->StateRoot().ToHex().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ledgerdb_cli <init|append|get|verify|lineage|anchor|"
+               "occult|purge|audit|status> <dir> [args...]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  std::string command = argv[1];
+  std::string dir = argv[2];
+
+  if (command == "init") {
+    if (argc != 4) return Usage();
+    return CmdInit(dir, argv[3]);
+  }
+
+  CliContext ctx;
+  int rc = OpenLedger(&ctx, dir);
+  if (rc != 0) return rc;
+
+  if (command == "append") {
+    if (argc < 4) return Usage();
+    std::vector<std::string> clues(argv + 4, argv + argc);
+    return CmdAppend(&ctx, argv[3], clues);
+  }
+  if (command == "get" && argc == 4) return CmdGet(&ctx, std::strtoull(argv[3], nullptr, 10));
+  if (command == "verify" && argc == 4) return CmdVerify(&ctx, std::strtoull(argv[3], nullptr, 10));
+  if (command == "lineage" && argc == 4) return CmdLineage(&ctx, argv[3]);
+  if (command == "anchor") return CmdAnchor(&ctx);
+  if (command == "occult" && argc == 4) return CmdOccult(&ctx, std::strtoull(argv[3], nullptr, 10));
+  if (command == "purge" && argc == 4) return CmdPurge(&ctx, std::strtoull(argv[3], nullptr, 10));
+  if (command == "audit") return CmdAudit(&ctx);
+  if (command == "status") return CmdStatus(&ctx);
+  return Usage();
+}
