@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_applications.dir/bench_applications.cpp.o"
+  "CMakeFiles/bench_applications.dir/bench_applications.cpp.o.d"
+  "bench_applications"
+  "bench_applications.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_applications.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_capabilities.dir/bench_capabilities.cpp.o"
+  "CMakeFiles/bench_capabilities.dir/bench_capabilities.cpp.o.d"
+  "bench_capabilities"
+  "bench_capabilities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_capabilities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

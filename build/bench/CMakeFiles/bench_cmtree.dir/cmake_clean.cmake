@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmtree.dir/bench_cmtree.cpp.o"
+  "CMakeFiles/bench_cmtree.dir/bench_cmtree.cpp.o.d"
+  "bench_cmtree"
+  "bench_cmtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

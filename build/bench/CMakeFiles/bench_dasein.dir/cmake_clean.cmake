@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dasein.dir/bench_dasein.cpp.o"
+  "CMakeFiles/bench_dasein.dir/bench_dasein.cpp.o.d"
+  "bench_dasein"
+  "bench_dasein.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dasein.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

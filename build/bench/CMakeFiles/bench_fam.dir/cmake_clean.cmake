@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fam.dir/bench_fam.cpp.o"
+  "CMakeFiles/bench_fam.dir/bench_fam.cpp.o.d"
+  "bench_fam"
+  "bench_fam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

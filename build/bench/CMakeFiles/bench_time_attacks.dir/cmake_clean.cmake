@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_time_attacks.dir/bench_time_attacks.cpp.o"
+  "CMakeFiles/bench_time_attacks.dir/bench_time_attacks.cpp.o.d"
+  "bench_time_attacks"
+  "bench_time_attacks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_time_attacks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/copyright_lineage.dir/copyright_lineage.cpp.o"
+  "CMakeFiles/copyright_lineage.dir/copyright_lineage.cpp.o.d"
+  "copyright_lineage"
+  "copyright_lineage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/copyright_lineage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

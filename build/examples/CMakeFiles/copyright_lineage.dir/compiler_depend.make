@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for copyright_lineage.
+# This may be replaced when dependencies are built.

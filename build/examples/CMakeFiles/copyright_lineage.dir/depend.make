@@ -1,0 +1,2 @@
+# Empty dependencies file for copyright_lineage.
+# This may be replaced when dependencies are built.

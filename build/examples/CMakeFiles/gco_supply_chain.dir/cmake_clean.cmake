@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gco_supply_chain.dir/gco_supply_chain.cpp.o"
+  "CMakeFiles/gco_supply_chain.dir/gco_supply_chain.cpp.o.d"
+  "gco_supply_chain"
+  "gco_supply_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gco_supply_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

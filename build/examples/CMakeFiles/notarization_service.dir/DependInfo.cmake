@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/notarization_service.cpp" "examples/CMakeFiles/notarization_service.dir/notarization_service.cpp.o" "gcc" "examples/CMakeFiles/notarization_service.dir/notarization_service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ledger/CMakeFiles/ledgerdb_ledger.dir/DependInfo.cmake"
+  "/root/repo/build/src/audit/CMakeFiles/ledgerdb_audit.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/ledgerdb_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmtree/CMakeFiles/ledgerdb_cmtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpt/CMakeFiles/ledgerdb_mpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ledgerdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/DependInfo.cmake"
+  "/root/repo/build/src/accum/CMakeFiles/ledgerdb_accum.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ledgerdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/ledgerdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

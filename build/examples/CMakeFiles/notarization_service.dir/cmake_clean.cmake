@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/notarization_service.dir/notarization_service.cpp.o"
+  "CMakeFiles/notarization_service.dir/notarization_service.cpp.o.d"
+  "notarization_service"
+  "notarization_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/notarization_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for notarization_service.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regulatory_mutation.dir/regulatory_mutation.cpp.o"
+  "CMakeFiles/regulatory_mutation.dir/regulatory_mutation.cpp.o.d"
+  "regulatory_mutation"
+  "regulatory_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regulatory_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for regulatory_mutation.
+# This may be replaced when dependencies are built.

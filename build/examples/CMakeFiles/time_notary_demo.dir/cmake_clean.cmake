@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_notary_demo.dir/time_notary_demo.cpp.o"
+  "CMakeFiles/time_notary_demo.dir/time_notary_demo.cpp.o.d"
+  "time_notary_demo"
+  "time_notary_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_notary_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

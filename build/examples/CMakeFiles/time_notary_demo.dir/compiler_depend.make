@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for time_notary_demo.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/accum/bamt.cc" "src/accum/CMakeFiles/ledgerdb_accum.dir/bamt.cc.o" "gcc" "src/accum/CMakeFiles/ledgerdb_accum.dir/bamt.cc.o.d"
+  "/root/repo/src/accum/bim.cc" "src/accum/CMakeFiles/ledgerdb_accum.dir/bim.cc.o" "gcc" "src/accum/CMakeFiles/ledgerdb_accum.dir/bim.cc.o.d"
+  "/root/repo/src/accum/fam.cc" "src/accum/CMakeFiles/ledgerdb_accum.dir/fam.cc.o" "gcc" "src/accum/CMakeFiles/ledgerdb_accum.dir/fam.cc.o.d"
+  "/root/repo/src/accum/naive_merkle.cc" "src/accum/CMakeFiles/ledgerdb_accum.dir/naive_merkle.cc.o" "gcc" "src/accum/CMakeFiles/ledgerdb_accum.dir/naive_merkle.cc.o.d"
+  "/root/repo/src/accum/shrubs.cc" "src/accum/CMakeFiles/ledgerdb_accum.dir/shrubs.cc.o" "gcc" "src/accum/CMakeFiles/ledgerdb_accum.dir/shrubs.cc.o.d"
+  "/root/repo/src/accum/tim.cc" "src/accum/CMakeFiles/ledgerdb_accum.dir/tim.cc.o" "gcc" "src/accum/CMakeFiles/ledgerdb_accum.dir/tim.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ledgerdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ledgerdb_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

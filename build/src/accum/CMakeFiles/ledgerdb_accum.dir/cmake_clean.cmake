@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_accum.dir/bamt.cc.o"
+  "CMakeFiles/ledgerdb_accum.dir/bamt.cc.o.d"
+  "CMakeFiles/ledgerdb_accum.dir/bim.cc.o"
+  "CMakeFiles/ledgerdb_accum.dir/bim.cc.o.d"
+  "CMakeFiles/ledgerdb_accum.dir/fam.cc.o"
+  "CMakeFiles/ledgerdb_accum.dir/fam.cc.o.d"
+  "CMakeFiles/ledgerdb_accum.dir/naive_merkle.cc.o"
+  "CMakeFiles/ledgerdb_accum.dir/naive_merkle.cc.o.d"
+  "CMakeFiles/ledgerdb_accum.dir/shrubs.cc.o"
+  "CMakeFiles/ledgerdb_accum.dir/shrubs.cc.o.d"
+  "CMakeFiles/ledgerdb_accum.dir/tim.cc.o"
+  "CMakeFiles/ledgerdb_accum.dir/tim.cc.o.d"
+  "libledgerdb_accum.a"
+  "libledgerdb_accum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_accum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ledgerdb_accum.
+# This may be replaced when dependencies are built.

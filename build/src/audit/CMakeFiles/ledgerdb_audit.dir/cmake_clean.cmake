@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_audit.dir/dasein_auditor.cc.o"
+  "CMakeFiles/ledgerdb_audit.dir/dasein_auditor.cc.o.d"
+  "libledgerdb_audit.a"
+  "libledgerdb_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

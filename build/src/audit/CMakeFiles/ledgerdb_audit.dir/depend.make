@@ -1,0 +1,2 @@
+# Empty dependencies file for ledgerdb_audit.
+# This may be replaced when dependencies are built.

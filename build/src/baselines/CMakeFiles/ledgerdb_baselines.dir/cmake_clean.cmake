@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_baselines.dir/fabric_sim.cc.o"
+  "CMakeFiles/ledgerdb_baselines.dir/fabric_sim.cc.o.d"
+  "CMakeFiles/ledgerdb_baselines.dir/qldb_sim.cc.o"
+  "CMakeFiles/ledgerdb_baselines.dir/qldb_sim.cc.o.d"
+  "libledgerdb_baselines.a"
+  "libledgerdb_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_client.dir/ledger_client.cc.o"
+  "CMakeFiles/ledgerdb_client.dir/ledger_client.cc.o.d"
+  "libledgerdb_client.a"
+  "libledgerdb_client.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_client.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_cmtree.dir/cc_mpt.cc.o"
+  "CMakeFiles/ledgerdb_cmtree.dir/cc_mpt.cc.o.d"
+  "CMakeFiles/ledgerdb_cmtree.dir/cm_tree.cc.o"
+  "CMakeFiles/ledgerdb_cmtree.dir/cm_tree.cc.o.d"
+  "libledgerdb_cmtree.a"
+  "libledgerdb_cmtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_cmtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

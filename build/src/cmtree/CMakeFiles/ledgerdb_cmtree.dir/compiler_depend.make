@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ledgerdb_cmtree.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_common.dir/bytes.cc.o"
+  "CMakeFiles/ledgerdb_common.dir/bytes.cc.o.d"
+  "CMakeFiles/ledgerdb_common.dir/clock.cc.o"
+  "CMakeFiles/ledgerdb_common.dir/clock.cc.o.d"
+  "CMakeFiles/ledgerdb_common.dir/random.cc.o"
+  "CMakeFiles/ledgerdb_common.dir/random.cc.o.d"
+  "CMakeFiles/ledgerdb_common.dir/status.cc.o"
+  "CMakeFiles/ledgerdb_common.dir/status.cc.o.d"
+  "libledgerdb_common.a"
+  "libledgerdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

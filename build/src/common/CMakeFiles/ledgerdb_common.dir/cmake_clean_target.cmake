@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libledgerdb_common.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/ecdsa.cc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/ecdsa.cc.o" "gcc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/ecdsa.cc.o.d"
+  "/root/repo/src/crypto/hash.cc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/hash.cc.o" "gcc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/hash.cc.o.d"
+  "/root/repo/src/crypto/secp256k1.cc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/secp256k1.cc.o" "gcc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/secp256k1.cc.o.d"
+  "/root/repo/src/crypto/u256.cc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/u256.cc.o" "gcc" "src/crypto/CMakeFiles/ledgerdb_crypto.dir/u256.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ledgerdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

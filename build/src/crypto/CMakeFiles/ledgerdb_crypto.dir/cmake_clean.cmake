@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_crypto.dir/ecdsa.cc.o"
+  "CMakeFiles/ledgerdb_crypto.dir/ecdsa.cc.o.d"
+  "CMakeFiles/ledgerdb_crypto.dir/hash.cc.o"
+  "CMakeFiles/ledgerdb_crypto.dir/hash.cc.o.d"
+  "CMakeFiles/ledgerdb_crypto.dir/secp256k1.cc.o"
+  "CMakeFiles/ledgerdb_crypto.dir/secp256k1.cc.o.d"
+  "CMakeFiles/ledgerdb_crypto.dir/u256.cc.o"
+  "CMakeFiles/ledgerdb_crypto.dir/u256.cc.o.d"
+  "libledgerdb_crypto.a"
+  "libledgerdb_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ledger/block.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/block.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/block.cc.o.d"
+  "/root/repo/src/ledger/journal.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/journal.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/journal.cc.o.d"
+  "/root/repo/src/ledger/ledger.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/ledger.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/ledger.cc.o.d"
+  "/root/repo/src/ledger/members.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/members.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/members.cc.o.d"
+  "/root/repo/src/ledger/receipt.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/receipt.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/receipt.cc.o.d"
+  "/root/repo/src/ledger/service.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/service.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/service.cc.o.d"
+  "/root/repo/src/ledger/sharded.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/sharded.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/sharded.cc.o.d"
+  "/root/repo/src/ledger/world_state.cc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/world_state.cc.o" "gcc" "src/ledger/CMakeFiles/ledgerdb_ledger.dir/world_state.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ledgerdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ledgerdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/ledgerdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/accum/CMakeFiles/ledgerdb_accum.dir/DependInfo.cmake"
+  "/root/repo/build/src/mpt/CMakeFiles/ledgerdb_mpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmtree/CMakeFiles/ledgerdb_cmtree.dir/DependInfo.cmake"
+  "/root/repo/build/src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_ledger.dir/block.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/block.cc.o.d"
+  "CMakeFiles/ledgerdb_ledger.dir/journal.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/journal.cc.o.d"
+  "CMakeFiles/ledgerdb_ledger.dir/ledger.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/ledger.cc.o.d"
+  "CMakeFiles/ledgerdb_ledger.dir/members.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/members.cc.o.d"
+  "CMakeFiles/ledgerdb_ledger.dir/receipt.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/receipt.cc.o.d"
+  "CMakeFiles/ledgerdb_ledger.dir/service.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/service.cc.o.d"
+  "CMakeFiles/ledgerdb_ledger.dir/sharded.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/sharded.cc.o.d"
+  "CMakeFiles/ledgerdb_ledger.dir/world_state.cc.o"
+  "CMakeFiles/ledgerdb_ledger.dir/world_state.cc.o.d"
+  "libledgerdb_ledger.a"
+  "libledgerdb_ledger.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_ledger.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_mpt.dir/mpt.cc.o"
+  "CMakeFiles/ledgerdb_mpt.dir/mpt.cc.o.d"
+  "libledgerdb_mpt.a"
+  "libledgerdb_mpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_mpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

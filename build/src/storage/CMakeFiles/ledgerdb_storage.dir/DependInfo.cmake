@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/bitmap_index.cc" "src/storage/CMakeFiles/ledgerdb_storage.dir/bitmap_index.cc.o" "gcc" "src/storage/CMakeFiles/ledgerdb_storage.dir/bitmap_index.cc.o.d"
+  "/root/repo/src/storage/clue_skiplist.cc" "src/storage/CMakeFiles/ledgerdb_storage.dir/clue_skiplist.cc.o" "gcc" "src/storage/CMakeFiles/ledgerdb_storage.dir/clue_skiplist.cc.o.d"
+  "/root/repo/src/storage/node_store.cc" "src/storage/CMakeFiles/ledgerdb_storage.dir/node_store.cc.o" "gcc" "src/storage/CMakeFiles/ledgerdb_storage.dir/node_store.cc.o.d"
+  "/root/repo/src/storage/stream_store.cc" "src/storage/CMakeFiles/ledgerdb_storage.dir/stream_store.cc.o" "gcc" "src/storage/CMakeFiles/ledgerdb_storage.dir/stream_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ledgerdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ledgerdb_crypto.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

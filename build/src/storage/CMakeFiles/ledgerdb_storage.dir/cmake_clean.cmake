@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_storage.dir/bitmap_index.cc.o"
+  "CMakeFiles/ledgerdb_storage.dir/bitmap_index.cc.o.d"
+  "CMakeFiles/ledgerdb_storage.dir/clue_skiplist.cc.o"
+  "CMakeFiles/ledgerdb_storage.dir/clue_skiplist.cc.o.d"
+  "CMakeFiles/ledgerdb_storage.dir/node_store.cc.o"
+  "CMakeFiles/ledgerdb_storage.dir/node_store.cc.o.d"
+  "CMakeFiles/ledgerdb_storage.dir/stream_store.cc.o"
+  "CMakeFiles/ledgerdb_storage.dir/stream_store.cc.o.d"
+  "libledgerdb_storage.a"
+  "libledgerdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timestamp/attacks.cc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/attacks.cc.o" "gcc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/attacks.cc.o.d"
+  "/root/repo/src/timestamp/pegging.cc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/pegging.cc.o" "gcc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/pegging.cc.o.d"
+  "/root/repo/src/timestamp/t_ledger.cc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/t_ledger.cc.o" "gcc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/t_ledger.cc.o.d"
+  "/root/repo/src/timestamp/tsa.cc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/tsa.cc.o" "gcc" "src/timestamp/CMakeFiles/ledgerdb_timestamp.dir/tsa.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/ledgerdb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/ledgerdb_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/accum/CMakeFiles/ledgerdb_accum.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_timestamp.dir/attacks.cc.o"
+  "CMakeFiles/ledgerdb_timestamp.dir/attacks.cc.o.d"
+  "CMakeFiles/ledgerdb_timestamp.dir/pegging.cc.o"
+  "CMakeFiles/ledgerdb_timestamp.dir/pegging.cc.o.d"
+  "CMakeFiles/ledgerdb_timestamp.dir/t_ledger.cc.o"
+  "CMakeFiles/ledgerdb_timestamp.dir/t_ledger.cc.o.d"
+  "CMakeFiles/ledgerdb_timestamp.dir/tsa.cc.o"
+  "CMakeFiles/ledgerdb_timestamp.dir/tsa.cc.o.d"
+  "libledgerdb_timestamp.a"
+  "libledgerdb_timestamp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_timestamp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

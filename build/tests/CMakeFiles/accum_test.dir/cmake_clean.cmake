@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accum_test.dir/accum_test.cc.o"
+  "CMakeFiles/accum_test.dir/accum_test.cc.o.d"
+  "accum_test"
+  "accum_test.pdb"
+  "accum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adversarial_test.dir/adversarial_test.cc.o"
+  "CMakeFiles/adversarial_test.dir/adversarial_test.cc.o.d"
+  "adversarial_test"
+  "adversarial_test.pdb"
+  "adversarial_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adversarial_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

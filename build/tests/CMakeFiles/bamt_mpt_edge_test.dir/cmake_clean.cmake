@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bamt_mpt_edge_test.dir/bamt_mpt_edge_test.cc.o"
+  "CMakeFiles/bamt_mpt_edge_test.dir/bamt_mpt_edge_test.cc.o.d"
+  "bamt_mpt_edge_test"
+  "bamt_mpt_edge_test.pdb"
+  "bamt_mpt_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bamt_mpt_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cmtree_test.dir/cmtree_test.cc.o"
+  "CMakeFiles/cmtree_test.dir/cmtree_test.cc.o.d"
+  "cmtree_test"
+  "cmtree_test.pdb"
+  "cmtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cmtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledger_features_test.dir/ledger_features_test.cc.o"
+  "CMakeFiles/ledger_features_test.dir/ledger_features_test.cc.o.d"
+  "ledger_features_test"
+  "ledger_features_test.pdb"
+  "ledger_features_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledger_features_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpt_test.dir/mpt_test.cc.o"
+  "CMakeFiles/mpt_test.dir/mpt_test.cc.o.d"
+  "mpt_test"
+  "mpt_test.pdb"
+  "mpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

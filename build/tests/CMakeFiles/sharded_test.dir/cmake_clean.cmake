@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sharded_test.dir/sharded_test.cc.o"
+  "CMakeFiles/sharded_test.dir/sharded_test.cc.o.d"
+  "sharded_test"
+  "sharded_test.pdb"
+  "sharded_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sharded_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/skiplist_test.dir/skiplist_test.cc.o"
+  "CMakeFiles/skiplist_test.dir/skiplist_test.cc.o.d"
+  "skiplist_test"
+  "skiplist_test.pdb"
+  "skiplist_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/skiplist_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_and_gc_test.dir/state_and_gc_test.cc.o"
+  "CMakeFiles/state_and_gc_test.dir/state_and_gc_test.cc.o.d"
+  "state_and_gc_test"
+  "state_and_gc_test.pdb"
+  "state_and_gc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_and_gc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/statemachine_test.dir/statemachine_test.cc.o"
+  "CMakeFiles/statemachine_test.dir/statemachine_test.cc.o.d"
+  "statemachine_test"
+  "statemachine_test.pdb"
+  "statemachine_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/statemachine_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timestamp_test.dir/timestamp_test.cc.o"
+  "CMakeFiles/timestamp_test.dir/timestamp_test.cc.o.d"
+  "timestamp_test"
+  "timestamp_test.pdb"
+  "timestamp_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timestamp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/accum_test[1]_include.cmake")
+include("/root/repo/build/tests/mpt_test[1]_include.cmake")
+include("/root/repo/build/tests/cmtree_test[1]_include.cmake")
+include("/root/repo/build/tests/timestamp_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_test[1]_include.cmake")
+include("/root/repo/build/tests/audit_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/recovery_test[1]_include.cmake")
+include("/root/repo/build/tests/ledger_features_test[1]_include.cmake")
+include("/root/repo/build/tests/service_test[1]_include.cmake")
+include("/root/repo/build/tests/adversarial_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/skiplist_test[1]_include.cmake")
+include("/root/repo/build/tests/serialization_test[1]_include.cmake")
+include("/root/repo/build/tests/client_test[1]_include.cmake")
+include("/root/repo/build/tests/bamt_mpt_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/sharded_test[1]_include.cmake")
+include("/root/repo/build/tests/state_and_gc_test[1]_include.cmake")
+include("/root/repo/build/tests/statemachine_test[1]_include.cmake")
+include("/root/repo/build/tests/crypto_vectors_test[1]_include.cmake")

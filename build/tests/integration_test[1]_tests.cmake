@@ -1,0 +1,3 @@
+add_test([=[IntegrationTest.FullLifecycleSurvivesEverything]=]  /root/repo/build/tests/integration_test [==[--gtest_filter=IntegrationTest.FullLifecycleSurvivesEverything]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[IntegrationTest.FullLifecycleSurvivesEverything]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_test_TESTS IntegrationTest.FullLifecycleSurvivesEverything)

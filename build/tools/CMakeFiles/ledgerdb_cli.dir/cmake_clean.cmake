@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ledgerdb_cli.dir/ledgerdb_cli.cc.o"
+  "CMakeFiles/ledgerdb_cli.dir/ledgerdb_cli.cc.o.d"
+  "ledgerdb_cli"
+  "ledgerdb_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ledgerdb_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
