@@ -33,7 +33,8 @@ Digest D(uint64_t i) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   const uint64_t n = 1 << 15;
 
   // ------------------------------------------------------------------
@@ -95,6 +96,8 @@ int main() {
     std::printf("%-36s %8.1f us\n", "full chain verify latency", full_us);
     std::printf("%-36s %8.1f us  (%.0fx faster)\n",
                 "anchored verify latency", aoa_us, full_us / aoa_us);
+    json.Add("verify/full_chain", 1e6 / full_us, full_us, full_us);
+    json.Add("verify/anchored", 1e6 / aoa_us, aoa_us, aoa_us);
   }
 
   // ------------------------------------------------------------------
@@ -110,6 +113,7 @@ int main() {
     fam.GetEpochProof(n - 1, &local, &epoch);
     std::printf("fam-%-4d %14.0f %15zu digests\n", delta, n / secs,
                 local.CostInHashes());
+    json.Add("append/fam-" + std::to_string(delta), n / secs);
   }
 
   // ------------------------------------------------------------------
@@ -156,6 +160,8 @@ int main() {
       }
       std::printf("%-8s occult op: %8.1f us;  idle reorganization: %8.1f us\n",
                   sync ? "sync" : "async", op_us, reorg_us);
+      json.Add(std::string("occult/") + (sync ? "sync" : "async"),
+               1e6 / op_us, op_us, op_us);
     }
   }
 

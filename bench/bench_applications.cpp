@@ -71,7 +71,8 @@ struct LedgerFixture {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   int shift = ScaleShift();
 
   // -----------------------------------------------------------------
@@ -138,6 +139,8 @@ int main() {
     std::printf("%-10s %14.0f %14.0f %14.0f %14.0f\n",
                 VolumeLabel(n, 256).c_str(), ldb_1core, ldb_deploy,
                 fabric_1core, fabric_deploy);
+    json.Add("notarize_append/ledgerdb/" + VolumeLabel(n, 256), ldb_1core);
+    json.Add("notarize_append/fabric/" + VolumeLabel(n, 256), fabric_1core);
   }
 
   // -----------------------------------------------------------------
@@ -181,6 +184,9 @@ int main() {
     std::printf("%-10s %16.2f %16.2f\n", VolumeLabel(n, 4096).c_str(),
                 (ledger_us + kLedgerDbRttUs) / 1000.0,
                 (fabric_us + fabric_model.modeled) / 1000.0);
+    double ldb_lat_us = ledger_us + kLedgerDbRttUs;
+    json.Add("notarize_verify/ledgerdb/" + VolumeLabel(n, 4096),
+             1e6 / ldb_lat_us, ldb_lat_us, ldb_lat_us);
   }
 
   // -----------------------------------------------------------------
@@ -237,6 +243,8 @@ int main() {
     std::printf("%-8zu %14.0f %14.0f %16.2f %16.2f\n", entries,
                 1e6 / ldb_total_us, 1e6 / fabric_total_us,
                 ldb_total_us / 1000.0, fabric_total_us / 1000.0);
+    json.Add("lineage_verify/ledgerdb/" + std::to_string(entries),
+             1e6 / ldb_total_us, ldb_total_us, ldb_total_us);
   }
 
   std::printf(

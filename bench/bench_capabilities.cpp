@@ -22,7 +22,8 @@ struct Probe {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   Header("Table I: verification capabilities of ledger systems");
   std::printf("%-12s %-16s %-16s %-12s %-10s %-10s %-10s\n", "System",
               "TrustedDep", "Dasein", "VerifyEff", "Storage", "Mutation",
@@ -152,6 +153,7 @@ int main() {
   for (const Probe& probe : probes) {
     std::printf("  [%s] %s\n", probe.passed ? "PASS" : "FAIL",
                 probe.name.c_str());
+    json.Add("probe/" + probe.name, probe.passed ? 1.0 : 0.0);
     all &= probe.passed;
   }
   std::printf("\n%s\n", all ? "All Table I capabilities verified live."

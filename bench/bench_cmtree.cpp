@@ -98,7 +98,8 @@ double CcMptVerifyThroughput(const Workload& w, uint64_t queries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   int shift = ScaleShift();
 
   Header("Figure 9(a): clue verification throughput (TPS) vs ledger size");
@@ -111,6 +112,8 @@ int main() {
     double cc = CcMptVerifyThroughput(w, queries);
     std::printf("%-10s %14.0f %14.0f %9.1fx\n",
                 VolumeLabel(n, kJournalBytes).c_str(), cm, cc, cm / cc);
+    json.Add("clue_verify/cmtree/" + VolumeLabel(n, kJournalBytes), cm);
+    json.Add("clue_verify/ccmpt/" + VolumeLabel(n, kJournalBytes), cc);
   }
 
   Header("Figure 9(b): clue verification latency (ms) vs clue entries");
@@ -149,6 +152,10 @@ int main() {
     }) / 1000.0;
     std::printf("%-10llu %14.2f %14.2f %9.1fx\n",
                 (unsigned long long)entries, cm_ms, cc_ms, cc_ms / cm_ms);
+    json.Add("clue_latency/cmtree/" + std::to_string(entries),
+             1e3 / cm_ms, cm_ms * 1e3, cm_ms * 1e3);
+    json.Add("clue_latency/ccmpt/" + std::to_string(entries),
+             1e3 / cc_ms, cc_ms * 1e3, cc_ms * 1e3);
   }
 
   std::printf(

@@ -16,6 +16,7 @@
 
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "accum/fam.h"
@@ -193,24 +194,31 @@ double WhoLatencyUs(int signers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   Header("Figure 7 (left): when latency per journal, 256B, Sig-1, dt=1s");
   std::printf("%-8s %12s\n", "config", "us/journal");
-  std::printf("%-8s %12.1f\n", "TSA", WhenLatencyUs(false, 1));
-  std::printf("%-8s %12.1f\n", "TL-1", WhenLatencyUs(true, 1));
-  std::printf("%-8s %12.1f\n", "TL-10", WhenLatencyUs(true, 10));
+  for (auto [name, every] : {std::pair<const char*, int>{"TSA", 0},
+                             {"TL-1", 1}, {"TL-10", 10}}) {
+    double us = WhenLatencyUs(every != 0, every == 0 ? 1 : every);
+    std::printf("%-8s %12.1f\n", name, us);
+    json.Add(std::string("when/") + name, 1e6 / us, us, us);
+  }
 
   Header("Figure 7 (middle): what latency per journal vs payload (TL-1, Sig-1)");
   std::printf("%-8s %12s\n", "payload", "us/journal");
   for (size_t bytes : {256UL, 4096UL, 65536UL, 262144UL}) {
-    std::printf("%-8s %12.1f\n", VolumeLabel(1, bytes).c_str(),
-                WhatLatencyUs(bytes));
+    double us = WhatLatencyUs(bytes);
+    std::printf("%-8s %12.1f\n", VolumeLabel(1, bytes).c_str(), us);
+    json.Add("what/" + VolumeLabel(1, bytes), 1e6 / us, us, us);
   }
 
   Header("Figure 7 (right): who latency per journal vs signers (TL-1, 256B)");
   std::printf("%-8s %12s\n", "signers", "us/journal");
   for (int signers : {1, 3, 5, 7}) {
-    std::printf("Sig-%-4d %12.1f\n", signers, WhoLatencyUs(signers));
+    double us = WhoLatencyUs(signers);
+    std::printf("Sig-%-4d %12.1f\n", signers, us);
+    json.Add("who/sig-" + std::to_string(signers), 1e6 / us, us, us);
   }
 
   std::printf(

@@ -94,7 +94,8 @@ double GetProofThroughput(const Model& model, uint64_t n, uint64_t queries) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   int shift = ScaleShift();
   std::vector<uint64_t> sizes;
   for (int p = 12 + shift; p <= 20 + shift; p += 2) {
@@ -112,7 +113,10 @@ int main() {
   for (const Model& model : models) {
     std::printf("%-10s", model.name.c_str());
     for (uint64_t n : sizes) {
-      std::printf(" %12.0f", AppendThroughput(model, n));
+      double tps = AppendThroughput(model, n);
+      json.Add("append/" + model.name + "/" + VolumeLabel(n, kJournalBytes),
+               tps);
+      std::printf(" %12.0f", tps);
     }
     std::printf("\n");
   }
@@ -127,7 +131,10 @@ int main() {
   for (const Model& model : models) {
     std::printf("%-10s", model.name.c_str());
     for (uint64_t n : sizes) {
-      std::printf(" %12.0f", GetProofThroughput(model, n, queries));
+      double tps = GetProofThroughput(model, n, queries);
+      json.Add("get_proof/" + model.name + "/" + VolumeLabel(n, kJournalBytes),
+               tps);
+      std::printf(" %12.0f", tps);
     }
     std::printf("\n");
   }

@@ -5,6 +5,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "accum/fam.h"
 #include "accum/shrubs.h"
 #include "accum/tim.h"
@@ -173,4 +176,29 @@ BENCHMARK(BM_CmTreeClueVerify)->Arg(10)->Arg(100)->Arg(1000);
 }  // namespace
 }  // namespace ledgerdb
 
-BENCHMARK_MAIN();
+// Accepts the repo-wide `--json <path>` flag by translating it into
+// google-benchmark's native JSON reporter flags.
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  for (int i = 0; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+      out_flag = "--benchmark_out=" + std::string(argv[i + 1]);
+      ++i;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,8 @@ constexpr uint64_t kPreload = 20000;  // revisions in the populated ledger
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   Random rng(3);
   KeyPair client = KeyPair::FromSeedString("t2-client");
 
@@ -167,8 +168,10 @@ int main() {
   Header("Table II: application-level latency (seconds)");
   std::printf("%-28s %12s %12s %10s\n", "operation", "QLDB", "LedgerDB",
               "speedup");
-  auto row = [](const char* name, double q, double l) {
+  auto row = [&](const char* name, double q, double l) {
     std::printf("%-28s %12.3f %12.3f %9.0fx\n", name, q, l, q / l);
+    json.Add(std::string("qldb/") + name, 1.0 / q, q * 1e6, q * 1e6);
+    json.Add(std::string("ledgerdb/") + name, 1.0 / l, l * 1e6, l * 1e6);
   };
   row("Notarization Insert", q_insert, l_insert);
   row("Notarization Retrieve", q_retrieve, l_retrieve);

@@ -18,7 +18,8 @@
 using namespace ledgerdb;
 using namespace ledgerdb::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
   const Timestamp dt = kMicrosPerSecond;
   const Timestamp tau_delta = 500 * kMicrosPerMilli;
 
@@ -42,6 +43,10 @@ int main() {
                 one_way.window / 1e6, two_way.window / 1e6,
                 tledger.window / 1e6,
                 (unsigned long long)tledger.rejections);
+    json.Add("window_s/one_way/stall-" + std::to_string(stall / kMicrosPerSecond),
+             one_way.window / 1e6);
+    json.Add("window_s/tledger/stall-" + std::to_string(stall / kMicrosPerSecond),
+             tledger.window / 1e6);
     one_way_unbounded &= (one_way.window > prev_one_way);
     prev_one_way = one_way.window;
     two_way_bounded &= (two_way.window <= 2 * dt);

@@ -1,12 +1,14 @@
 #ifndef LEDGERDB_BENCH_BENCH_UTIL_H_
 #define LEDGERDB_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <vector>
 
 namespace ledgerdb::bench {
 
@@ -65,6 +67,94 @@ inline std::string VolumeLabel(uint64_t journals, uint64_t journal_bytes) {
   std::snprintf(buf, sizeof(buf), "%.0f%s", bytes, units[u]);
   return buf;
 }
+
+/// Collects per-operation latencies and reports percentiles.
+class LatencySampler {
+ public:
+  void Add(double us) { samples_.push_back(us); }
+
+  /// Times one run of `fn` and records it.
+  void Time(const std::function<void()>& fn) { Add(TimeSeconds(fn) * 1e6); }
+
+  /// p in [0, 100]; returns 0 when empty.
+  double PercentileUs(double p) const {
+    if (samples_.empty()) return 0.0;
+    std::vector<double> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(rank);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[hi] - sorted[lo]) * frac;
+  }
+
+  size_t count() const { return samples_.size(); }
+
+ private:
+  std::vector<double> samples_;
+};
+
+/// Machine-readable results sink shared by every bench binary: pass
+/// `--json <path>` and each Add()ed entry is written as one object in a
+/// JSON array at exit ({"name", "ops_per_sec", "p50_us", "p99_us"}).
+/// Without the flag this is a no-op, keeping the human-readable tables as
+/// the only output.
+class JsonReporter {
+ public:
+  JsonReporter(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+    }
+  }
+
+  ~JsonReporter() { Flush(); }
+
+  bool enabled() const { return !path_.empty(); }
+
+  void Add(const std::string& name, double ops_per_sec, double p50_us = 0.0,
+           double p99_us = 0.0) {
+    entries_.push_back({name, ops_per_sec, p50_us, p99_us});
+  }
+
+  void Add(const std::string& name, double ops_per_sec,
+           const LatencySampler& sampler) {
+    Add(name, ops_per_sec, sampler.PercentileUs(50.0),
+        sampler.PercentileUs(99.0));
+  }
+
+  void Flush() {
+    if (path_.empty() || entries_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      const Entry& e = entries_[i];
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"ops_per_sec\": %.2f, "
+                   "\"p50_us\": %.3f, \"p99_us\": %.3f}%s\n",
+                   e.name.c_str(), e.ops_per_sec, e.p50_us, e.p99_us,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+    std::printf("JSON results written to %s\n", path_.c_str());
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    double ops_per_sec;
+    double p50_us;
+    double p99_us;
+  };
+
+  std::string path_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace ledgerdb::bench
 

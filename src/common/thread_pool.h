@@ -1,0 +1,56 @@
+#ifndef LEDGERDB_COMMON_THREAD_POOL_H_
+#define LEDGERDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ledgerdb {
+
+/// Fixed-size worker pool over a bounded FIFO work queue.
+///
+/// Producers on any thread Submit() closures; Submit blocks while the queue
+/// is at capacity, so a fast producer is backpressured instead of growing
+/// the queue without bound. A pool with one worker is an *ordered lane*:
+/// tasks execute serially in submission order, which is how the sharded
+/// append pipeline keeps each Ledger shard single-writer.
+///
+/// Destruction drains every queued task (nothing submitted is dropped) and
+/// joins the workers.
+class ThreadPool {
+ public:
+  explicit ThreadPool(size_t num_threads, size_t queue_capacity = 1024);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Blocks while the queue is full (backpressure).
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every task submitted so far has finished executing.
+  void Drain();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable not_empty_;   // signals workers
+  std::condition_variable not_full_;    // signals blocked producers
+  std::condition_variable all_done_;    // signals Drain()
+  std::deque<std::function<void()>> queue_;
+  const size_t capacity_;
+  size_t in_flight_ = 0;  // tasks popped but not yet finished
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_COMMON_THREAD_POOL_H_

@@ -142,6 +142,12 @@ Signature KeyPair::Sign(const Digest& message) const {
 
 bool VerifySignature(const PublicKey& key, const Digest& message,
                      const Signature& sig) {
+  return VerifySignature(key, message, sig, nullptr);
+}
+
+bool VerifySignature(const PublicKey& key, const Digest& message,
+                     const Signature& sig,
+                     const secp256k1::VerifyContext* ctx) {
   if (!key.valid()) return false;
   if (sig.r.IsZero() || sig.s.IsZero()) return false;
   if (Compare(sig.r, kN) >= 0 || Compare(sig.s, kN) >= 0) return false;
@@ -152,7 +158,9 @@ bool VerifySignature(const PublicKey& key, const Digest& message,
   U256 w = ModInverse(sig.s, kN);
   U256 u1 = MulMod(z, w, kN);
   U256 u2 = MulMod(sig.r, w, kN);
-  JacobianPoint rp = secp256k1::DoubleScalarMul(u1, u2, key.point());
+  JacobianPoint rp = ctx != nullptr
+                         ? secp256k1::DoubleScalarMul(u1, u2, *ctx)
+                         : secp256k1::DoubleScalarMul(u1, u2, key.point());
   if (rp.infinity) return false;
   AffinePoint ra = rp.ToAffine();
   U256 rx = ReduceWide(ra.x, U256(), kN);

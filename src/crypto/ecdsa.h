@@ -76,6 +76,14 @@ class KeyPair {
 bool VerifySignature(const PublicKey& key, const Digest& message,
                      const Signature& sig);
 
+/// Verification with an optional precomputed per-key context (from
+/// secp256k1::VerifyContext::For(key.point())). `ctx` must have been built
+/// for `key`; pass nullptr to fall back to the one-shot path. Repeat
+/// signers skip the G+Q point setup on every verify.
+bool VerifySignature(const PublicKey& key, const Digest& message,
+                     const Signature& sig,
+                     const secp256k1::VerifyContext* ctx);
+
 }  // namespace ledgerdb
 
 #endif  // LEDGERDB_CRYPTO_ECDSA_H_

@@ -274,29 +274,38 @@ namespace {
 constexpr uint8_t kLeafPrefix = 0x00;
 constexpr uint8_t kNodePrefix = 0x01;
 constexpr uint8_t kChainPrefix = 0x02;
+
+// The accumulator hot path: every fam/Shrubs append and every proof
+// verification funnels through these. A fixed stack frame (1 prefix byte +
+// two digests) feeds the compression function directly — no heap Bytes, no
+// per-fragment buffering in the streaming state.
+Digest HashTwoDigests(uint8_t prefix, const Digest& a, const Digest& b) {
+  uint8_t buf[65];
+  buf[0] = prefix;
+  std::memcpy(buf + 1, a.bytes.data(), 32);
+  std::memcpy(buf + 33, b.bytes.data(), 32);
+  Sha256 h;
+  h.Update(buf, sizeof(buf));
+  return h.Finish();
+}
+
 }  // namespace
 
 Digest HashMerkleLeaf(const Digest& payload_digest) {
+  uint8_t buf[33];
+  buf[0] = kLeafPrefix;
+  std::memcpy(buf + 1, payload_digest.bytes.data(), 32);
   Sha256 h;
-  h.Update(&kLeafPrefix, 1);
-  h.Update(payload_digest.bytes.data(), 32);
+  h.Update(buf, sizeof(buf));
   return h.Finish();
 }
 
 Digest HashMerkleNode(const Digest& left, const Digest& right) {
-  Sha256 h;
-  h.Update(&kNodePrefix, 1);
-  h.Update(left.bytes.data(), 32);
-  h.Update(right.bytes.data(), 32);
-  return h.Finish();
+  return HashTwoDigests(kNodePrefix, left, right);
 }
 
 Digest HashChain(const Digest& prev, const Digest& next) {
-  Sha256 h;
-  h.Update(&kChainPrefix, 1);
-  h.Update(prev.bytes.data(), 32);
-  h.Update(next.bytes.data(), 32);
-  return h.Finish();
+  return HashTwoDigests(kChainPrefix, prev, next);
 }
 
 }  // namespace ledgerdb

@@ -222,13 +222,11 @@ JacobianPoint ScalarMulBase(const U256& k) {
   return acc;
 }
 
-JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
-                              const AffinePoint& q) {
+namespace {
+
+JacobianPoint InterleavedLadder(const U256& k1, const U256& k2,
+                                const AffinePoint& q, const AffinePoint& gq) {
   const AffinePoint g = AffinePoint::Generator();
-  // Precompute G + Q once for the interleaved ladder.
-  AffinePoint gq = Add(JacobianPoint::FromAffine(g),
-                       JacobianPoint::FromAffine(q))
-                       .ToAffine();
   JacobianPoint acc;
   int bits = std::max(k1.BitLength(), k2.BitLength());
   for (int i = bits - 1; i >= 0; --i) {
@@ -244,6 +242,33 @@ JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
     }
   }
   return acc;
+}
+
+}  // namespace
+
+VerifyContext VerifyContext::For(const AffinePoint& q) {
+  VerifyContext ctx;
+  ctx.q = q;
+  ctx.g_plus_q =
+      Add(JacobianPoint::FromAffine(AffinePoint::Generator()),
+          JacobianPoint::FromAffine(q))
+          .ToAffine();
+  return ctx;
+}
+
+JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
+                              const AffinePoint& q) {
+  // Precompute G + Q for the interleaved ladder (one-shot path; repeat
+  // verifiers should hold a VerifyContext instead).
+  AffinePoint gq = Add(JacobianPoint::FromAffine(AffinePoint::Generator()),
+                       JacobianPoint::FromAffine(q))
+                       .ToAffine();
+  return InterleavedLadder(k1, k2, q, gq);
+}
+
+JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
+                              const VerifyContext& ctx) {
+  return InterleavedLadder(k1, k2, ctx.q, ctx.g_plus_q);
 }
 
 }  // namespace ledgerdb::secp256k1

@@ -66,6 +66,24 @@ JacobianPoint ScalarMulBase(const U256& k);
 JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
                               const AffinePoint& q);
 
+/// Precomputed per-key state for repeated verifications against the same
+/// public key Q: Shamir's interleaved ladder needs G+Q, which costs a full
+/// Jacobian add plus a field inversion to re-derive on every verify. A
+/// registry (e.g. ledger MemberRegistry) builds this once per member at
+/// registration and repeat signers skip the point setup entirely. The
+/// struct is immutable after construction and safe to share across
+/// threads.
+struct VerifyContext {
+  AffinePoint q;
+  AffinePoint g_plus_q;
+
+  static VerifyContext For(const AffinePoint& q);
+};
+
+/// DoubleScalarMul against a precomputed context (no per-call G+Q setup).
+JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
+                              const VerifyContext& ctx);
+
 }  // namespace ledgerdb::secp256k1
 
 #endif  // LEDGERDB_CRYPTO_SECP256K1_H_

@@ -1,23 +1,75 @@
 #include "ledger/journal.h"
 
+#include <string_view>
+
 namespace ledgerdb {
 
+namespace {
+
+/// Streams the canonical Put*-encodings straight into a SHA-256 state so
+/// the per-append hash path (RequestHash at prevalidation, TxHash at every
+/// commit and fam verification) never materializes a concatenated heap
+/// buffer. Byte-for-byte identical to hashing the serialized form.
+class HashWriter {
+ public:
+  void Str(std::string_view s) { h_.Update(Slice(s)); }
+  void Raw(const uint8_t* data, size_t size) { h_.Update(data, size); }
+  void U8(uint8_t v) { h_.Update(&v, 1); }
+  void U32(uint32_t v) {
+    uint8_t b[4];
+    for (int i = 0; i < 4; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    h_.Update(b, 4);
+  }
+  void U64(uint64_t v) {
+    uint8_t b[8];
+    for (int i = 0; i < 8; ++i) b[i] = static_cast<uint8_t>(v >> (8 * i));
+    h_.Update(b, 8);
+  }
+  void LengthPrefixed(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Str(s);
+  }
+  void LengthPrefixed(const Bytes& b) {
+    U32(static_cast<uint32_t>(b.size()));
+    h_.Update(b);
+  }
+  void Digest32(const Digest& d) { h_.Update(d.bytes.data(), 32); }
+  void Key(const PublicKey& key) {
+    uint8_t b[64];
+    key.point().x.ToBigEndian(b);
+    key.point().y.ToBigEndian(b + 32);
+    h_.Update(b, 64);
+  }
+  void Sig(const Signature& sig) {
+    uint8_t b[64];
+    sig.r.ToBigEndian(b);
+    sig.s.ToBigEndian(b + 32);
+    h_.Update(b, 64);
+  }
+  Digest Finish() { return h_.Finish(); }
+
+ private:
+  Sha256 h_;
+};
+
+}  // namespace
+
 Digest ClientTransaction::RequestHash() const {
-  Bytes buf = StringToBytes("request");
-  PutLengthPrefixed(&buf, StringToBytes(ledger_uri));
-  buf.push_back(static_cast<uint8_t>(type));
-  PutU32(&buf, static_cast<uint32_t>(clues.size()));
+  HashWriter w;
+  w.Str("request");
+  w.LengthPrefixed(ledger_uri);
+  w.U8(static_cast<uint8_t>(type));
+  w.U32(static_cast<uint32_t>(clues.size()));
   for (const std::string& clue : clues) {
-    PutLengthPrefixed(&buf, StringToBytes(clue));
+    w.LengthPrefixed(clue);
   }
-  PutLengthPrefixed(&buf, payload);
-  PutU64(&buf, nonce);
-  PutU64(&buf, static_cast<uint64_t>(client_ts));
+  w.LengthPrefixed(payload);
+  w.U64(nonce);
+  w.U64(static_cast<uint64_t>(client_ts));
   if (client_key.valid()) {
-    Bytes key = client_key.Serialize();
-    buf.insert(buf.end(), key.begin(), key.end());
+    w.Key(client_key);
   }
-  return Sha256::Hash(buf);
+  return w.Finish();
 }
 
 void ClientTransaction::Sign(const KeyPair& key) {
@@ -30,32 +82,31 @@ bool ClientTransaction::VerifyClientSignature() const {
 }
 
 Digest Journal::TxHash() const {
-  Bytes buf = StringToBytes("journal");
-  PutU64(&buf, jsn);
-  buf.push_back(static_cast<uint8_t>(type));
-  PutU64(&buf, static_cast<uint64_t>(server_ts));
-  PutU32(&buf, static_cast<uint32_t>(clues.size()));
+  HashWriter w;
+  w.Str("journal");
+  w.U64(jsn);
+  w.U8(static_cast<uint8_t>(type));
+  w.U64(static_cast<uint64_t>(server_ts));
+  w.U32(static_cast<uint32_t>(clues.size()));
   for (const std::string& clue : clues) {
-    PutLengthPrefixed(&buf, StringToBytes(clue));
+    w.LengthPrefixed(clue);
   }
   // Only the digest of the payload: occulting must not change the tx-hash
   // (Protocol 2).
-  buf.insert(buf.end(), payload_digest.bytes.begin(), payload_digest.bytes.end());
-  buf.insert(buf.end(), request_hash.bytes.begin(), request_hash.bytes.end());
+  w.Digest32(payload_digest);
+  w.Digest32(request_hash);
   if (client_key.valid()) {
-    Bytes key = client_key.Serialize();
-    buf.insert(buf.end(), key.begin(), key.end());
-    Bytes sig = client_sig.Serialize();
-    buf.insert(buf.end(), sig.begin(), sig.end());
+    w.Key(client_key);
+    w.Sig(client_sig);
   }
-  return Sha256::Hash(buf);
+  return w.Finish();
 }
 
 Digest Journal::EndorsementHash() const {
-  Bytes buf = StringToBytes("endorse");
-  Digest tx = TxHash();
-  buf.insert(buf.end(), tx.bytes.begin(), tx.bytes.end());
-  return Sha256::Hash(buf);
+  HashWriter w;
+  w.Str("endorse");
+  w.Digest32(TxHash());
+  return w.Finish();
 }
 
 Bytes Journal::Serialize() const {

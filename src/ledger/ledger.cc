@@ -11,12 +11,23 @@ constexpr uint64_t kUnsealedBlock = ~0ULL;
 
 // Purge tombstone frame: retains exactly what the fam tree and CM-Tree
 // need to survive recovery — the tx-hash, the payload digest, and the clue
-// labels — never the payload.
-constexpr uint8_t kTombstoneTag = 0xff;
+// labels — never the payload. The tag is 8 bytes of 0xff where a journal
+// frame carries its little-endian jsn: a journal's jsn always equals its
+// stream index, so ~0ULL can never open a legitimate journal frame (a
+// single 0xff byte would collide with every jsn ≡ 255 mod 256).
+constexpr size_t kTombstoneTagSize = 8;
+
+bool IsTombstoneFrame(const Bytes& raw) {
+  if (raw.size() < kTombstoneTagSize) return false;
+  for (size_t i = 0; i < kTombstoneTagSize; ++i) {
+    if (raw[i] != 0xff) return false;
+  }
+  return true;
+}
 
 Bytes EncodeTombstone(const Journal& journal) {
   Bytes out;
-  out.push_back(kTombstoneTag);
+  out.insert(out.end(), kTombstoneTagSize, 0xff);
   Digest tx_hash = journal.TxHash();
   out.insert(out.end(), tx_hash.bytes.begin(), tx_hash.bytes.end());
   out.insert(out.end(), journal.payload_digest.bytes.begin(),
@@ -35,11 +46,13 @@ struct Tombstone {
 };
 
 bool DecodeTombstone(const Bytes& raw, Tombstone* out) {
-  if (raw.empty() || raw[0] != kTombstoneTag || raw.size() < 69) return false;
-  std::copy(raw.begin() + 1, raw.begin() + 33, out->tx_hash.bytes.begin());
-  std::copy(raw.begin() + 33, raw.begin() + 65,
-            out->payload_digest.bytes.begin());
-  size_t pos = 65;
+  if (!IsTombstoneFrame(raw) || raw.size() < kTombstoneTagSize + 68) {
+    return false;
+  }
+  auto body = raw.begin() + kTombstoneTagSize;
+  std::copy(body, body + 32, out->tx_hash.bytes.begin());
+  std::copy(body + 32, body + 64, out->payload_digest.bytes.begin());
+  size_t pos = kTombstoneTagSize + 64;
   uint32_t count = 0;
   if (!GetU32(raw, &pos, &count) || count > 1024) return false;
   out->clues.clear();
@@ -181,7 +194,8 @@ uint64_t Ledger::AppendInternal(JournalType type,
   return CommitJournal(std::move(journal));
 }
 
-Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
+Status Ledger::Prevalidate(const ClientTransaction& tx,
+                           PrevalidatedTx* out) const {
   if (tx.ledger_uri != uri_) {
     return Status::InvalidArgument("transaction addressed to another ledger");
   }
@@ -191,26 +205,42 @@ Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
         "Purge/Occult APIs");
   }
   // who (π_c): reject unsigned or mis-signed transactions at the door
-  // (threat-A: tamper-on-receipt becomes client-detectable).
-  if (!tx.VerifyClientSignature()) {
+  // (threat-A: tamper-on-receipt becomes client-detectable). The request
+  // hash is computed once here and reused for the journal record below.
+  Digest request_hash = tx.RequestHash();
+  const secp256k1::VerifyContext* ctx =
+      members_ != nullptr ? members_->FindVerifyContext(tx.client_key)
+                          : nullptr;
+  if (!VerifySignature(tx.client_key, request_hash, tx.client_sig, ctx)) {
     return Status::VerificationFailed("client signature invalid");
   }
   if (members_ != nullptr && !members_->IsRegistered(tx.client_key)) {
     return Status::PermissionDenied("client is not a registered member");
   }
 
-  Journal journal;
+  Journal& journal = out->journal;
   journal.type = JournalType::kNormal;
-  journal.server_ts = clock_->Now();
   journal.clues = tx.clues;
   journal.payload = tx.payload;
   journal.payload_digest = Sha256::Hash(tx.payload);
-  journal.request_hash = tx.RequestHash();
+  journal.request_hash = request_hash;
   journal.client_key = tx.client_key;
   journal.client_sig = tx.client_sig;
-  uint64_t assigned = CommitJournal(std::move(journal));
+  return Status::OK();
+}
+
+Status Ledger::CommitPrevalidated(PrevalidatedTx&& prevalidated,
+                                  uint64_t* jsn) {
+  prevalidated.journal.server_ts = clock_->Now();
+  uint64_t assigned = CommitJournal(std::move(prevalidated.journal));
   if (jsn != nullptr) *jsn = assigned;
   return Status::OK();
+}
+
+Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
+  PrevalidatedTx prevalidated;
+  LEDGERDB_RETURN_IF_ERROR(Prevalidate(tx, &prevalidated));
+  return CommitPrevalidated(std::move(prevalidated), jsn);
 }
 
 void Ledger::SealBlock() {
@@ -689,7 +719,7 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
     Bytes raw;
     LEDGERDB_RETURN_IF_ERROR(storage.journals->Read(i, &raw));
     Tombstone tombstone;
-    if (!raw.empty() && raw[0] == kTombstoneTag) {
+    if (IsTombstoneFrame(raw)) {
       if (!DecodeTombstone(raw, &tombstone)) {
         return Status::Corruption("undecodable purge tombstone");
       }

@@ -129,8 +129,32 @@ class Ledger {
 
   /// Appends a client transaction (Figure 1 journal-level commitment).
   /// Validates membership and π_c, assigns a jsn, and threads the journal
-  /// through the fam tree, CM-Tree and world-state.
+  /// through the fam tree, CM-Tree and world-state. Equivalent to
+  /// Prevalidate() + CommitPrevalidated().
   Status Append(const ClientTransaction& tx, uint64_t* jsn);
+
+  /// A client transaction that has passed every shard-independent check:
+  /// π_c signature, membership, payload SHA-256 and request hashing. The
+  /// prepared journal still lacks its jsn and server timestamp — those are
+  /// assigned at commit, on the owning shard.
+  struct PrevalidatedTx {
+    Journal journal;
+  };
+
+  /// Stage 1 of the append pipeline: all the expensive, shard-independent
+  /// work (ECDSA π_c verification, membership lookup, payload hashing).
+  /// Pure and const — safe to call concurrently from worker threads while
+  /// other threads prevalidate against the same ledger, as long as the
+  /// single committer thread is the only one mutating it. Uses the member
+  /// registry's cached per-key verify context so repeat signers skip the
+  /// ECDSA point setup.
+  Status Prevalidate(const ClientTransaction& tx, PrevalidatedTx* out) const;
+
+  /// Stage 2: assigns server_ts and jsn, then threads the pre-validated
+  /// journal through fam/CM-Tree/world-state. Cheap relative to stage 1;
+  /// must run on the shard's single committer thread (or any externally
+  /// serialized caller).
+  Status CommitPrevalidated(PrevalidatedTx&& prevalidated, uint64_t* jsn);
 
   /// Seals the pending block (no-op when empty).
   void SealBlock();

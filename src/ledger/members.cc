@@ -37,7 +37,15 @@ Status MemberRegistry::Register(const Member& member) {
     return Status::AlreadyExists("member already registered");
   }
   members_.emplace(id, member);
+  verify_contexts_.emplace(id,
+                           secp256k1::VerifyContext::For(member.key.point()));
   return Status::OK();
+}
+
+const secp256k1::VerifyContext* MemberRegistry::FindVerifyContext(
+    const PublicKey& key) const {
+  auto it = verify_contexts_.find(key.Id());
+  return it == verify_contexts_.end() ? nullptr : &it->second;
 }
 
 Status MemberRegistry::Lookup(const PublicKey& key, Member* member) const {

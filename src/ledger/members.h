@@ -54,11 +54,18 @@ class CertificateAuthority {
 /// Registry of ledger members keyed by public-key id. Registration
 /// validates CA certificates; role checks back the purge/occult
 /// prerequisites and the who audit.
+///
+/// Thread-safety: registration is a setup-phase operation. After the last
+/// Register() call, all const accessors (including FindVerifyContext) are
+/// safe to call concurrently from any number of threads — the parallel
+/// append pipeline relies on this.
 class MemberRegistry {
  public:
   explicit MemberRegistry(const CertificateAuthority* ca) : ca_(ca) {}
 
-  /// Registers a member after validating its CA certificate.
+  /// Registers a member after validating its CA certificate. Also
+  /// precomputes the member's ECDSA verify context so every subsequent
+  /// π_c check against this key skips the per-verify point setup.
   Status Register(const Member& member);
 
   /// Looks up a member by public key.
@@ -66,6 +73,11 @@ class MemberRegistry {
 
   bool IsRegistered(const PublicKey& key) const;
   bool HasRole(const PublicKey& key, Role role) const;
+
+  /// Cached verification state for a registered member's key, or nullptr
+  /// for unknown keys. The pointer stays valid while the registry lives
+  /// and no further Register() happens.
+  const secp256k1::VerifyContext* FindVerifyContext(const PublicKey& key) const;
 
   /// All registered members with the given role.
   std::vector<Member> MembersWithRole(Role role) const;
@@ -75,6 +87,8 @@ class MemberRegistry {
  private:
   const CertificateAuthority* ca_;
   std::unordered_map<Digest, Member, DigestHasher> members_;
+  std::unordered_map<Digest, secp256k1::VerifyContext, DigestHasher>
+      verify_contexts_;
 };
 
 }  // namespace ledgerdb

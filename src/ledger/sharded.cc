@@ -1,11 +1,15 @@
 #include "ledger/sharded.h"
 
+#include <algorithm>
+#include <string_view>
+#include <thread>
+#include <utility>
+
 namespace ledgerdb {
 
 Digest GroupCommitment::Combined() const {
   Sha256 h;
-  Bytes tag = StringToBytes("group-commitment");
-  h.Update(tag);
+  h.Update(Slice(std::string_view("group-commitment")));
   for (const Digest& root : shard_roots) {
     h.Update(root.bytes.data(), root.bytes.size());
   }
@@ -16,16 +20,21 @@ ShardedLedgerGroup::ShardedLedgerGroup(const std::string& uri,
                                        size_t shard_count,
                                        const LedgerOptions& options,
                                        Clock* clock, KeyPair lsp_key,
-                                       const MemberRegistry* members) {
+                                       const MemberRegistry* members,
+                                       std::vector<LedgerStorage> shard_storage) {
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
   for (size_t i = 0; i < shard_count; ++i) {
+    LedgerStorage storage =
+        i < shard_storage.size() ? shard_storage[i] : LedgerStorage{};
     // All shards share the logical uri so client signatures (which cover
     // the uri) route unchanged.
-    shards_.push_back(
-        std::make_unique<Ledger>(uri, options, clock, lsp_key, members));
+    shards_.push_back(std::make_unique<Ledger>(uri, options, clock, lsp_key,
+                                               members, storage));
   }
 }
+
+ShardedLedgerGroup::~ShardedLedgerGroup() { StopParallelAppend(); }
 
 size_t ShardedLedgerGroup::ShardOfClue(const std::string& clue) const {
   Digest d = Sha256::Hash(clue);
@@ -34,24 +43,30 @@ size_t ShardedLedgerGroup::ShardOfClue(const std::string& clue) const {
   return h % shards_.size();
 }
 
-Status ShardedLedgerGroup::Append(const ClientTransaction& tx,
-                                  Location* location) {
-  size_t shard;
+Status ShardedLedgerGroup::RouteShard(const ClientTransaction& tx,
+                                      size_t* shard) const {
   if (!tx.clues.empty()) {
-    shard = ShardOfClue(tx.clues[0]);
+    *shard = ShardOfClue(tx.clues[0]);
     // A journal's clues must all live on one shard, or lineage would split.
     for (const std::string& clue : tx.clues) {
-      if (ShardOfClue(clue) != shard) {
+      if (ShardOfClue(clue) != *shard) {
         return Status::InvalidArgument(
             "clues of one journal map to different shards");
       }
     }
-  } else {
-    Digest rh = tx.RequestHash();
-    uint64_t h = 0;
-    for (int i = 0; i < 8; ++i) h = (h << 8) | rh.bytes[i];
-    shard = h % shards_.size();
+    return Status::OK();
   }
+  Digest rh = tx.RequestHash();
+  uint64_t h = 0;
+  for (int i = 0; i < 8; ++i) h = (h << 8) | rh.bytes[i];
+  *shard = h % shards_.size();
+  return Status::OK();
+}
+
+Status ShardedLedgerGroup::Append(const ClientTransaction& tx,
+                                  Location* location) {
+  size_t shard = 0;
+  LEDGERDB_RETURN_IF_ERROR(RouteShard(tx, &shard));
   uint64_t jsn = 0;
   LEDGERDB_RETURN_IF_ERROR(shards_[shard]->Append(tx, &jsn));
   if (location != nullptr) {
@@ -59,6 +74,118 @@ Status ShardedLedgerGroup::Append(const ClientTransaction& tx,
     location->jsn = jsn;
   }
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Parallel append pipeline
+// ---------------------------------------------------------------------------
+
+void ShardedLedgerGroup::StartParallelAppend(size_t prevalidate_threads) {
+  std::lock_guard<std::mutex> lock(engine_mu_);
+  if (prevalidate_pool_ != nullptr) return;
+  if (prevalidate_threads == 0) {
+    prevalidate_threads = std::max(2u, std::thread::hardware_concurrency());
+  }
+  prevalidate_pool_ =
+      std::make_unique<ThreadPool>(prevalidate_threads, /*queue_capacity=*/4096);
+  committers_.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    // One single-thread lane per shard: commits execute serially in
+    // submission order, preserving the Ledger single-writer invariant.
+    committers_.push_back(
+        std::make_unique<ThreadPool>(1, /*queue_capacity=*/4096));
+  }
+}
+
+void ShardedLedgerGroup::StopParallelAppend() {
+  std::unique_ptr<ThreadPool> pool;
+  std::vector<std::unique_ptr<ThreadPool>> lanes;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    pool = std::move(prevalidate_pool_);
+    lanes = std::move(committers_);
+    committers_.clear();
+  }
+  // Committer lanes drain first; their queued tickets block on
+  // prevalidations still executing on the (live) pool, then the pool
+  // itself drains and joins.
+  lanes.clear();
+  pool.reset();
+}
+
+std::future<ShardedLedgerGroup::AppendOutcome> ShardedLedgerGroup::SubmitPending(
+    std::shared_ptr<PendingAppend> p) {
+  std::future<AppendOutcome> future = p->done.get_future();
+  Status route = RouteShard(*p->tx, &p->shard);
+  if (!route.ok()) {
+    p->done.set_value({route, Location{}});
+    return future;
+  }
+  StartParallelAppend();
+
+  // Stage 1: shard-independent prevalidation on any worker.
+  const Ledger* shard_ledger = shards_[p->shard].get();
+  prevalidate_pool_->Submit([p, shard_ledger] {
+    Status status = shard_ledger->Prevalidate(*p->tx, &p->prevalidated);
+    std::lock_guard<std::mutex> lock(p->mu);
+    p->prevalidate_status = std::move(status);
+    p->ready = true;
+    p->cv.notify_all();
+  });
+
+  // Stage 2: the commit ticket enters the shard's ordered lane NOW (in
+  // submission order); the lane blocks on `ready`, so per-shard commit
+  // order — and therefore per-clue lineage order — matches submission
+  // order even when prevalidations finish out of order.
+  Ledger* commit_ledger = shards_[p->shard].get();
+  committers_[p->shard]->Submit([p, commit_ledger] {
+    {
+      std::unique_lock<std::mutex> lock(p->mu);
+      p->cv.wait(lock, [&] { return p->ready; });
+    }
+    if (!p->prevalidate_status.ok()) {
+      p->done.set_value({p->prevalidate_status, Location{}});
+      return;
+    }
+    uint64_t jsn = 0;
+    Status status = commit_ledger->CommitPrevalidated(
+        std::move(p->prevalidated), &jsn);
+    p->done.set_value({std::move(status), Location{p->shard, jsn}});
+  });
+  return future;
+}
+
+Status ShardedLedgerGroup::AppendBatch(std::span<const ClientTransaction> txs,
+                                       std::vector<Location>* locations,
+                                       std::vector<Status>* statuses) {
+  std::vector<std::future<AppendOutcome>> futures;
+  futures.reserve(txs.size());
+  for (const ClientTransaction& tx : txs) {
+    auto p = std::make_shared<PendingAppend>();
+    p->tx = &tx;  // the span outlives the batch: we block on every future
+    futures.push_back(SubmitPending(std::move(p)));
+  }
+
+  if (locations != nullptr) locations->assign(txs.size(), Location{});
+  if (statuses != nullptr) statuses->assign(txs.size(), Status::OK());
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < futures.size(); ++i) {
+    AppendOutcome outcome = futures[i].get();
+    if (locations != nullptr) (*locations)[i] = outcome.location;
+    if (statuses != nullptr) (*statuses)[i] = outcome.status;
+    if (first_error.ok() && !outcome.status.ok()) {
+      first_error = outcome.status;
+    }
+  }
+  return first_error;
+}
+
+std::future<ShardedLedgerGroup::AppendOutcome> ShardedLedgerGroup::AppendAsync(
+    ClientTransaction tx) {
+  auto p = std::make_shared<PendingAppend>();
+  p->owned_tx = std::move(tx);
+  p->tx = &p->owned_tx;
+  return SubmitPending(std::move(p));
 }
 
 Status ShardedLedgerGroup::GetJournal(const Location& location,

@@ -1,10 +1,14 @@
 #ifndef LEDGERDB_LEDGER_SHARDED_H_
 #define LEDGERDB_LEDGER_SHARDED_H_
 
+#include <future>
 #include <memory>
+#include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "ledger/ledger.h"
 
 namespace ledgerdb {
@@ -27,6 +31,17 @@ struct GroupCommitment {
 /// shard), else by request hash. Every shard is an ordinary, fully
 /// verifiable Ledger; the group additionally publishes a combined
 /// commitment binding all shard roots.
+///
+/// ## Parallel append pipeline
+///
+/// Append() is the serial path. AppendBatch()/AppendAsync() run the
+/// two-stage pipeline instead: the expensive shard-independent stage
+/// (π_c ECDSA verification, membership lookup, payload hashing —
+/// Ledger::Prevalidate) fans out across a shared worker pool, while
+/// commits drain through one ordered single-thread committer lane per
+/// shard (Ledger::CommitPrevalidated), so no shard ever sees concurrent
+/// mutation and per-shard journal order equals submission order. See
+/// docs/parallel_append.md.
 class ShardedLedgerGroup {
  public:
   /// Identifies a journal inside the group.
@@ -35,9 +50,23 @@ class ShardedLedgerGroup {
     uint64_t jsn = 0;
   };
 
+  /// Result of one pipelined append.
+  struct AppendOutcome {
+    Status status;
+    Location location;
+  };
+
+  /// `shard_storage`, when non-empty, supplies one LedgerStorage per shard
+  /// (padded with disabled storage if shorter), making each shard durable
+  /// and individually recoverable via Ledger::Recover.
   ShardedLedgerGroup(const std::string& uri, size_t shard_count,
                      const LedgerOptions& options, Clock* clock,
-                     KeyPair lsp_key, const MemberRegistry* members);
+                     KeyPair lsp_key, const MemberRegistry* members,
+                     std::vector<LedgerStorage> shard_storage = {});
+
+  /// Joins the append pipeline (draining every in-flight append) before
+  /// destroying the shards.
+  ~ShardedLedgerGroup();
 
   size_t shard_count() const { return shards_.size(); }
   Ledger* shard(size_t i) { return shards_[i].get(); }
@@ -46,8 +75,42 @@ class ShardedLedgerGroup {
   /// Shard that owns `clue` (stable: lineage never crosses shards).
   size_t ShardOfClue(const std::string& clue) const;
 
-  /// Routes and appends; `location` receives (shard, jsn).
+  /// Routes and appends serially on the caller's thread; `location`
+  /// receives (shard, jsn). Do not mix with concurrent AppendBatch /
+  /// AppendAsync traffic on the same shard.
   Status Append(const ClientTransaction& tx, Location* location);
+
+  // -------------------------------------------------------------------
+  // Parallel append pipeline
+  // -------------------------------------------------------------------
+
+  /// Starts the pipeline workers: `prevalidate_threads` shared
+  /// prevalidation workers (0 = hardware concurrency) plus one committer
+  /// lane per shard. Idempotent; called lazily by AppendBatch/AppendAsync.
+  void StartParallelAppend(size_t prevalidate_threads = 0);
+
+  /// Drains all in-flight appends and joins the pipeline threads. The
+  /// serial Append path keeps working afterwards; the pipeline restarts
+  /// lazily on the next AppendBatch/AppendAsync.
+  void StopParallelAppend();
+
+  /// Pipelined bulk append. Prevalidation of all transactions fans out
+  /// across the worker pool; commits retire through the per-shard
+  /// committer lanes in submission order, so per-clue lineage order is
+  /// preserved. Returns OK iff every transaction committed; per-entry
+  /// results land in `locations` (and `statuses` when non-null), indexed
+  /// like `txs`. Thread-safe: concurrent AppendBatch calls interleave
+  /// safely (each caller's own submission order is still preserved).
+  Status AppendBatch(std::span<const ClientTransaction> txs,
+                     std::vector<Location>* locations,
+                     std::vector<Status>* statuses = nullptr);
+
+  /// Pipelined single append; the future resolves once the journal has
+  /// committed on its shard (or failed prevalidation). Reads of shard
+  /// state (GetJournal, roots, proofs) are safe only while no append is
+  /// in flight — resolve every outstanding future (or call
+  /// StopParallelAppend) before reading.
+  std::future<AppendOutcome> AppendAsync(ClientTransaction tx);
 
   Status GetJournal(const Location& location, Journal* journal) const;
   Status GetReceipt(const Location& location, Receipt* receipt);
@@ -77,7 +140,34 @@ class ShardedLedgerGroup {
   uint64_t TotalJournals() const;
 
  private:
+  /// One append travelling through the pipeline. `tx` points at the
+  /// caller's span element (AppendBatch, which outlives the batch) or at
+  /// `owned_tx` (AppendAsync). `ready` hands the prevalidation result to
+  /// the committer lane.
+  struct PendingAppend {
+    ClientTransaction owned_tx;
+    const ClientTransaction* tx = nullptr;
+    size_t shard = 0;
+    Ledger::PrevalidatedTx prevalidated;
+    Status prevalidate_status;
+    bool ready = false;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::promise<AppendOutcome> done;
+  };
+
+  /// Clue/request-hash routing shared by the serial and pipelined paths.
+  Status RouteShard(const ClientTransaction& tx, size_t* shard) const;
+
+  /// Enqueues prevalidation on the pool and the commit ticket on the
+  /// owning shard's lane (in that caller's submission order).
+  std::future<AppendOutcome> SubmitPending(std::shared_ptr<PendingAppend> p);
+
   std::vector<std::unique_ptr<Ledger>> shards_;
+
+  std::mutex engine_mu_;
+  std::unique_ptr<ThreadPool> prevalidate_pool_;
+  std::vector<std::unique_ptr<ThreadPool>> committers_;  // one lane per shard
 };
 
 }  // namespace ledgerdb
