@@ -167,7 +167,6 @@ int main(int argc, char** argv) {
   std::printf("host cores: %u\n\n", hw);
   json.Add("phase/prevalidate", 1e6 / t_preval_us, t_preval_us, t_preval_us);
   json.Add("phase/commit", 1e6 / t_commit_us, t_commit_us, t_commit_us);
-  json.Add("host/cores", static_cast<double>(hw));
 
   double serial_us = t_preval_us + t_commit_us;
   std::printf("%-34s %12s %10s\n", "modeled config", "TPS", "speedup");

@@ -8,6 +8,7 @@
 #include <cstdlib>
 #include <functional>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace ledgerdb::bench {
@@ -95,21 +96,37 @@ class LatencySampler {
 };
 
 /// Machine-readable results sink shared by every bench binary: pass
-/// `--json <path>` and each Add()ed entry is written as one object in a
-/// JSON array at exit ({"name", "ops_per_sec", "p50_us", "p99_us"}).
-/// Without the flag this is a no-op, keeping the human-readable tables as
-/// the only output.
+/// `--json <path>` and at exit a single object is written:
+///   {"meta": {"host_cores": N, ...}, "results": [{"name", "ops_per_sec",
+///    "p50_us", "p99_us"}, ...]}
+/// Host facts live in `meta` (host_cores is filled automatically; add more
+/// with SetMeta) so environment context never masquerades as a benchmark
+/// row. Without the flag this is a no-op, keeping the human-readable
+/// tables as the only output.
 class JsonReporter {
  public:
   JsonReporter(int argc, char** argv) {
     for (int i = 1; i + 1 < argc; ++i) {
       if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
     }
+    SetMeta("host_cores",
+            static_cast<double>(std::thread::hardware_concurrency()));
   }
 
   ~JsonReporter() { Flush(); }
 
   bool enabled() const { return !path_.empty(); }
+
+  /// Records a host/environment fact; replaces any prior value for `key`.
+  void SetMeta(const std::string& key, double value) {
+    for (Meta& m : meta_) {
+      if (m.key == key) {
+        m.value = value;
+        return;
+      }
+    }
+    meta_.push_back({key, value});
+  }
 
   void Add(const std::string& name, double ops_per_sec, double p50_us = 0.0,
            double p99_us = 0.0) {
@@ -129,16 +146,21 @@ class JsonReporter {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return;
     }
-    std::fprintf(f, "[\n");
+    std::fprintf(f, "{\n  \"meta\": {");
+    for (size_t i = 0; i < meta_.size(); ++i) {
+      std::fprintf(f, "%s\"%s\": %g", i == 0 ? "" : ", ",
+                   meta_[i].key.c_str(), meta_[i].value);
+    }
+    std::fprintf(f, "},\n  \"results\": [\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
       const Entry& e = entries_[i];
       std::fprintf(f,
-                   "  {\"name\": \"%s\", \"ops_per_sec\": %.2f, "
+                   "    {\"name\": \"%s\", \"ops_per_sec\": %.2f, "
                    "\"p50_us\": %.3f, \"p99_us\": %.3f}%s\n",
                    e.name.c_str(), e.ops_per_sec, e.p50_us, e.p99_us,
                    i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(f, "]\n");
+    std::fprintf(f, "  ]\n}\n");
     std::fclose(f);
     std::printf("JSON results written to %s\n", path_.c_str());
     entries_.clear();
@@ -151,8 +173,13 @@ class JsonReporter {
     double p50_us;
     double p99_us;
   };
+  struct Meta {
+    std::string key;
+    double value;
+  };
 
   std::string path_;
+  std::vector<Meta> meta_;
   std::vector<Entry> entries_;
 };
 

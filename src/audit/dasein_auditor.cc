@@ -14,26 +14,59 @@ Status Fail(AuditReport* report, const std::string& reason) {
 
 }  // namespace
 
+Status DaseinAuditor::MutationRequestHash(const Journal& journal,
+                                          Digest* request) const {
+  if (journal.type == JournalType::kPurge) {
+    size_t pos = StringToBytes("purge").size();
+    uint64_t purge_before = 0;
+    if (!GetU64(journal.payload, &pos, &purge_before)) {
+      return Status::VerificationFailed("purge journal payload undecodable");
+    }
+    *request = Ledger::PurgeRequestHash(context_.ledger->uri(), purge_before);
+    return Status::OK();
+  }
+  // Occult: two payload forms exist — "occult" + u64 target, and
+  // "occult-clue" + clue + u64 count.
+  const Bytes clue_prefix = StringToBytes("occult-clue");
+  if (journal.payload.size() >= clue_prefix.size() &&
+      std::equal(clue_prefix.begin(), clue_prefix.end(),
+                 journal.payload.begin())) {
+    size_t pos = clue_prefix.size();
+    Bytes clue;
+    uint64_t count = 0;
+    if (!GetLengthPrefixed(journal.payload, &pos, &clue) ||
+        !GetU64(journal.payload, &pos, &count)) {
+      return Status::VerificationFailed(
+          "occult-clue journal payload undecodable");
+    }
+    *request = Ledger::OccultClueRequestHash(
+        context_.ledger->uri(), std::string(clue.begin(), clue.end()));
+    return Status::OK();
+  }
+  size_t pos = StringToBytes("occult").size();
+  uint64_t target = 0;
+  if (!GetU64(journal.payload, &pos, &target)) {
+    return Status::VerificationFailed("occult journal payload undecodable");
+  }
+  *request = Ledger::OccultRequestHash(context_.ledger->uri(), target);
+  return Status::OK();
+}
+
 Status DaseinAuditor::VerifyPurgeJournal(const Journal& journal,
+                                         const uint8_t* endorse_ok,
                                          AuditReport* report) const {
   // Π1 = P(O_p): multi-signatures from DBA and all related members. The
   // membership coverage was enforced at purge time; the audit re-validates
-  // every signature and the DBA presence over the recorded request.
-  size_t pos = StringToBytes("purge").size();
-  uint64_t purge_before = 0;
-  if (!GetU64(journal.payload, &pos, &purge_before)) {
-    return Fail(report, "purge journal payload undecodable");
-  }
-  Digest request =
-      Ledger::PurgeRequestHash(context_.ledger->uri(), purge_before);
+  // every signature (batched by the caller) and the DBA presence over the
+  // recorded request.
   bool dba_signed = false;
-  for (const Endorsement& e : journal.endorsements) {
-    if (!VerifySignature(e.key, request, e.signature)) {
+  for (size_t e = 0; e < journal.endorsements.size(); ++e) {
+    if (!endorse_ok[e]) {
       return Fail(report, "purge endorsement signature invalid");
     }
     ++report->signatures_verified;
     if (context_.members != nullptr &&
-        context_.members->HasRole(e.key, Role::kDba)) {
+        context_.members->HasRole(journal.endorsements[e].key, Role::kDba)) {
       dba_signed = true;
     }
   }
@@ -45,40 +78,19 @@ Status DaseinAuditor::VerifyPurgeJournal(const Journal& journal,
 }
 
 Status DaseinAuditor::VerifyOccultJournal(const Journal& journal,
+                                          const uint8_t* endorse_ok,
                                           AuditReport* report) const {
-  // Π2 = P(O_o): regulator and DBA signatures. Two payload forms exist:
-  // "occult" + u64 target, and "occult-clue" + clue + u64 count.
-  const Bytes clue_prefix = StringToBytes("occult-clue");
-  Digest request;
-  if (journal.payload.size() >= clue_prefix.size() &&
-      std::equal(clue_prefix.begin(), clue_prefix.end(),
-                 journal.payload.begin())) {
-    size_t pos = clue_prefix.size();
-    Bytes clue;
-    uint64_t count = 0;
-    if (!GetLengthPrefixed(journal.payload, &pos, &clue) ||
-        !GetU64(journal.payload, &pos, &count)) {
-      return Fail(report, "occult-clue journal payload undecodable");
-    }
-    request = Ledger::OccultClueRequestHash(
-        context_.ledger->uri(), std::string(clue.begin(), clue.end()));
-  } else {
-    size_t pos = StringToBytes("occult").size();
-    uint64_t target = 0;
-    if (!GetU64(journal.payload, &pos, &target)) {
-      return Fail(report, "occult journal payload undecodable");
-    }
-    request = Ledger::OccultRequestHash(context_.ledger->uri(), target);
-  }
+  // Π2 = P(O_o): regulator and DBA signatures.
   bool dba_signed = false, regulator_signed = false;
-  for (const Endorsement& e : journal.endorsements) {
-    if (!VerifySignature(e.key, request, e.signature)) {
+  for (size_t e = 0; e < journal.endorsements.size(); ++e) {
+    if (!endorse_ok[e]) {
       return Fail(report, "occult endorsement signature invalid");
     }
     ++report->signatures_verified;
     if (context_.members != nullptr) {
-      if (context_.members->HasRole(e.key, Role::kDba)) dba_signed = true;
-      if (context_.members->HasRole(e.key, Role::kRegulator)) {
+      const PublicKey& key = journal.endorsements[e].key;
+      if (context_.members->HasRole(key, Role::kDba)) dba_signed = true;
+      if (context_.members->HasRole(key, Role::kRegulator)) {
         regulator_signed = true;
       }
     }
@@ -221,32 +233,97 @@ Status DaseinAuditor::VerifyWhen(const AuditOptions& options,
 Status DaseinAuditor::VerifyWho(uint64_t begin, uint64_t end,
                                 AuditReport* report) const {
   const Ledger& ledger = *context_.ledger;
-  for (uint64_t jsn = std::max(begin, ledger.PurgedBoundary()); jsn < end;
-       ++jsn) {
-    Journal journal;
-    Status s = ledger.GetJournal(jsn, &journal);
-    if (s.IsNotFound()) continue;
-    if (!s.ok()) return Fail(report, "journal unreadable");
-    // π_c: the client's non-repudiation signature over the request hash.
-    if (!VerifySignature(journal.client_key, journal.request_hash,
-                         journal.client_sig)) {
-      return Fail(report, "client signature invalid at jsn " +
-                              std::to_string(jsn));
+  constexpr size_t kChunk = 256;
+  uint64_t cursor = std::max(begin, ledger.PurgedBoundary());
+  while (cursor < end) {
+    // Gather a chunk of readable journals (purged positions are skipped).
+    std::vector<uint64_t> jsns;
+    std::vector<Journal> journals;
+    journals.reserve(kChunk);
+    for (; cursor < end && journals.size() < kChunk; ++cursor) {
+      Journal journal;
+      Status s = ledger.GetJournal(cursor, &journal);
+      if (s.IsNotFound()) continue;
+      if (!s.ok()) return Fail(report, "journal unreadable");
+      jsns.push_back(cursor);
+      journals.push_back(std::move(journal));
     }
-    ++report->signatures_verified;
-    if (context_.members != nullptr &&
-        !context_.members->IsRegistered(journal.client_key)) {
-      return Fail(report, "journal author is not a registered member");
+    if (journals.empty()) break;
+
+    // One job per π_c client signature plus one per mutation endorsement;
+    // the entire chunk goes through a single VerifyBatch call. `requests`
+    // is sized up front so the endorsement jobs' message pointers stay
+    // stable.
+    const size_t count = journals.size();
+    std::vector<Digest> requests(count);
+    std::vector<Status> decode(count, Status::OK());
+    std::vector<size_t> endorse_base(count, 0);
+    std::vector<VerifyJob> jobs;
+    jobs.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      const Journal& journal = journals[i];
+      VerifyJob job;
+      job.key = &journal.client_key;
+      job.message = &journal.request_hash;
+      job.sig = &journal.client_sig;
+      job.ctx = context_.members != nullptr
+                    ? context_.members->FindVerifyContext(journal.client_key)
+                    : nullptr;
+      jobs.push_back(job);
     }
-    switch (journal.type) {
-      case JournalType::kPurge:
-        LEDGERDB_RETURN_IF_ERROR(VerifyPurgeJournal(journal, report));
-        break;
-      case JournalType::kOccult:
-        LEDGERDB_RETURN_IF_ERROR(VerifyOccultJournal(journal, report));
-        break;
-      default:
-        break;
+    for (size_t i = 0; i < count; ++i) {
+      const Journal& journal = journals[i];
+      if (journal.type != JournalType::kPurge &&
+          journal.type != JournalType::kOccult) {
+        continue;
+      }
+      decode[i] = MutationRequestHash(journal, &requests[i]);
+      if (!decode[i].ok()) continue;
+      endorse_base[i] = jobs.size();
+      for (const Endorsement& e : journal.endorsements) {
+        VerifyJob job;
+        job.key = &e.key;
+        job.message = &requests[i];
+        job.sig = &e.signature;
+        job.ctx = context_.members != nullptr
+                      ? context_.members->FindVerifyContext(e.key)
+                      : nullptr;
+        jobs.push_back(job);
+      }
+    }
+    std::vector<uint8_t> ok = VerifyBatch(jobs);
+
+    // Consume results in jsn order so failure attribution matches the
+    // scalar sweep exactly.
+    for (size_t i = 0; i < count; ++i) {
+      const Journal& journal = journals[i];
+      // π_c: the client's non-repudiation signature over the request hash.
+      if (!ok[i]) {
+        return Fail(report, "client signature invalid at jsn " +
+                                std::to_string(jsns[i]));
+      }
+      ++report->signatures_verified;
+      if (context_.members != nullptr &&
+          !context_.members->IsRegistered(journal.client_key)) {
+        return Fail(report, "journal author is not a registered member");
+      }
+      switch (journal.type) {
+        case JournalType::kPurge:
+        case JournalType::kOccult:
+          if (!decode[i].ok()) {
+            return Fail(report, decode[i].message());
+          }
+          if (journal.type == JournalType::kPurge) {
+            LEDGERDB_RETURN_IF_ERROR(VerifyPurgeJournal(
+                journal, ok.data() + endorse_base[i], report));
+          } else {
+            LEDGERDB_RETURN_IF_ERROR(VerifyOccultJournal(
+                journal, ok.data() + endorse_base[i], report));
+          }
+          break;
+        default:
+          break;
+      }
     }
   }
   return Status::OK();

@@ -66,12 +66,22 @@ class DaseinAuditor {
   /// when: validates every time journal in the temporal range.
   Status VerifyWhen(const AuditOptions& options, AuditReport* report) const;
   /// who: verifies client signatures of journals [begin, end) plus
-  /// mutation endorsements.
+  /// mutation endorsements. Sweeps in chunks whose π_c and endorsement
+  /// checks all go through one batched crypto VerifyBatch call per chunk
+  /// (shared s⁻¹ inversion + shared R-point normalization), so audits pay
+  /// the same per-signature cost as batched appends.
   Status VerifyWho(uint64_t begin, uint64_t end, AuditReport* report) const;
 
  private:
-  Status VerifyPurgeJournal(const Journal& journal, AuditReport* report) const;
-  Status VerifyOccultJournal(const Journal& journal, AuditReport* report) const;
+  /// Decodes a purge/occult journal's payload into the request digest its
+  /// endorsements must sign.
+  Status MutationRequestHash(const Journal& journal, Digest* request) const;
+  /// Consume precomputed per-endorsement VerifyBatch results (aligned
+  /// with journal.endorsements) and enforce the role prerequisites.
+  Status VerifyPurgeJournal(const Journal& journal, const uint8_t* endorse_ok,
+                            AuditReport* report) const;
+  Status VerifyOccultJournal(const Journal& journal, const uint8_t* endorse_ok,
+                             AuditReport* report) const;
   Status VerifyTimeJournal(const Journal& journal, AuditReport* report) const;
   Status VerifyBlockRange(uint64_t first_block, uint64_t last_block,
                           AuditReport* report) const;

@@ -7,6 +7,18 @@ namespace ledgerdb {
 using secp256k1::AffinePoint;
 using secp256k1::JacobianPoint;
 using secp256k1::kN;
+using secp256k1::NMulMod;
+
+namespace {
+
+// Canonicalizes a 256-bit value mod n. Any u < 2^256 is < 2n, so one
+// conditional subtraction replaces the generic O(512) ReduceWide.
+U256 NCanon(U256 u) {
+  if (Compare(u, kN) >= 0) Sub(u, kN, &u);
+  return u;
+}
+
+}  // namespace
 
 Bytes PublicKey::Serialize() const {
   Bytes out(64);
@@ -120,17 +132,16 @@ U256 Rfc6979Nonce(const U256& secret, const Digest& message,
 }  // namespace
 
 Signature KeyPair::Sign(const Digest& message) const {
-  U256 z = U256::FromBigEndian(message.bytes.data());
-  z = ReduceWide(z, U256(), kN);
+  U256 z = NCanon(U256::FromBigEndian(message.bytes.data()));
 
   for (uint32_t attempt = 0;; ++attempt) {
     U256 k = Rfc6979Nonce(secret_, message, attempt);
     AffinePoint rp = secp256k1::ScalarMulBase(k).ToAffine();
-    U256 r = ReduceWide(rp.x, U256(), kN);
+    U256 r = NCanon(rp.x);
     if (r.IsZero()) continue;
     U256 kinv = ModInverse(k, kN);
-    U256 rd = MulMod(r, secret_, kN);
-    U256 s = MulMod(kinv, AddMod(z, rd, kN), kN);
+    U256 rd = NMulMod(r, secret_);
+    U256 s = NMulMod(kinv, AddMod(z, rd, kN));
     if (s.IsZero()) continue;
     // Low-s normalization (malleability hygiene).
     U256 half;
@@ -152,19 +163,81 @@ bool VerifySignature(const PublicKey& key, const Digest& message,
   if (sig.r.IsZero() || sig.s.IsZero()) return false;
   if (Compare(sig.r, kN) >= 0 || Compare(sig.s, kN) >= 0) return false;
 
-  U256 z = U256::FromBigEndian(message.bytes.data());
-  z = ReduceWide(z, U256(), kN);
+  U256 z = NCanon(U256::FromBigEndian(message.bytes.data()));
 
   U256 w = ModInverse(sig.s, kN);
-  U256 u1 = MulMod(z, w, kN);
-  U256 u2 = MulMod(sig.r, w, kN);
+  U256 u1 = NMulMod(z, w);
+  U256 u2 = NMulMod(sig.r, w);
   JacobianPoint rp = ctx != nullptr
                          ? secp256k1::DoubleScalarMul(u1, u2, *ctx)
                          : secp256k1::DoubleScalarMul(u1, u2, key.point());
   if (rp.infinity) return false;
   AffinePoint ra = rp.ToAffine();
-  U256 rx = ReduceWide(ra.x, U256(), kN);
+  U256 rx = NCanon(ra.x);
   return rx == sig.r;
+}
+
+std::vector<uint8_t> VerifyBatch(std::span<const VerifyJob> jobs) {
+  const size_t n = jobs.size();
+  std::vector<uint8_t> ok(n, 0);
+  if (n == 0) return ok;
+
+  // Screen malformed inputs. `winv` carries s for live jobs and zero for
+  // dead ones; NInvBatch skips zeros, so a bad job never enters the
+  // running product (per-signature failure isolation).
+  std::vector<U256> winv(n);
+  std::vector<uint8_t> live(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    const VerifyJob& j = jobs[i];
+    if (j.key == nullptr || j.message == nullptr || j.sig == nullptr) continue;
+    if (!j.key->valid()) continue;
+    if (j.sig->r.IsZero() || j.sig->s.IsZero()) continue;
+    if (Compare(j.sig->r, kN) >= 0 || Compare(j.sig->s, kN) >= 0) continue;
+    live[i] = 1;
+    winv[i] = j.sig->s;
+  }
+  secp256k1::NInvBatch(winv.data(), n);
+
+  // Temporary wNAF tables for live jobs without a cached context, all
+  // normalized through one further shared field inversion.
+  std::vector<size_t> uncached;
+  for (size_t i = 0; i < n; ++i) {
+    if (live[i] && jobs[i].ctx == nullptr) uncached.push_back(i);
+  }
+  std::vector<secp256k1::VerifyContext> temp_ctx(uncached.size());
+  if (!uncached.empty()) {
+    std::vector<AffinePoint> qs(uncached.size());
+    for (size_t t = 0; t < uncached.size(); ++t) {
+      qs[t] = jobs[uncached[t]].key->point();
+    }
+    secp256k1::VerifyContext::ForBatch(qs.data(), qs.size(), temp_ctx.data());
+  }
+  std::vector<const secp256k1::VerifyContext*> ctxs(n, nullptr);
+  for (size_t i = 0; i < n; ++i) ctxs[i] = jobs[i].ctx;
+  for (size_t t = 0; t < uncached.size(); ++t) {
+    ctxs[uncached[t]] = &temp_ctx[t];
+  }
+
+  // All the ladders, results left Jacobian; dead slots stay at infinity
+  // and are skipped by the batch normalization below.
+  std::vector<JacobianPoint> rpts(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!live[i]) continue;
+    U256 z = NCanon(U256::FromBigEndian(jobs[i].message->bytes.data()));
+    U256 u1 = NMulMod(z, winv[i]);
+    U256 u2 = NMulMod(jobs[i].sig->r, winv[i]);
+    rpts[i] = secp256k1::DoubleScalarMul(u1, u2, *ctxs[i]);
+  }
+
+  // One batched field inversion normalizes every R point to affine.
+  std::vector<AffinePoint> raff(n);
+  secp256k1::BatchToAffine(rpts.data(), n, raff.data());
+  for (size_t i = 0; i < n; ++i) {
+    if (!live[i] || raff[i].infinity) continue;
+    U256 rx = NCanon(raff[i].x);
+    ok[i] = rx == jobs[i].sig->r ? 1 : 0;
+  }
+  return ok;
 }
 
 }  // namespace ledgerdb

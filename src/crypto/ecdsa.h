@@ -1,7 +1,9 @@
 #ifndef LEDGERDB_CRYPTO_ECDSA_H_
 #define LEDGERDB_CRYPTO_ECDSA_H_
 
+#include <span>
 #include <string>
+#include <vector>
 
 #include "common/bytes.h"
 #include "common/random.h"
@@ -83,6 +85,26 @@ bool VerifySignature(const PublicKey& key, const Digest& message,
 bool VerifySignature(const PublicKey& key, const Digest& message,
                      const Signature& sig,
                      const secp256k1::VerifyContext* ctx);
+
+/// One signature check inside a VerifyBatch chunk. The pointed-to objects
+/// must stay alive for the duration of the call; `ctx` is optional (from
+/// MemberRegistry::FindVerifyContext) — jobs without one get a temporary
+/// wNAF table, batch-normalized together with the chunk's other
+/// context-less jobs.
+struct VerifyJob {
+  const PublicKey* key = nullptr;
+  const Digest* message = nullptr;
+  const Signature* sig = nullptr;
+  const secp256k1::VerifyContext* ctx = nullptr;
+};
+
+/// Batched ECDSA verification: accept/reject-identical to calling
+/// VerifySignature once per job, but the whole chunk shares ONE batched
+/// modular inversion for all s⁻¹ mod n values and ONE batched field
+/// inversion to normalize every resulting R point to affine (Montgomery's
+/// trick both times). Each result is independent — a malformed or
+/// mis-signed job fails alone and never poisons its chunk.
+std::vector<uint8_t> VerifyBatch(std::span<const VerifyJob> jobs);
 
 }  // namespace ledgerdb
 

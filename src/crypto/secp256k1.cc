@@ -1,6 +1,7 @@
 #include "crypto/secp256k1.h"
 
 #include <algorithm>
+#include <vector>
 
 namespace ledgerdb::secp256k1 {
 
@@ -53,7 +54,73 @@ U256 FeReduceWide(const U256& lo, const U256& hi) {
   return acc;
 }
 
+// n = 2^256 - kNC where kNC = 2^128 + kNCLow (129 bits).
+const U256 kNC{0x402da1732fc9bebfULL, 0x4551231950b75fc4ULL, 1, 0};
+const U256 kNCLow{0x402da1732fc9bebfULL, 0x4551231950b75fc4ULL, 0, 0};
+
+// Reduces a 512-bit value (hi:lo) mod n using hi·2^256 ≡ hi·kNC folds —
+// the scalar-lane analogue of FeReduceWide, replacing the generic O(512)
+// bitwise ReduceWide on the verify hot path.
+U256 NReduceWide(const U256& lo, const U256& hi) {
+  // Fold 1: hi·c = hi·kNCLow + (hi << 128).
+  U256 m1lo, m1hi;
+  Mul(hi, kNCLow, &m1lo, &m1hi);  // m1hi < 2^127
+  U256 sh_lo{0, 0, hi.limb[0], hi.limb[1]};
+  U256 sh_hi{hi.limb[2], hi.limb[3], 0, 0};
+  U256 t;
+  uint64_t cy = Add(lo, m1lo, &t);
+  cy += Add(t, sh_lo, &t);
+  U256 h;  // high part H < 2^127 + 2^128 + 2 < 1.5·2^128
+  Add(m1hi, sh_hi, &h);
+  Add(h, U256(cy), &h);
+  // Fold 2: H·c = H·kNCLow + (H mod 2^128)·2^128 + h.limb[2]·2^256.
+  // H·kNCLow < 1.5·2^128 · 2^127 < 2^256, so the product has no high part.
+  U256 m2lo, m2hi;
+  Mul(h, kNCLow, &m2lo, &m2hi);
+  U256 sh2{0, 0, h.limb[0], h.limb[1]};
+  uint64_t extra = h.limb[2];  // ≤ 1
+  extra += Add(t, m2lo, &t);
+  extra += Add(t, sh2, &t);
+  // Fold 3: each leftover 2^256 is one more +c; an overflowing add leaves
+  // t < c, so this terminates after at most extra+1 rounds.
+  while (extra > 0) {
+    extra += Add(t, kNC, &t);
+    --extra;
+  }
+  while (Compare(t, kN) >= 0) {
+    Sub(t, kN, &t);
+  }
+  return t;
+}
+
 }  // namespace
+
+U256 NMulMod(const U256& a, const U256& b) {
+  U256 lo, hi;
+  Mul(a, b, &lo, &hi);
+  return NReduceWide(lo, hi);
+}
+
+void NInvBatch(U256* elems, size_t n) {
+  if (n == 0) return;
+  // Montgomery's trick over NMulMod, so the 3(n-1) products use the
+  // two-fold reduction instead of generic ReduceWide (which would cost
+  // more than the extended-GCDs being amortized away). Zero elements stay
+  // zero and never contaminate their neighbors.
+  std::vector<U256> prefix(n);
+  U256 acc(1);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!elems[i].IsZero()) acc = NMulMod(acc, elems[i]);
+  }
+  U256 inv = ModInverse(acc, kN);
+  for (size_t i = n; i-- > 0;) {
+    if (elems[i].IsZero()) continue;
+    U256 cur = elems[i];
+    elems[i] = NMulMod(inv, prefix[i]);
+    inv = NMulMod(inv, cur);
+  }
+}
 
 U256 FeAdd(const U256& a, const U256& b) { return AddMod(a, b, kP); }
 
@@ -65,9 +132,32 @@ U256 FeMul(const U256& a, const U256& b) {
   return FeReduceWide(lo, hi);
 }
 
-U256 FeSqr(const U256& a) { return FeMul(a, a); }
+U256 FeSqr(const U256& a) {
+  U256 lo, hi;
+  Sqr(a, &lo, &hi);
+  return FeReduceWide(lo, hi);
+}
 
 U256 FeInv(const U256& a) { return ModInverse(a, kP); }
+
+void FeInvBatch(U256* elems, size_t n) {
+  if (n == 0) return;
+  // Montgomery's trick specialized to the field so the 3(n-1) products go
+  // through the fast folding reduction instead of generic ReduceWide.
+  std::vector<U256> prefix(n);
+  U256 acc(1);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!elems[i].IsZero()) acc = FeMul(acc, elems[i]);
+  }
+  U256 inv = FeInv(acc);
+  for (size_t i = n; i-- > 0;) {
+    if (elems[i].IsZero()) continue;
+    U256 cur = elems[i];
+    elems[i] = FeMul(inv, prefix[i]);
+    inv = FeMul(inv, cur);
+  }
+}
 
 AffinePoint AffinePoint::Generator() {
   AffinePoint g;
@@ -176,6 +266,32 @@ JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q) {
   return out;
 }
 
+AffinePoint Negate(const AffinePoint& p) {
+  AffinePoint out = p;
+  if (!out.infinity && !out.y.IsZero()) {
+    Sub(kP, p.y, &out.y);
+  }
+  return out;
+}
+
+void BatchToAffine(const JacobianPoint* pts, size_t n, AffinePoint* out) {
+  std::vector<U256> zinv(n);
+  for (size_t i = 0; i < n; ++i) {
+    zinv[i] = pts[i].infinity ? U256() : pts[i].z;
+  }
+  FeInvBatch(zinv.data(), n);
+  for (size_t i = 0; i < n; ++i) {
+    if (pts[i].infinity) {
+      out[i] = AffinePoint();
+      continue;
+    }
+    U256 zinv2 = FeSqr(zinv[i]);
+    out[i].x = FeMul(pts[i].x, zinv2);
+    out[i].y = FeMul(pts[i].y, FeMul(zinv2, zinv[i]));
+    out[i].infinity = false;
+  }
+}
+
 JacobianPoint ScalarMul(const U256& k, const AffinePoint& p) {
   JacobianPoint acc;
   int bits = k.BitLength();
@@ -244,22 +360,245 @@ JacobianPoint InterleavedLadder(const U256& k1, const U256& k2,
   return acc;
 }
 
+// wNAF window widths: G uses the bigger static table (8 odd multiples),
+// Q the 4-entry per-key table carried by VerifyContext.
+constexpr int kGWindow = 5;
+constexpr int kQWindow = 4;
+
+// ---------------------------------------------------------------------------
+// GLV endomorphism (secp256k1 has the efficiently computable endomorphism
+// φ(x, y) = (β·x, y) = λ·(x, y) for the cube roots of unity β mod p and
+// λ mod n). Splitting a 256-bit verify scalar k into k1 + k2·λ with
+// |k1|, |k2| ≲ 2^128 halves the shared doubling chain of the
+// Strauss–Shamir ladder — the dominant cost of every ECDSA verify.
+// Constants are the standard GLV lattice basis for secp256k1:
+//   b1 = -0xe4437ed6010e88286f547fa90abfe4c3 (kMinusB1 = |b1|)
+//   b2 = 0x3086d221a7d46bcde86c90e49284eb15  (kB2)
+// and kG1 = ⌈2^384·b2/n⌋, kG2 = ⌈2^384·|b1|/n⌋ are the precomputed
+// rounding multipliers for the division-free decomposition.
+// ---------------------------------------------------------------------------
+
+const U256 kLambda{0xdf02967c1b23bd72ULL, 0x122e22ea20816678ULL,
+                   0xa5261c028812645aULL, 0x5363ad4cc05c30e0ULL};
+const U256 kBeta{0xc1396c28719501eeULL, 0x9cf0497512f58995ULL,
+                 0x6e64479eac3434e9ULL, 0x7ae96a2b657c0710ULL};
+const U256 kMinusB1{0x6f547fa90abfe4c3ULL, 0xe4437ed6010e8828ULL, 0, 0};
+const U256 kB2{0xe86c90e49284eb15ULL, 0x3086d221a7d46bcdULL, 0, 0};
+const U256 kG1{0xe893209a45dbb031ULL, 0x3daa8a1471e8ca7fULL,
+               0xe86c90e49284eb15ULL, 0x3086d221a7d46bcdULL};
+const U256 kG2{0x1571b4ae8ac47f71ULL, 0x221208ac9df506c6ULL,
+               0x6f547fa90abfe4c4ULL, 0xe4437ed6010e8828ULL};
+
+// ⌈a·b / 2^384⌋ (rounded): the top 128 bits of the 512-bit product plus
+// the rounding bit below the cut.
+U256 MulShift384(const U256& a, const U256& b) {
+  U256 lo, hi;
+  Mul(a, b, &lo, &hi);
+  U256 out{hi.limb[2], hi.limb[3], 0, 0};
+  if (hi.limb[1] >> 63) Add(out, U256(1), &out);
+  return out;
+}
+
+// Width-w non-adjacent form of k, least-significant digit first. Digits
+// are odd values in (-2^(w-1), 2^(w-1)) or zero, with at least w-1 zeros
+// after every nonzero digit. Returns the digit count (≤ 257). `digits`
+// must hold at least 264 entries.
+int ComputeWNaf(const U256& k, int width, int8_t* digits) {
+  const uint64_t mod = uint64_t{1} << width;
+  const uint64_t half = uint64_t{1} << (width - 1);
+  U256 d = k;
+  int len = 0;
+  while (!d.IsZero()) {
+    int8_t digit = 0;
+    if (d.IsOdd()) {
+      uint64_t low = d.limb[0] & (mod - 1);
+      if (low >= half) {
+        // Negative digit: round d up to the next multiple of 2^w. Cannot
+        // overflow 256 bits because scalars are < n < 2^256 - 2^w.
+        digit = static_cast<int8_t>(static_cast<int64_t>(low) -
+                                    static_cast<int64_t>(mod));
+        Add(d, U256(mod - low), &d);
+      } else {
+        digit = static_cast<int8_t>(low);
+        Sub(d, U256(low), &d);
+      }
+    }
+    digits[len++] = digit;
+    d = Shr1(d);
+  }
+  return len;
+}
+
+// Static odd multiples (2i+1)·G for i in 0..7 (width-5 wNAF), normalized
+// once through a shared batched inversion and intentionally leaked.
+struct GOddTable {
+  AffinePoint entries[8];
+
+  GOddTable() {
+    JacobianPoint g = JacobianPoint::FromAffine(AffinePoint::Generator());
+    JacobianPoint g2 = Double(g);
+    JacobianPoint jac[8];
+    jac[0] = g;
+    for (int i = 1; i < 8; ++i) jac[i] = Add(jac[i - 1], g2);
+    BatchToAffine(jac, 8, entries);
+  }
+};
+
+const GOddTable& GTable() {
+  static const GOddTable* table = new GOddTable();
+  return *table;
+}
+
+// Static λG odd multiples: the endomorphism image of GTable, so λ·g_odd[i]
+// is just (β·x, y) — no point arithmetic at all.
+struct LamGOddTable {
+  AffinePoint entries[8];
+
+  LamGOddTable() {
+    const GOddTable& g = GTable();
+    for (int i = 0; i < 8; ++i) {
+      entries[i].x = FeMul(kBeta, g.entries[i].x);
+      entries[i].y = g.entries[i].y;
+      entries[i].infinity = false;
+    }
+  }
+};
+
+const LamGOddTable& LamGTable() {
+  static const LamGOddTable* table = new LamGOddTable();
+  return *table;
+}
+
+// The GLV Strauss–Shamir wNAF ladder: both verify scalars are split into
+// half-length components, giving four digit streams (G, λG, Q, λQ) over
+// ONE ~130-step shared doubling chain instead of 256. Negative digits and
+// negative mini-scalars add the negated table entry — negation is a
+// single field subtraction.
+JacobianPoint GlvLadder(const U256& k1, const U256& k2,
+                        const AffinePoint q_odd[4],
+                        const AffinePoint lam_q_odd[4]) {
+  struct Stream {
+    U256 mag;
+    bool neg;
+    const AffinePoint* table;
+    int width;
+    int len;
+    int8_t naf[264];
+  };
+  Stream s[4];
+  s[0].table = GTable().entries;
+  s[1].table = LamGTable().entries;
+  s[2].table = q_odd;
+  s[3].table = lam_q_odd;
+  s[0].width = s[1].width = kGWindow;
+  s[2].width = s[3].width = kQWindow;
+  SplitScalar(k1, &s[0].mag, &s[0].neg, &s[1].mag, &s[1].neg);
+  SplitScalar(k2, &s[2].mag, &s[2].neg, &s[3].mag, &s[3].neg);
+  int maxlen = 0;
+  for (Stream& st : s) {
+    st.len = ComputeWNaf(st.mag, st.width, st.naf);
+    maxlen = std::max(maxlen, st.len);
+  }
+  JacobianPoint acc;
+  for (int i = maxlen - 1; i >= 0; --i) {
+    acc = Double(acc);
+    for (const Stream& st : s) {
+      if (i >= st.len || st.naf[i] == 0) continue;
+      int d = st.naf[i];
+      const AffinePoint& e = st.table[((d < 0 ? -d : d) - 1) / 2];
+      acc = AddMixed(acc, (d < 0) != st.neg ? Negate(e) : e);
+    }
+  }
+  return acc;
+}
+
 }  // namespace
+
+void SplitScalar(const U256& k, U256* k1, bool* neg1, U256* k2, bool* neg2) {
+  U256 c1 = MulShift384(k, kG1);
+  U256 c2 = MulShift384(k, kG2);
+  // k2_int = c1·|b1| - c2·b2. Both factors are < 2^128, so the products
+  // fit in 256 bits exactly and the difference is computed as integers —
+  // no modular reduction on this leg.
+  U256 p1, p2, hi;
+  Mul(c1, kMinusB1, &p1, &hi);
+  Mul(c2, kB2, &p2, &hi);
+  if (Compare(p1, p2) >= 0) {
+    Sub(p1, p2, k2);
+    *neg2 = false;
+  } else {
+    Sub(p2, p1, k2);
+    *neg2 = true;
+  }
+  // k1 = k - k2·λ (mod n), then folded to sign+magnitude: the GLV bound
+  // keeps |k1| ≲ 2^129, so a Z_n value with any of its top 128 bits set
+  // can only be a negative component (n - |k1|).
+  U256 t = NMulMod(*k2, kLambda);
+  if (*neg2 && !t.IsZero()) Sub(kN, t, &t);
+  // k < 2^256 < 2n, so one conditional subtraction canonicalizes it.
+  U256 kr = k;
+  if (Compare(kr, kN) >= 0) Sub(kr, kN, &kr);
+  U256 r = SubMod(kr, t, kN);
+  if (r.limb[3] != 0) {
+    Sub(kN, r, k1);
+    *neg1 = true;
+  } else {
+    *k1 = r;
+    *neg1 = false;
+  }
+}
 
 VerifyContext VerifyContext::For(const AffinePoint& q) {
   VerifyContext ctx;
-  ctx.q = q;
-  ctx.g_plus_q =
-      Add(JacobianPoint::FromAffine(AffinePoint::Generator()),
-          JacobianPoint::FromAffine(q))
-          .ToAffine();
+  ForBatch(&q, 1, &ctx);
   return ctx;
+}
+
+void VerifyContext::ForBatch(const AffinePoint* qs, size_t n,
+                             VerifyContext* out) {
+  // Per key: 3Q, 5Q, 7Q for the wNAF table plus G+Q for the reference
+  // ladder; all 4n points normalized through one shared inversion.
+  std::vector<JacobianPoint> jac(4 * n);
+  const JacobianPoint g =
+      JacobianPoint::FromAffine(AffinePoint::Generator());
+  for (size_t i = 0; i < n; ++i) {
+    JacobianPoint q1 = JacobianPoint::FromAffine(qs[i]);
+    JacobianPoint q2 = Double(q1);
+    jac[4 * i + 0] = Add(q2, q1);              // 3Q
+    jac[4 * i + 1] = Add(jac[4 * i + 0], q2);  // 5Q
+    jac[4 * i + 2] = Add(jac[4 * i + 1], q2);  // 7Q
+    jac[4 * i + 3] = Add(g, q1);               // G+Q
+  }
+  std::vector<AffinePoint> aff(4 * n);
+  BatchToAffine(jac.data(), 4 * n, aff.data());
+  for (size_t i = 0; i < n; ++i) {
+    out[i].q_odd[0] = qs[i];
+    out[i].q_odd[1] = aff[4 * i + 0];
+    out[i].q_odd[2] = aff[4 * i + 1];
+    out[i].q_odd[3] = aff[4 * i + 2];
+    out[i].g_plus_q = aff[4 * i + 3];
+    // λ·(2j+1)·Q via the endomorphism: one field multiply per entry, no
+    // point arithmetic and no extra inversion.
+    for (int j = 0; j < 4; ++j) {
+      out[i].lam_odd[j] = out[i].q_odd[j];
+      if (!out[i].lam_odd[j].infinity) {
+        out[i].lam_odd[j].x = FeMul(kBeta, out[i].q_odd[j].x);
+      }
+    }
+  }
 }
 
 JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
                               const AffinePoint& q) {
-  // Precompute G + Q for the interleaved ladder (one-shot path; repeat
-  // verifiers should hold a VerifyContext instead).
+  // One-shot path: build the width-4 Q table for this call. Repeat
+  // verifiers should hold a VerifyContext instead; batch verifiers
+  // amortize the table normalization across the chunk (VerifyBatch).
+  VerifyContext ctx = VerifyContext::For(q);
+  return GlvLadder(k1, k2, ctx.q_odd, ctx.lam_odd);
+}
+
+JacobianPoint DoubleScalarMulInterleaved(const U256& k1, const U256& k2,
+                                         const AffinePoint& q) {
   AffinePoint gq = Add(JacobianPoint::FromAffine(AffinePoint::Generator()),
                        JacobianPoint::FromAffine(q))
                        .ToAffine();
@@ -268,7 +607,7 @@ JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
 
 JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
                               const VerifyContext& ctx) {
-  return InterleavedLadder(k1, k2, ctx.q, ctx.g_plus_q);
+  return GlvLadder(k1, k2, ctx.q_odd, ctx.lam_odd);
 }
 
 }  // namespace ledgerdb::secp256k1

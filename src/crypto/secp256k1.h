@@ -21,6 +21,25 @@ U256 FeMul(const U256& a, const U256& b);
 U256 FeSqr(const U256& a);
 U256 FeInv(const U256& a);
 
+/// Batch field inversion (Montgomery's trick over FeMul): inverts all n
+/// elements in place with ONE FeInv plus 3(n-1) fast-reduction field
+/// multiplications. Zero elements stay zero and never contaminate their
+/// neighbors.
+void FeInvBatch(U256* elems, size_t n);
+
+/// a·b mod the group order n with a specialized two-fold reduction
+/// (n = 2^256 - c, c ≈ 2^129) — the scalar-lane analogue of FeMul,
+/// replacing the generic O(512) bitwise ReduceWide on the verify path.
+U256 NMulMod(const U256& a, const U256& b);
+
+/// Batch scalar inversion mod n: Montgomery's trick over NMulMod (ONE
+/// extended-GCD plus 3(n-1) fast-reduction multiplies). Zero elements
+/// stay zero and never contaminate their neighbors. The generic
+/// ModInverseBatch would spend more on its ReduceWide multiplies than
+/// the extended-GCDs it amortizes; this version is the one the verify
+/// hot path uses.
+void NInvBatch(U256* elems, size_t n);
+
 /// Affine curve point. Infinity is encoded by `infinity == true`.
 struct AffinePoint {
   U256 x;
@@ -54,6 +73,14 @@ JacobianPoint Double(const JacobianPoint& p);
 JacobianPoint Add(const JacobianPoint& p, const JacobianPoint& q);
 JacobianPoint AddMixed(const JacobianPoint& p, const AffinePoint& q);
 
+/// -P: (x, p - y). Infinity negates to itself.
+AffinePoint Negate(const AffinePoint& p);
+
+/// Normalizes n Jacobian points to affine sharing ONE batched field
+/// inversion over all Z coordinates, vs one FeInv per point when calling
+/// ToAffine() in a loop. Infinity inputs map to infinity outputs.
+void BatchToAffine(const JacobianPoint* pts, size_t n, AffinePoint* out);
+
 /// Scalar multiplication k*P (double-and-add, MSB first).
 JacobianPoint ScalarMul(const U256& k, const AffinePoint& p);
 
@@ -62,25 +89,56 @@ JacobianPoint ScalarMul(const U256& k, const AffinePoint& p);
 /// additions per call. Used by the signing hot path.
 JacobianPoint ScalarMulBase(const U256& k);
 
-/// k1*G + k2*Q via interleaved Shamir's trick — the ECDSA-verify hot path.
+/// GLV scalar decomposition: writes sign+magnitude components with
+/// k ≡ (neg1 ? -k1 : k1) + (neg2 ? -k2 : k2)·λ (mod n) and
+/// |k1|, |k2| ≲ 2^129, where λ is the cube root of unity mod n whose
+/// curve action is the endomorphism (x, y) ↦ (β·x, y). Halving the
+/// scalar length halves the shared doubling chain of the verify ladder.
+void SplitScalar(const U256& k, U256* k1, bool* neg1, U256* k2, bool* neg2);
+
+/// k1*G + k2*Q — the ECDSA-verify hot path. Runs a width-4/5 wNAF
+/// GLV Strauss–Shamir ladder: both scalars are endomorphism-split into
+/// half-length components (SplitScalar), giving four digit streams —
+/// G and λG hit static odd-multiple tables (width 5, ±{1,3,...,15}),
+/// Q and λQ the per-key width-4 tables (±{1,3,5,7}) — over one shared
+/// ~130-step doubling chain instead of the naive ladder's 256.
 JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
                               const AffinePoint& q);
 
+/// Reference bit-at-a-time interleaved Shamir ladder. Kept only as the
+/// differential-testing baseline for the wNAF ladder (and for cost
+/// comparisons in bench_micro); every production path goes through
+/// DoubleScalarMul.
+JacobianPoint DoubleScalarMulInterleaved(const U256& k1, const U256& k2,
+                                         const AffinePoint& q);
+
 /// Precomputed per-key state for repeated verifications against the same
-/// public key Q: Shamir's interleaved ladder needs G+Q, which costs a full
-/// Jacobian add plus a field inversion to re-derive on every verify. A
-/// registry (e.g. ledger MemberRegistry) builds this once per member at
-/// registration and repeat signers skip the point setup entirely. The
-/// struct is immutable after construction and safe to share across
-/// threads.
+/// public key Q: the wNAF ladder consumes the odd multiples
+/// {1,3,5,7}·Q stored affine, which cost point adds plus a field
+/// inversion to normalize. A registry (e.g. ledger MemberRegistry)
+/// builds this once per member at registration — with the table
+/// batch-normalized through one shared inversion — and repeat signers
+/// skip the per-verify table setup entirely. The struct is immutable
+/// after construction and safe to share across threads.
 struct VerifyContext {
-  AffinePoint q;
+  /// q_odd[i] = (2i+1)·Q; q_odd[0] is Q itself.
+  AffinePoint q_odd[4];
+  /// lam_odd[i] = λ·(2i+1)·Q = (β·x_i, y_i): the endomorphism image of
+  /// q_odd, consumed by the λQ stream of the GLV ladder.
+  AffinePoint lam_odd[4];
+  /// G + Q, retained for the reference interleaved ladder.
   AffinePoint g_plus_q;
 
+  const AffinePoint& q() const { return q_odd[0]; }
+
   static VerifyContext For(const AffinePoint& q);
+
+  /// Builds n contexts whose tables are normalized to affine through a
+  /// single shared batched field inversion (4n+... points, one FeInv).
+  static void ForBatch(const AffinePoint* qs, size_t n, VerifyContext* out);
 };
 
-/// DoubleScalarMul against a precomputed context (no per-call G+Q setup).
+/// DoubleScalarMul against a precomputed context (no per-call table setup).
 JacobianPoint DoubleScalarMul(const U256& k1, const U256& k2,
                               const VerifyContext& ctx);
 

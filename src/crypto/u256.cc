@@ -1,5 +1,7 @@
 #include "crypto/u256.h"
 
+#include <vector>
+
 namespace ledgerdb {
 
 int U256::BitLength() const {
@@ -96,6 +98,77 @@ void Mul(const U256& a, const U256& b, U256* lo, U256* hi) {
   }
 }
 
+void Sqr(const U256& a, U256* lo, U256* hi) {
+  // Schoolbook squaring, fully unrolled and branch-free: the 6
+  // off-diagonal products are computed once and doubled, then the 4
+  // diagonal squares are added — 10 64x64 multiplies instead of Mul's 16.
+  using u128 = unsigned __int128;
+  const uint64_t a0 = a.limb[0], a1 = a.limb[1], a2 = a.limb[2],
+                 a3 = a.limb[3];
+  uint64_t prod[8];
+  u128 c;
+  // Row i=0: a0*{a1,a2,a3} into prod[1..3], carry into prod[4].
+  c = static_cast<u128>(a0) * a1;
+  prod[1] = static_cast<uint64_t>(c);
+  c = static_cast<u128>(a0) * a2 + static_cast<uint64_t>(c >> 64);
+  prod[2] = static_cast<uint64_t>(c);
+  c = static_cast<u128>(a0) * a3 + static_cast<uint64_t>(c >> 64);
+  prod[3] = static_cast<uint64_t>(c);
+  prod[4] = static_cast<uint64_t>(c >> 64);
+  // Row i=1: a1*{a2,a3} into prod[3..4], carry into prod[5].
+  c = static_cast<u128>(a1) * a2 + prod[3];
+  prod[3] = static_cast<uint64_t>(c);
+  c = static_cast<u128>(a1) * a3 + prod[4] + static_cast<uint64_t>(c >> 64);
+  prod[4] = static_cast<uint64_t>(c);
+  prod[5] = static_cast<uint64_t>(c >> 64);
+  // Row i=2: a2*a3 into prod[5], carry into prod[6].
+  c = static_cast<u128>(a2) * a3 + prod[5];
+  prod[5] = static_cast<uint64_t>(c);
+  prod[6] = static_cast<uint64_t>(c >> 64);
+  // Double the cross terms (the full square is < 2^512, so nothing spills).
+  prod[7] = prod[6] >> 63;
+  prod[6] = (prod[6] << 1) | (prod[5] >> 63);
+  prod[5] = (prod[5] << 1) | (prod[4] >> 63);
+  prod[4] = (prod[4] << 1) | (prod[3] >> 63);
+  prod[3] = (prod[3] << 1) | (prod[2] >> 63);
+  prod[2] = (prod[2] << 1) | (prod[1] >> 63);
+  prod[1] = prod[1] << 1;
+  prod[0] = 0;
+  // Add the diagonal a_i^2 terms with a rippling carry.
+  u128 s, sq;
+  sq = static_cast<u128>(a0) * a0;
+  s = static_cast<u128>(prod[0]) + static_cast<uint64_t>(sq);
+  prod[0] = static_cast<uint64_t>(s);
+  s = static_cast<u128>(prod[1]) + static_cast<uint64_t>(sq >> 64) +
+      static_cast<uint64_t>(s >> 64);
+  prod[1] = static_cast<uint64_t>(s);
+  sq = static_cast<u128>(a1) * a1;
+  s = static_cast<u128>(prod[2]) + static_cast<uint64_t>(sq) +
+      static_cast<uint64_t>(s >> 64);
+  prod[2] = static_cast<uint64_t>(s);
+  s = static_cast<u128>(prod[3]) + static_cast<uint64_t>(sq >> 64) +
+      static_cast<uint64_t>(s >> 64);
+  prod[3] = static_cast<uint64_t>(s);
+  sq = static_cast<u128>(a2) * a2;
+  s = static_cast<u128>(prod[4]) + static_cast<uint64_t>(sq) +
+      static_cast<uint64_t>(s >> 64);
+  prod[4] = static_cast<uint64_t>(s);
+  s = static_cast<u128>(prod[5]) + static_cast<uint64_t>(sq >> 64) +
+      static_cast<uint64_t>(s >> 64);
+  prod[5] = static_cast<uint64_t>(s);
+  sq = static_cast<u128>(a3) * a3;
+  s = static_cast<u128>(prod[6]) + static_cast<uint64_t>(sq) +
+      static_cast<uint64_t>(s >> 64);
+  prod[6] = static_cast<uint64_t>(s);
+  s = static_cast<u128>(prod[7]) + static_cast<uint64_t>(sq >> 64) +
+      static_cast<uint64_t>(s >> 64);
+  prod[7] = static_cast<uint64_t>(s);
+  for (int i = 0; i < 4; ++i) {
+    lo->limb[i] = prod[i];
+    hi->limb[i] = prod[i + 4];
+  }
+}
+
 U256 ReduceWide(const U256& lo, const U256& hi, const U256& m) {
   // Classic MSB-first shift-and-subtract. The accumulator r always stays
   // below m; since m's top bit is set, (2r + bit) fits in 257 bits, tracked
@@ -174,6 +247,26 @@ U256 ModInverse(const U256& a, const U256& m) {
   }
   // gcd is in y; for prime m and a != 0 it is 1 and v holds the inverse.
   return v;
+}
+
+void ModInverseBatch(U256* elems, size_t n, const U256& m) {
+  if (n == 0) return;
+  // prefix[i] = product of all nonzero elems[0..i); invert the full
+  // product once, then peel one element per backward step:
+  //   inv(elems[i]) = inv(prod(0..i]) * prefix[i].
+  std::vector<U256> prefix(n);
+  U256 acc(1);
+  for (size_t i = 0; i < n; ++i) {
+    prefix[i] = acc;
+    if (!elems[i].IsZero()) acc = MulMod(acc, elems[i], m);
+  }
+  U256 inv = ModInverse(acc, m);
+  for (size_t i = n; i-- > 0;) {
+    if (elems[i].IsZero()) continue;
+    U256 cur = elems[i];
+    elems[i] = MulMod(inv, prefix[i], m);
+    inv = MulMod(inv, cur, m);
+  }
 }
 
 }  // namespace ledgerdb

@@ -2,6 +2,7 @@
 #define LEDGERDB_CRYPTO_U256_H_
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 
 #include "common/bytes.h"
@@ -56,6 +57,11 @@ U256 Shr1(const U256& a, uint64_t carry_in = 0);
 /// the high 256 bits.
 void Mul(const U256& a, const U256& b, U256* lo, U256* hi);
 
+/// 512-bit square of `a`: 10 word multiplies (6 doubled cross terms + 4
+/// diagonals) vs Mul's 16. The point-arithmetic hot path is
+/// squaring-heavy, so this is worth the dedicated routine.
+void Sqr(const U256& a, U256* lo, U256* hi);
+
 /// (hi:lo) mod m via bitwise reduction. Correct for any m with the top bit
 /// set (both secp256k1's p and n qualify). O(512) word ops — used only on
 /// scalar (mod n) paths, not the field hot path.
@@ -69,6 +75,14 @@ U256 MulMod(const U256& a, const U256& b, const U256& m);
 /// Modular inverse via the binary extended-GCD; requires odd m and
 /// gcd(a, m) == 1. Returns zero if a is zero.
 U256 ModInverse(const U256& a, const U256& m);
+
+/// Batch modular inverse (Montgomery's trick): inverts all n elements in
+/// place with ONE extended-GCD plus 3(n-1) modular multiplications, vs n
+/// extended-GCDs for n scalar ModInverse calls. Zero elements are left
+/// zero and never contaminate their neighbors (they are excluded from the
+/// running product). Same preconditions as ModInverse for the nonzero
+/// elements.
+void ModInverseBatch(U256* elems, size_t n, const U256& m);
 
 }  // namespace ledgerdb
 

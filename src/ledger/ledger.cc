@@ -196,37 +196,72 @@ uint64_t Ledger::AppendInternal(JournalType type,
 
 Status Ledger::Prevalidate(const ClientTransaction& tx,
                            PrevalidatedTx* out) const {
-  if (tx.ledger_uri != uri_) {
-    return Status::InvalidArgument("transaction addressed to another ledger");
-  }
-  if (tx.type != JournalType::kNormal) {
-    return Status::PermissionDenied(
-        "clients may only append normal journals; mutations use "
-        "Purge/Occult APIs");
-  }
-  // who (π_c): reject unsigned or mis-signed transactions at the door
-  // (threat-A: tamper-on-receipt becomes client-detectable). The request
-  // hash is computed once here and reused for the journal record below.
-  Digest request_hash = tx.RequestHash();
-  const secp256k1::VerifyContext* ctx =
-      members_ != nullptr ? members_->FindVerifyContext(tx.client_key)
-                          : nullptr;
-  if (!VerifySignature(tx.client_key, request_hash, tx.client_sig, ctx)) {
-    return Status::VerificationFailed("client signature invalid");
-  }
-  if (members_ != nullptr && !members_->IsRegistered(tx.client_key)) {
-    return Status::PermissionDenied("client is not a registered member");
+  const ClientTransaction* ptr = &tx;
+  Status status;
+  PrevalidateBatch(std::span<const ClientTransaction* const>(&ptr, 1), out,
+                   &status);
+  return status;
+}
+
+void Ledger::PrevalidateBatch(std::span<const ClientTransaction* const> txs,
+                              PrevalidatedTx* outs, Status* statuses) const {
+  const size_t n = txs.size();
+  // Cheap per-tx screening first; only transactions that survive it enter
+  // the batched π_c check. who (π_c): reject unsigned or mis-signed
+  // transactions at the door (threat-A: tamper-on-receipt becomes
+  // client-detectable). Each request hash is computed once and reused for
+  // the journal record below.
+  std::vector<Digest> request_hashes(n);
+  std::vector<VerifyJob> jobs(n);
+  for (size_t i = 0; i < n; ++i) {
+    const ClientTransaction& tx = *txs[i];
+    if (tx.ledger_uri != uri_) {
+      statuses[i] =
+          Status::InvalidArgument("transaction addressed to another ledger");
+      continue;
+    }
+    if (tx.type != JournalType::kNormal) {
+      statuses[i] = Status::PermissionDenied(
+          "clients may only append normal journals; mutations use "
+          "Purge/Occult APIs");
+      continue;
+    }
+    statuses[i] = Status::OK();
+    request_hashes[i] = tx.RequestHash();
+    jobs[i].key = &tx.client_key;
+    jobs[i].message = &request_hashes[i];
+    jobs[i].sig = &tx.client_sig;
+    jobs[i].ctx = members_ != nullptr
+                      ? members_->FindVerifyContext(tx.client_key)
+                      : nullptr;
   }
 
-  Journal& journal = out->journal;
-  journal.type = JournalType::kNormal;
-  journal.clues = tx.clues;
-  journal.payload = tx.payload;
-  journal.payload_digest = Sha256::Hash(tx.payload);
-  journal.request_hash = request_hash;
-  journal.client_key = tx.client_key;
-  journal.client_sig = tx.client_sig;
-  return Status::OK();
+  // The whole chunk's signature checks share one batched s⁻¹ inversion
+  // and one batched R-point normalization; a null-key job (screened out
+  // above) simply reports false without touching its neighbors.
+  std::vector<uint8_t> sig_ok = VerifyBatch(jobs);
+
+  for (size_t i = 0; i < n; ++i) {
+    if (!statuses[i].ok()) continue;
+    const ClientTransaction& tx = *txs[i];
+    if (!sig_ok[i]) {
+      statuses[i] = Status::VerificationFailed("client signature invalid");
+      continue;
+    }
+    if (members_ != nullptr && !members_->IsRegistered(tx.client_key)) {
+      statuses[i] = Status::PermissionDenied(
+          "client is not a registered member");
+      continue;
+    }
+    Journal& journal = outs[i].journal;
+    journal.type = JournalType::kNormal;
+    journal.clues = tx.clues;
+    journal.payload = tx.payload;
+    journal.payload_digest = Sha256::Hash(tx.payload);
+    journal.request_hash = request_hashes[i];
+    journal.client_key = tx.client_key;
+    journal.client_sig = tx.client_sig;
+  }
 }
 
 Status Ledger::CommitPrevalidated(PrevalidatedTx&& prevalidated,

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <optional>
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -149,6 +150,15 @@ class Ledger {
   /// registry's cached per-key verify context so repeat signers skip the
   /// ECDSA point setup.
   Status Prevalidate(const ClientTransaction& tx, PrevalidatedTx* out) const;
+
+  /// Batched stage 1: prevalidates a chunk of transactions together so all
+  /// π_c checks share one batched s⁻¹ inversion and one batched R-point
+  /// normalization (crypto VerifyBatch). `outs` and `statuses` are indexed
+  /// like `txs`; results are per-transaction — an invalid signature fails
+  /// alone without affecting its chunk-mates. Same thread-safety contract
+  /// as Prevalidate.
+  void PrevalidateBatch(std::span<const ClientTransaction* const> txs,
+                        PrevalidatedTx* outs, Status* statuses) const;
 
   /// Stage 2: assigns server_ts and jsn, then threads the pre-validated
   /// journal through fam/CM-Tree/world-state. Cheap relative to stage 1;

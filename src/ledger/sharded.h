@@ -159,9 +159,17 @@ class ShardedLedgerGroup {
   /// Clue/request-hash routing shared by the serial and pipelined paths.
   Status RouteShard(const ClientTransaction& tx, size_t* shard) const;
 
-  /// Enqueues prevalidation on the pool and the commit ticket on the
-  /// owning shard's lane (in that caller's submission order).
-  std::future<AppendOutcome> SubmitPending(std::shared_ptr<PendingAppend> p);
+  /// Routes `p`, and on success enqueues its commit ticket on the owning
+  /// shard's lane (in the caller's submission order). Returns false when
+  /// routing failed (the future is already resolved with the error);
+  /// prevalidation has NOT been scheduled either way — the caller batches
+  /// routed appends into SubmitPrevalidateChunk.
+  bool EnqueueCommitTicket(const std::shared_ptr<PendingAppend>& p);
+
+  /// Schedules one pool task that prevalidates the whole chunk through
+  /// Ledger::PrevalidateBatch (shared batched ECDSA inversions) and
+  /// releases each append's commit ticket.
+  void SubmitPrevalidateChunk(std::vector<std::shared_ptr<PendingAppend>> chunk);
 
   std::vector<std::unique_ptr<Ledger>> shards_;
 
