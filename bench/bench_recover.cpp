@@ -1,0 +1,201 @@
+// Crash-recovery path benchmarks: how fast a file-backed ledger comes
+// back after a restart. Three stages are timed separately so regressions
+// localize — the frame-by-frame reopen scan (FileStreamStore::Open), the
+// full state replay (Ledger::Recover), and the offline integrity pass
+// (Fsck). Population rate is reported too since the append path pays for
+// the durability features (per-frame CRCs + watermark sidecar) that make
+// recovery possible.
+//
+//   ./bench_recover [--json BENCH_recover.json]
+//   LEDGERDB_BENCH_SCALE=quick|default|full
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "ledger/ledger.h"
+#include "storage/stream_store.h"
+
+namespace ledgerdb {
+namespace {
+
+using bench::Header;
+using bench::JsonReporter;
+using bench::LatencySampler;
+using bench::ScaleShift;
+using bench::TimeSeconds;
+using bench::VolumeLabel;
+
+constexpr char kJournalPath[] = "bench_recover_journals.log";
+constexpr char kBlockPath[] = "bench_recover_blocks.log";
+constexpr size_t kPayloadBytes = 256;
+
+void RemoveStream(const std::string& path) {
+  std::remove(path.c_str());
+  std::remove((path + ".wm").c_str());
+  std::remove((path + ".quarantine").c_str());
+}
+
+std::unique_ptr<FileStreamStore> MustOpen(const std::string& path) {
+  std::unique_ptr<FileStreamStore> store;
+  Status s = FileStreamStore::Open(path, &store);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", path.c_str(), s.ToString().c_str());
+    std::exit(1);
+  }
+  return store;
+}
+
+int Run(int argc, char** argv) {
+  JsonReporter json(argc, argv);
+
+  int shift = ScaleShift();
+  uint64_t journals = 5000;
+  journals = shift >= 0 ? journals << shift : journals >> -shift;
+  json.SetMeta("journals", static_cast<double>(journals));
+  json.SetMeta("payload_bytes", static_cast<double>(kPayloadBytes));
+
+  SimulatedClock clock(1000 * kMicrosPerSecond);
+  CertificateAuthority ca(KeyPair::FromSeedString("br-ca"));
+  MemberRegistry registry(&ca);
+  KeyPair lsp = KeyPair::FromSeedString("br-lsp");
+  KeyPair alice = KeyPair::FromSeedString("br-alice");
+  registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+  registry.Register(ca.Certify("alice", alice.public_key(), Role::kUser));
+
+  LedgerOptions options;
+  options.fractal_height = 8;
+  options.block_capacity = 256;
+
+  Header("Recovery pipeline — " + std::to_string(journals) + " journals (" +
+         VolumeLabel(journals, kPayloadBytes) + " payload)");
+
+  // ---- Populate a durable image (every append = frame write + fsync +
+  // watermark update; this is the cost recovery's guarantees are bought
+  // with, so it is a benchmark row, not just setup).
+  RemoveStream(kJournalPath);
+  RemoveStream(kBlockPath);
+  double populate_secs;
+  uint64_t blocks_sealed = 0;
+  {
+    auto journal_stream = MustOpen(kJournalPath);
+    auto block_stream = MustOpen(kBlockPath);
+    Ledger ledger("lg://bench-recover", options, &clock, lsp, &registry,
+                  LedgerStorage{journal_stream.get(), block_stream.get()});
+    if (!ledger.init_status().ok()) {
+      std::fprintf(stderr, "init: %s\n", ledger.init_status().ToString().c_str());
+      return 1;
+    }
+    std::string payload(kPayloadBytes, 'x');
+    uint64_t nonce = 0;
+    populate_secs = TimeSeconds([&] {
+      for (uint64_t i = 0; i < journals; ++i) {
+        ClientTransaction tx;
+        tx.ledger_uri = "lg://bench-recover";
+        tx.clues = {"acct-" + std::to_string(i % 16)};
+        tx.payload = StringToBytes(payload);
+        tx.nonce = nonce++;
+        tx.client_ts = clock.Now();
+        tx.Sign(alice);
+        uint64_t jsn = 0;
+        Status s = ledger.Append(tx, &jsn);
+        if (!s.ok()) {
+          std::fprintf(stderr, "append %llu: %s\n",
+                       static_cast<unsigned long long>(i),
+                       s.ToString().c_str());
+          std::exit(1);
+        }
+        clock.Advance(1000);
+      }
+    });
+    ledger.SealBlock();
+    blocks_sealed = ledger.blocks().size();
+  }
+  double populate_ops = static_cast<double>(journals) / populate_secs;
+  std::printf("%-28s %12.0f journals/s  (%.2fs, %llu blocks)\n",
+              "populate (append+fsync)", populate_ops, populate_secs,
+              static_cast<unsigned long long>(blocks_sealed));
+  json.Add("populate_append_fsync", populate_ops);
+
+  constexpr int kIters = 5;
+
+  // ---- Stage 1: frame scan. Reopen the journal log cold and rebuild the
+  // offset index (header CRC + sequence + payload CRC per frame).
+  {
+    LatencySampler lat;
+    uint64_t frames = 0;
+    for (int i = 0; i < kIters; ++i) {
+      lat.Time([&] {
+        auto store = MustOpen(kJournalPath);
+        frames = store->Count();
+      });
+    }
+    double secs = lat.PercentileUs(50.0) / 1e6;
+    double fps = static_cast<double>(frames) / secs;
+    std::printf("%-28s %12.0f frames/s   (p50 %.1fms, %llu frames)\n",
+                "reopen scan (stream open)", fps,
+                lat.PercentileUs(50.0) / 1e3,
+                static_cast<unsigned long long>(frames));
+    json.Add("stream_reopen_scan", fps, lat);
+  }
+
+  // ---- Stage 2: full recovery. Streams are opened outside the timer so
+  // this row isolates Ledger::Recover — journal replay through the fam
+  // tree / CM-Tree / world state plus block-header cross-checks.
+  {
+    LatencySampler lat;
+    uint64_t recovered_journals = 0;
+    for (int i = 0; i < kIters; ++i) {
+      auto journal_stream = MustOpen(kJournalPath);
+      auto block_stream = MustOpen(kBlockPath);
+      std::unique_ptr<Ledger> recovered;
+      Status s;
+      lat.Time([&] {
+        s = Ledger::Recover(
+            "lg://bench-recover", options, &clock, lsp, &registry,
+            LedgerStorage{journal_stream.get(), block_stream.get()},
+            &recovered);
+      });
+      if (!s.ok()) {
+        std::fprintf(stderr, "recover: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      recovered_journals = recovered->NumJournals();
+    }
+    double secs = lat.PercentileUs(50.0) / 1e6;
+    double jps = static_cast<double>(recovered_journals) / secs;
+    std::printf("%-28s %12.0f journals/s (p50 %.1fms)\n",
+                "Ledger::Recover (replay)", jps, lat.PercentileUs(50.0) / 1e3);
+    json.Add("ledger_recover_replay", jps, lat);
+  }
+
+  // ---- Stage 3: offline integrity sweep (what `ledgerdb_cli fsck` runs).
+  {
+    auto store = MustOpen(kJournalPath);
+    uint64_t frames = store->Count();
+    LatencySampler lat;
+    for (int i = 0; i < kIters; ++i) {
+      lat.Time([&] {
+        Status s = store->Fsck();
+        if (!s.ok()) {
+          std::fprintf(stderr, "fsck: %s\n", s.ToString().c_str());
+          std::exit(1);
+        }
+      });
+    }
+    double secs = lat.PercentileUs(50.0) / 1e6;
+    double fps = static_cast<double>(frames) / secs;
+    std::printf("%-28s %12.0f frames/s   (p50 %.1fms)\n", "fsck (full CRC sweep)",
+                fps, lat.PercentileUs(50.0) / 1e3);
+    json.Add("fsck_crc_sweep", fps, lat);
+  }
+
+  RemoveStream(kJournalPath);
+  RemoveStream(kBlockPath);
+  return 0;
+}
+
+}  // namespace
+}  // namespace ledgerdb
+
+int main(int argc, char** argv) { return ledgerdb::Run(argc, argv); }

@@ -1,0 +1,47 @@
+#ifndef LEDGERDB_COMMON_RETRY_H_
+#define LEDGERDB_COMMON_RETRY_H_
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "common/status.h"
+
+namespace ledgerdb {
+
+/// Bounded retry policy for transient I/O failures (Status::IsRetriable()).
+/// `max_attempts` counts the first try, so 1 disables retries entirely.
+/// Backoff doubles from `initial_backoff_us` up to `max_backoff_us`; set
+/// `initial_backoff_us` to 0 to retry without sleeping (the default for
+/// in-process fault injection, where sleeping only slows the test down).
+struct RetryPolicy {
+  int max_attempts = 5;
+  uint64_t initial_backoff_us = 0;
+  uint64_t max_backoff_us = 10'000;
+};
+
+/// Runs `op` (any callable returning Status) until it returns a
+/// non-retriable Status or the attempt budget is exhausted. Exhaustion
+/// converts the last transient failure into a terminal IOError so callers
+/// never see kTransientIO escape a retry boundary.
+template <typename Op>
+Status RetryTransient(const RetryPolicy& policy, Op&& op) {
+  uint64_t backoff_us = policy.initial_backoff_us;
+  Status last;
+  for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    last = op();
+    if (!last.IsRetriable()) return last;
+    if (attempt + 1 < policy.max_attempts && backoff_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us = backoff_us * 2 < policy.max_backoff_us ? backoff_us * 2
+                                                          : policy.max_backoff_us;
+    }
+  }
+  return Status::IOError("transient I/O error persisted after " +
+                         std::to_string(policy.max_attempts) +
+                         " attempts: " + last.message());
+}
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_COMMON_RETRY_H_

@@ -28,6 +28,10 @@ const char* CodeName(Status::Code code) {
       return "NotSupported";
     case Status::Code::kTimestampRejected:
       return "TimestampRejected";
+    case Status::Code::kTransientIO:
+      return "TransientIO";
+    case Status::Code::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

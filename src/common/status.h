@@ -23,6 +23,8 @@ class Status {
     kIOError,
     kNotSupported,
     kTimestampRejected,
+    kTransientIO,
+    kUnavailable,
   };
 
   /// Default-constructed Status is OK.
@@ -59,6 +61,12 @@ class Status {
   static Status TimestampRejected(std::string msg = "") {
     return Status(Code::kTimestampRejected, std::move(msg));
   }
+  static Status TransientIO(std::string msg = "") {
+    return Status(Code::kTransientIO, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -75,6 +83,13 @@ class Status {
   bool IsTimestampRejected() const {
     return code_ == Code::kTimestampRejected;
   }
+  bool IsTransientIO() const { return code_ == Code::kTransientIO; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+
+  /// True for failures that may succeed if the operation is simply retried
+  /// (e.g. a transient EIO from the storage substrate). Retry loops must
+  /// branch on this, never on message text.
+  bool IsRetriable() const { return code_ == Code::kTransientIO; }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

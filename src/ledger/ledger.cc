@@ -124,9 +124,11 @@ Ledger::Ledger(std::string uri, const LedgerOptions& options, Clock* clock,
       storage_(storage),
       fam_(options.fractal_height),
       cmtree_(&cmtree_store_, options.mpt_cache_depth) {
-  // Genesis journal, authored by the LSP.
-  AppendInternal(JournalType::kGenesis, {},
-                 StringToBytes("genesis:" + uri_), {});
+  // Genesis journal, authored by the LSP. A persist failure here poisons
+  // the ledger (init_status()); the partial on-disk image recovers to an
+  // explicit error rather than a ledger missing its genesis.
+  init_status_ = AppendInternal(JournalType::kGenesis, {},
+                                StringToBytes("genesis:" + uri_), {}, nullptr);
 }
 
 Ledger::Ledger(RecoveryTag, std::string uri, const LedgerOptions& options,
@@ -142,10 +144,24 @@ Ledger::Ledger(RecoveryTag, std::string uri, const LedgerOptions& options,
       fam_(options.fractal_height),
       cmtree_(&cmtree_store_, options.mpt_cache_depth) {}
 
-uint64_t Ledger::CommitJournal(Journal journal, bool persist) {
+Status Ledger::CommitJournal(Journal journal, uint64_t* out_jsn,
+                             bool persist) {
   uint64_t jsn = journals_.size();
   journal.jsn = jsn;
   Digest tx_hash = journal.TxHash();
+
+  // Persist first: a failed stream write leaves every accumulator
+  // untouched, so memory and disk never disagree about the journal count.
+  if (persist && storage_.enabled()) {
+    uint64_t index = 0;
+    LEDGERDB_RETURN_IF_ERROR(
+        storage_.journals->Append(Slice(journal.Serialize()), &index));
+    if (index != jsn) {
+      return Status::Corruption("journal stream out of sync with ledger (" +
+                                std::to_string(index) + " vs " +
+                                std::to_string(jsn) + ")");
+    }
+  }
 
   fam_.Append(tx_hash);
   for (const std::string& clue : journal.clues) {
@@ -154,24 +170,26 @@ uint64_t Ledger::CommitJournal(Journal journal, bool persist) {
     world_state_.Put(clue, journal.payload_digest.ToBytes());
   }
 
-  if (persist && storage_.enabled()) {
-    uint64_t index = 0;
-    storage_.journals->Append(Slice(journal.Serialize()), &index);
-  }
   journals_.push_back(std::move(journal));
   occult_bitmap_.Resize(jsn + 1);
   jsn_to_block_.push_back(kUnsealedBlock);
+  if (out_jsn != nullptr) *out_jsn = jsn;
   if (!recovering_) {
     pending_block_.push_back(jsn);
-    if (pending_block_.size() >= options_.block_capacity) SealBlock();
+    // The journal itself is durable at this point; a failed seal surfaces
+    // the error but the journals stay queued for the next seal attempt.
+    if (pending_block_.size() >= options_.block_capacity) {
+      LEDGERDB_RETURN_IF_ERROR(SealBlock());
+    }
   }
-  return jsn;
+  return Status::OK();
 }
 
-uint64_t Ledger::AppendInternal(JournalType type,
-                                const std::vector<std::string>& clues,
-                                Bytes payload,
-                                std::vector<Endorsement> endorsements) {
+Status Ledger::AppendInternal(JournalType type,
+                              const std::vector<std::string>& clues,
+                              Bytes payload,
+                              std::vector<Endorsement> endorsements,
+                              uint64_t* jsn) {
   ClientTransaction tx;
   tx.ledger_uri = uri_;
   tx.type = type;
@@ -191,7 +209,7 @@ uint64_t Ledger::AppendInternal(JournalType type,
   journal.client_key = tx.client_key;
   journal.client_sig = tx.client_sig;
   journal.endorsements = std::move(endorsements);
-  return CommitJournal(std::move(journal));
+  return CommitJournal(std::move(journal), jsn);
 }
 
 Status Ledger::Prevalidate(const ClientTransaction& tx,
@@ -267,9 +285,7 @@ void Ledger::PrevalidateBatch(std::span<const ClientTransaction* const> txs,
 Status Ledger::CommitPrevalidated(PrevalidatedTx&& prevalidated,
                                   uint64_t* jsn) {
   prevalidated.journal.server_ts = clock_->Now();
-  uint64_t assigned = CommitJournal(std::move(prevalidated.journal));
-  if (jsn != nullptr) *jsn = assigned;
-  return Status::OK();
+  return CommitJournal(std::move(prevalidated.journal), jsn);
 }
 
 Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
@@ -278,8 +294,8 @@ Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
   return CommitPrevalidated(std::move(prevalidated), jsn);
 }
 
-void Ledger::SealBlock() {
-  if (pending_block_.empty()) return;
+Status Ledger::SealBlock() {
+  if (pending_block_.empty()) return Status::OK();
   ShrubsAccumulator tx_tree;
   for (uint64_t jsn : pending_block_) {
     tx_tree.Append(journals_[jsn]->TxHash());
@@ -294,13 +310,17 @@ void Ledger::SealBlock() {
   header.fam_root = fam_.Root();
   header.clue_root = cmtree_.Root();
   header.state_root = world_state_.Root();
-  for (uint64_t jsn : pending_block_) jsn_to_block_[jsn] = header.height;
+  // Persist before mutating: a failed header write keeps the journals in
+  // pending_block_, and recovery simply sees them as not-yet-sealed.
   if (storage_.enabled()) {
     uint64_t index = 0;
-    storage_.blocks->Append(Slice(header.Serialize()), &index);
+    LEDGERDB_RETURN_IF_ERROR(
+        storage_.blocks->Append(Slice(header.Serialize()), &index));
   }
+  for (uint64_t jsn : pending_block_) jsn_to_block_[jsn] = header.height;
   blocks_.push_back(header);
   pending_block_.clear();
+  return Status::OK();
 }
 
 Status Ledger::GetReceipt(uint64_t jsn, Receipt* receipt) {
@@ -308,7 +328,9 @@ Status Ledger::GetReceipt(uint64_t jsn, Receipt* receipt) {
   if (jsn < purged_boundary_ || !journals_[jsn].has_value()) {
     return Status::NotFound("journal purged");
   }
-  if (jsn_to_block_[jsn] == kUnsealedBlock) SealBlock();
+  if (jsn_to_block_[jsn] == kUnsealedBlock) {
+    LEDGERDB_RETURN_IF_ERROR(SealBlock());
+  }
   const Journal& journal = *journals_[jsn];
   receipt->jsn = jsn;
   receipt->request_hash = journal.request_hash;
@@ -387,7 +409,9 @@ Status Ledger::AnchorTime(uint64_t* time_jsn) {
     // time journal below.
     evidence.attestation = direct_tsa_->Endorse(evidence.ledger_digest);
   }
-  uint64_t jsn = AppendInternal(JournalType::kTime, {}, evidence.Serialize(), {});
+  uint64_t jsn = 0;
+  LEDGERDB_RETURN_IF_ERROR(AppendInternal(JournalType::kTime, {},
+                                          evidence.Serialize(), {}, &jsn));
   time_journals_.push_back({jsn, evidence});
   if (time_jsn != nullptr) *time_jsn = jsn;
   return Status::OK();
@@ -461,16 +485,19 @@ Status Ledger::Purge(uint64_t purge_before_jsn,
   for (const Digest* d : {&fam_root, &clue_root, &state_root}) {
     snapshot.insert(snapshot.end(), d->bytes.begin(), d->bytes.end());
   }
-  uint64_t pg_jsn = AppendInternal(JournalType::kPseudoGenesis, {},
-                                   std::move(snapshot), {});
+  uint64_t pg_jsn = 0;
+  LEDGERDB_RETURN_IF_ERROR(AppendInternal(JournalType::kPseudoGenesis, {},
+                                          std::move(snapshot), {}, &pg_jsn));
 
   // The purge journal, doubly linked with the pseudo genesis for mutual
   // proving and fast locating.
   Bytes purge_payload = StringToBytes("purge");
   PutU64(&purge_payload, purge_before_jsn);
   PutU64(&purge_payload, pg_jsn);
-  uint64_t pj = AppendInternal(JournalType::kPurge, {},
-                               std::move(purge_payload), endorsements);
+  uint64_t pj = 0;
+  LEDGERDB_RETURN_IF_ERROR(AppendInternal(JournalType::kPurge, {},
+                                          std::move(purge_payload),
+                                          endorsements, &pj));
 
   // Copy milestone journals into the survival stream before erasure.
   for (uint64_t jsn : survivors) {
@@ -485,9 +512,13 @@ Status Ledger::Purge(uint64_t purge_before_jsn,
   // Erase the journal entries. The fam tree is retained in full: only
   // digests, no raw payloads, so its space cost is acceptable and every
   // surviving proof still verifies. On disk, each record is replaced by a
-  // digest-only tombstone.
+  // digest-only tombstone. The purge journal above is already durable, so
+  // a crash mid-loop is self-healing: recovery replays the boundary and
+  // finishes tombstoning the stragglers.
   for (uint64_t jsn = purged_boundary_; jsn < purge_before_jsn; ++jsn) {
-    if (journals_[jsn].has_value()) PersistTombstone(jsn, *journals_[jsn]);
+    if (journals_[jsn].has_value()) {
+      LEDGERDB_RETURN_IF_ERROR(PersistTombstone(jsn, *journals_[jsn]));
+    }
     journals_[jsn].reset();
   }
   purged_boundary_ = purge_before_jsn;
@@ -537,18 +568,17 @@ Status Ledger::Occult(uint64_t jsn, const std::vector<Endorsement>& endorsements
   occult_bitmap_.Set(jsn);
   journals_[jsn]->occulted = true;
   if (options_.sync_occult_erasure) {
-    ErasePayload(jsn);
+    LEDGERDB_RETURN_IF_ERROR(ErasePayload(jsn));
   } else {
-    PersistRewrite(jsn);  // flag flip reaches disk before the erasure does
+    // Flag flip reaches disk before the erasure does.
+    LEDGERDB_RETURN_IF_ERROR(PersistRewrite(jsn));
     pending_occult_.push_back(jsn);
   }
 
   Bytes payload = StringToBytes("occult");
   PutU64(&payload, jsn);
-  uint64_t oj = AppendInternal(JournalType::kOccult, {}, std::move(payload),
-                               endorsements);
-  if (occult_jsn != nullptr) *occult_jsn = oj;
-  return Status::OK();
+  return AppendInternal(JournalType::kOccult, {}, std::move(payload),
+                        endorsements, occult_jsn);
 }
 
 Digest Ledger::OccultClueRequestHash(const std::string& uri,
@@ -590,9 +620,9 @@ Status Ledger::OccultByClue(const std::string& clue,
     occult_bitmap_.Set(jsn);
     journals_[jsn]->occulted = true;
     if (options_.sync_occult_erasure) {
-      ErasePayload(jsn);
+      LEDGERDB_RETURN_IF_ERROR(ErasePayload(jsn));
     } else {
-      PersistRewrite(jsn);
+      LEDGERDB_RETURN_IF_ERROR(PersistRewrite(jsn));
       pending_occult_.push_back(jsn);
     }
     ++count;
@@ -602,10 +632,8 @@ Status Ledger::OccultByClue(const std::string& clue,
   Bytes payload = StringToBytes("occult-clue");
   PutLengthPrefixed(&payload, StringToBytes(clue));
   PutU64(&payload, count);
-  uint64_t oj = AppendInternal(JournalType::kOccult, {}, std::move(payload),
-                               endorsements);
-  if (occult_jsn != nullptr) *occult_jsn = oj;
-  return Status::OK();
+  return AppendInternal(JournalType::kOccult, {}, std::move(payload),
+                        endorsements, occult_jsn);
 }
 
 Status Ledger::ResolveClueRange(const std::string& clue, Timestamp from,
@@ -663,33 +691,35 @@ Status Ledger::VerifyClue(const std::string& clue,
   return Status::OK();
 }
 
-void Ledger::ErasePayload(uint64_t jsn) {
-  if (journals_[jsn].has_value()) {
-    journals_[jsn]->payload.clear();
-    journals_[jsn]->payload.shrink_to_fit();
-    PersistRewrite(jsn);
-  }
+Status Ledger::ErasePayload(uint64_t jsn) {
+  if (!journals_[jsn].has_value()) return Status::OK();
+  journals_[jsn]->payload.clear();
+  journals_[jsn]->payload.shrink_to_fit();
+  return PersistRewrite(jsn);
 }
 
-void Ledger::PersistRewrite(uint64_t jsn) {
-  if (!storage_.enabled() || !journals_[jsn].has_value()) return;
+Status Ledger::PersistRewrite(uint64_t jsn) {
+  if (!storage_.enabled() || !journals_[jsn].has_value()) return Status::OK();
   // Rewrites only ever shrink (flag flips or payload erasure), so the
   // in-place overwrite always fits the original frame.
-  storage_.journals->Overwrite(jsn, Slice(journals_[jsn]->Serialize()));
+  return storage_.journals->Overwrite(jsn, Slice(journals_[jsn]->Serialize()));
 }
 
-void Ledger::PersistTombstone(uint64_t jsn, const Journal& journal) {
-  if (!storage_.enabled()) return;
-  storage_.journals->Overwrite(jsn, Slice(EncodeTombstone(journal)));
+Status Ledger::PersistTombstone(uint64_t jsn, const Journal& journal) {
+  if (!storage_.enabled()) return Status::OK();
+  return storage_.journals->Overwrite(jsn, Slice(EncodeTombstone(journal)));
 }
 
 size_t Ledger::ReorganizeOcculted() {
+  // Stops at the first persist failure; the untouched suffix stays queued
+  // so the next idle pass retries it.
   size_t erased = 0;
-  for (uint64_t jsn : pending_occult_) {
-    ErasePayload(jsn);
+  while (erased < pending_occult_.size()) {
+    if (!ErasePayload(pending_occult_[erased]).ok()) break;
     ++erased;
   }
-  pending_occult_.clear();
+  pending_occult_.erase(pending_occult_.begin(),
+                        pending_occult_.begin() + static_cast<long>(erased));
   return erased;
 }
 
@@ -750,6 +780,10 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
 
   // Phase 1: replay the journal stream through the accumulators.
   const uint64_t n = storage.journals->Count();
+  if (n == 0) {
+    return Status::Corruption(
+        "journal stream is empty: missing stream file or lost genesis");
+  }
   for (uint64_t i = 0; i < n; ++i) {
     Bytes raw;
     LEDGERDB_RETURN_IF_ERROR(storage.journals->Read(i, &raw));
@@ -778,6 +812,11 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
     if (journal.jsn != i) {
       return Status::Corruption("journal stream out of order");
     }
+    if (i == 0 && journal.type != JournalType::kGenesis) {
+      // Position 0 is either the genesis journal or (after a full purge)
+      // its tombstone — anything else means the stream head was replaced.
+      return Status::Corruption("journal stream does not begin with genesis");
+    }
     // A present payload must still match its retained digest (occulted
     // journals carry an empty payload and are exempt: the digest IS the
     // record, per Protocol 2).
@@ -786,13 +825,40 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
       return Status::Corruption("journal payload digest mismatch at jsn " +
                                 std::to_string(i));
     }
-    uint64_t assigned = ledger->CommitJournal(journal, /*persist=*/false);
+    uint64_t assigned = 0;
+    LEDGERDB_RETURN_IF_ERROR(
+        ledger->CommitJournal(journal, &assigned, /*persist=*/false));
     // Restore the occult bit from the rewritten record's flag (covers both
     // the single-journal and by-clue occult forms).
     if (ledger->journals_[assigned]->occulted) {
       ledger->occult_bitmap_.Set(assigned);
     }
     ledger->ApplyJournalEffects(*ledger->journals_[assigned]);
+  }
+
+  // Self-heal interrupted mutations now that the replayed purge boundary
+  // and occult bits are known.
+  //
+  // (a) A crash between the purge journal's append and the tombstone loop
+  //     leaves journals below the boundary untombstoned: finish the job.
+  for (uint64_t jsn = 0; jsn < ledger->purged_boundary_; ++jsn) {
+    if (!ledger->journals_[jsn].has_value()) continue;
+    LEDGERDB_RETURN_IF_ERROR(
+        ledger->PersistTombstone(jsn, *ledger->journals_[jsn]));
+    ledger->journals_[jsn].reset();
+  }
+  // (b) An occulted journal whose payload is still on disk was cut off
+  //     before its physical erasure: erase now (synchronous mode) or
+  //     re-queue it for the reorganization utility.
+  for (uint64_t jsn = ledger->purged_boundary_; jsn < n; ++jsn) {
+    if (!ledger->journals_[jsn].has_value()) continue;
+    if (!ledger->occult_bitmap_.Get(jsn)) continue;
+    if (ledger->journals_[jsn]->payload.empty()) continue;
+    if (options.sync_occult_erasure) {
+      LEDGERDB_RETURN_IF_ERROR(ledger->ErasePayload(jsn));
+    } else {
+      ledger->pending_occult_.push_back(jsn);
+    }
   }
 
   // Phase 2: restore sealed blocks and cross-check them against the

@@ -116,6 +116,10 @@ class Ledger {
   /// purge boundaries, occult bits, time journals and sealed blocks, and
   /// cross-checks the recovered fam roots against every stored block
   /// header — returning Corruption if the streams were tampered with.
+  /// Self-heals interrupted mutations: journals below a replayed purge
+  /// boundary that were never tombstoned are tombstoned now, and occulted
+  /// journals whose physical erasure was cut short are erased (or
+  /// re-queued for ReorganizeOcculted, per LedgerOptions).
   static Status Recover(std::string uri, const LedgerOptions& options,
                         Clock* clock, KeyPair lsp_key,
                         const MemberRegistry* members, LedgerStorage storage,
@@ -123,6 +127,12 @@ class Ledger {
 
   const std::string& uri() const { return uri_; }
   const PublicKey& lsp_key() const { return lsp_key_.public_key(); }
+
+  /// Whether the constructor's genesis journal reached durable storage.
+  /// Non-OK means the ledger must not accept traffic (the backing streams
+  /// failed while writing genesis); recovery of the partial image will
+  /// report the failure explicitly.
+  Status init_status() const { return init_status_; }
 
   // -------------------------------------------------------------------
   // Write path
@@ -166,8 +176,10 @@ class Ledger {
   /// serialized caller).
   Status CommitPrevalidated(PrevalidatedTx&& prevalidated, uint64_t* jsn);
 
-  /// Seals the pending block (no-op when empty).
-  void SealBlock();
+  /// Seals the pending block (no-op when empty). Fails without sealing if
+  /// the block header cannot be persisted; the pending journals stay
+  /// queued for the next attempt.
+  Status SealBlock();
 
   /// Issues the signed LSP receipt π_s for `jsn`; seals the containing
   /// block first if needed (receipts commit at block granularity).
@@ -369,8 +381,10 @@ class Ledger {
          LedgerStorage storage);
 
   /// Commits a fully-formed journal: accumulators, clue tree, world state,
-  /// pending block. `persist` is false during recovery replay.
-  uint64_t CommitJournal(Journal journal, bool persist = true);
+  /// pending block. `persist` is false during recovery replay. The journal
+  /// is persisted *before* any in-memory state changes, so a failed write
+  /// leaves the ledger untouched and consistent with its streams.
+  Status CommitJournal(Journal journal, uint64_t* jsn, bool persist = true);
 
   /// Tracks ledger-level side effects of special journal types (purge
   /// boundaries, occult bits, time evidence). Used by both the live
@@ -379,16 +393,16 @@ class Ledger {
 
   /// Writes the purge tombstone / occult rewrite for `jsn` to the journal
   /// stream (no-op without storage).
-  void PersistRewrite(uint64_t jsn);
-  void PersistTombstone(uint64_t jsn, const Journal& journal);
+  Status PersistRewrite(uint64_t jsn);
+  Status PersistTombstone(uint64_t jsn, const Journal& journal);
 
   /// Builds and commits an internal (LSP-authored) journal.
-  uint64_t AppendInternal(JournalType type, const std::vector<std::string>& clues,
-                          Bytes payload,
-                          std::vector<Endorsement> endorsements);
+  Status AppendInternal(JournalType type, const std::vector<std::string>& clues,
+                        Bytes payload, std::vector<Endorsement> endorsements,
+                        uint64_t* jsn);
 
   /// Erases one journal's payload in place (keeps digest + metadata).
-  void ErasePayload(uint64_t jsn);
+  Status ErasePayload(uint64_t jsn);
 
   std::string uri_;
   LedgerOptions options_;
@@ -397,6 +411,7 @@ class Ledger {
   const MemberRegistry* members_;
   LedgerStorage storage_;
   bool recovering_ = false;
+  Status init_status_;
 
   std::vector<std::optional<Journal>> journals_;
   FamAccumulator fam_;

@@ -24,6 +24,7 @@ ShardedLedgerGroup::ShardedLedgerGroup(const std::string& uri,
                                        std::vector<LedgerStorage> shard_storage) {
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
+  shard_health_.assign(shard_count, Status::OK());
   for (size_t i = 0; i < shard_count; ++i) {
     LedgerStorage storage =
         i < shard_storage.size() ? shard_storage[i] : LedgerStorage{};
@@ -34,7 +35,80 @@ ShardedLedgerGroup::ShardedLedgerGroup(const std::string& uri,
   }
 }
 
+Status ShardedLedgerGroup::Recover(const std::string& uri, size_t shard_count,
+                                   const LedgerOptions& options, Clock* clock,
+                                   KeyPair lsp_key,
+                                   const MemberRegistry* members,
+                                   std::vector<LedgerStorage> shard_storage,
+                                   std::unique_ptr<ShardedLedgerGroup>* out,
+                                   RecoverOutcome* outcome) {
+  if (shard_count == 0) shard_count = 1;
+  if (shard_storage.size() < shard_count) {
+    return Status::InvalidArgument(
+        "group recovery requires storage for every shard");
+  }
+  auto group = std::unique_ptr<ShardedLedgerGroup>(new ShardedLedgerGroup());
+  group->shards_.resize(shard_count);
+  group->shard_health_.assign(shard_count, Status::OK());
+  size_t recovered = 0;
+  for (size_t i = 0; i < shard_count; ++i) {
+    std::unique_ptr<Ledger> shard;
+    Status s = Ledger::Recover(uri, options, clock, lsp_key, members,
+                               shard_storage[i], &shard);
+    if (s.ok()) {
+      group->shards_[i] = std::move(shard);
+      ++recovered;
+    } else {
+      // Quarantine: keep the group up, remember why the shard is down.
+      group->shard_health_[i] = s;
+    }
+  }
+  if (outcome != nullptr) {
+    outcome->recovered = recovered;
+    outcome->quarantined = shard_count - recovered;
+    outcome->shard_status = group->shard_health_;
+  }
+  if (recovered == 0) {
+    return Status::Corruption("group recovery failed: no shard recovered (" +
+                              group->shard_health_[0].ToString() + ")");
+  }
+  *out = std::move(group);
+  return Status::OK();
+}
+
 ShardedLedgerGroup::~ShardedLedgerGroup() { StopParallelAppend(); }
+
+size_t ShardedLedgerGroup::QuarantinedCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) n += (shard == nullptr);
+  return n;
+}
+
+Status ShardedLedgerGroup::ShardHealth(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  return shard_health_[shard];
+}
+
+Status ShardedLedgerGroup::CheckShard(size_t shard) const {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument("shard out of range");
+  }
+  if (shards_[shard] == nullptr) {
+    return Status::Unavailable("shard " + std::to_string(shard) +
+                               " quarantined after failed recovery: " +
+                               shard_health_[shard].message());
+  }
+  return Status::OK();
+}
+
+const Ledger* ShardedLedgerGroup::AnyHealthyShard() const {
+  for (const auto& shard : shards_) {
+    if (shard != nullptr) return shard.get();
+  }
+  return nullptr;  // unreachable: construction guarantees a healthy shard
+}
 
 size_t ShardedLedgerGroup::ShardOfClue(const std::string& clue) const {
   Digest d = Sha256::Hash(clue);
@@ -54,13 +128,13 @@ Status ShardedLedgerGroup::RouteShard(const ClientTransaction& tx,
             "clues of one journal map to different shards");
       }
     }
-    return Status::OK();
+    return CheckShard(*shard);
   }
   Digest rh = tx.RequestHash();
   uint64_t h = 0;
   for (int i = 0; i < 8; ++i) h = (h << 8) | rh.bytes[i];
   *shard = h % shards_.size();
-  return Status::OK();
+  return CheckShard(*shard);
 }
 
 Status ShardedLedgerGroup::Append(const ClientTransaction& tx,
@@ -155,7 +229,7 @@ void ShardedLedgerGroup::SubmitPrevalidateChunk(
   // results stay per-transaction. All shards share the logical uri and
   // member registry, so any shard's ledger can prevalidate the chunk
   // regardless of routing.
-  const Ledger* ledger = shards_[0].get();
+  const Ledger* ledger = AnyHealthyShard();
   prevalidate_pool_->Submit([chunk = std::move(chunk), ledger] {
     std::vector<const ClientTransaction*> txs(chunk.size());
     std::vector<Ledger::PrevalidatedTx> outs(chunk.size());
@@ -226,25 +300,19 @@ std::future<ShardedLedgerGroup::AppendOutcome> ShardedLedgerGroup::AppendAsync(
 
 Status ShardedLedgerGroup::GetJournal(const Location& location,
                                       Journal* journal) const {
-  if (location.shard >= shards_.size()) {
-    return Status::InvalidArgument("shard out of range");
-  }
+  LEDGERDB_RETURN_IF_ERROR(CheckShard(location.shard));
   return shards_[location.shard]->GetJournal(location.jsn, journal);
 }
 
 Status ShardedLedgerGroup::GetReceipt(const Location& location,
                                       Receipt* receipt) {
-  if (location.shard >= shards_.size()) {
-    return Status::InvalidArgument("shard out of range");
-  }
+  LEDGERDB_RETURN_IF_ERROR(CheckShard(location.shard));
   return shards_[location.shard]->GetReceipt(location.jsn, receipt);
 }
 
 Status ShardedLedgerGroup::GetProof(const Location& location,
                                     FamProof* proof) const {
-  if (location.shard >= shards_.size()) {
-    return Status::InvalidArgument("shard out of range");
-  }
+  LEDGERDB_RETURN_IF_ERROR(CheckShard(location.shard));
   return shards_[location.shard]->GetProof(location.jsn, proof);
 }
 
@@ -252,7 +320,10 @@ GroupCommitment ShardedLedgerGroup::Commitment() const {
   GroupCommitment commitment;
   commitment.shard_roots.reserve(shards_.size());
   for (const auto& shard : shards_) {
-    commitment.shard_roots.push_back(shard->FamRoot());
+    // Quarantined shard: zero digest keeps the root vector position-stable
+    // without vouching for journals we cannot read.
+    commitment.shard_roots.push_back(shard != nullptr ? shard->FamRoot()
+                                                      : Digest{});
   }
   return commitment;
 }
@@ -274,6 +345,7 @@ Status ShardedLedgerGroup::ListTx(const std::string& clue,
                                   size_t* shard) const {
   size_t s = ShardOfClue(clue);
   if (shard != nullptr) *shard = s;
+  LEDGERDB_RETURN_IF_ERROR(CheckShard(s));
   return shards_[s]->ListTx(clue, jsns);
 }
 
@@ -283,12 +355,15 @@ Status ShardedLedgerGroup::GetClueProof(const std::string& clue,
                                         size_t* shard) const {
   size_t s = ShardOfClue(clue);
   if (shard != nullptr) *shard = s;
+  LEDGERDB_RETURN_IF_ERROR(CheckShard(s));
   return shards_[s]->GetClueProof(clue, begin, end, proof);
 }
 
 uint64_t ShardedLedgerGroup::TotalJournals() const {
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->NumJournals();
+  for (const auto& shard : shards_) {
+    if (shard != nullptr) total += shard->NumJournals();
+  }
   return total;
 }
 

@@ -64,13 +64,43 @@ class ShardedLedgerGroup {
                      KeyPair lsp_key, const MemberRegistry* members,
                      std::vector<LedgerStorage> shard_storage = {});
 
+  /// What group recovery found, per shard.
+  struct RecoverOutcome {
+    size_t recovered = 0;
+    size_t quarantined = 0;
+    std::vector<Status> shard_status;  // OK or the shard's recovery failure
+  };
+
+  /// Rebuilds a group from per-shard streams (`shard_storage` must cover
+  /// every shard). Graceful degradation: a shard whose recovery fails is
+  /// quarantined — its slot stays empty, its recovery error is retained,
+  /// and every operation routed to it returns Status::Unavailable while
+  /// the remaining shards keep serving. Fails outright only when no shard
+  /// recovers at all.
+  static Status Recover(const std::string& uri, size_t shard_count,
+                        const LedgerOptions& options, Clock* clock,
+                        KeyPair lsp_key, const MemberRegistry* members,
+                        std::vector<LedgerStorage> shard_storage,
+                        std::unique_ptr<ShardedLedgerGroup>* out,
+                        RecoverOutcome* outcome = nullptr);
+
   /// Joins the append pipeline (draining every in-flight append) before
   /// destroying the shards.
   ~ShardedLedgerGroup();
 
   size_t shard_count() const { return shards_.size(); }
+  /// nullptr when the shard is quarantined.
   Ledger* shard(size_t i) { return shards_[i].get(); }
   const Ledger* shard(size_t i) const { return shards_[i].get(); }
+
+  bool IsQuarantined(size_t shard) const {
+    return shard < shards_.size() && shards_[shard] == nullptr;
+  }
+  size_t QuarantinedCount() const;
+
+  /// OK for a healthy shard; the original recovery failure for a
+  /// quarantined one.
+  Status ShardHealth(size_t shard) const;
 
   /// Shard that owns `clue` (stable: lineage never crosses shards).
   size_t ShardOfClue(const std::string& clue) const;
@@ -119,7 +149,9 @@ class ShardedLedgerGroup {
   /// needed to check it against the combined commitment.
   Status GetProof(const Location& location, FamProof* proof) const;
 
-  /// Current group commitment (all shard fam roots).
+  /// Current group commitment (all shard fam roots). Quarantined shards
+  /// contribute a zero digest — the commitment stays position-stable but
+  /// explicitly does not vouch for an unavailable shard's journals.
   GroupCommitment Commitment() const;
 
   /// Verifies a journal against a pinned group commitment: the shard
@@ -156,7 +188,19 @@ class ShardedLedgerGroup {
     std::promise<AppendOutcome> done;
   };
 
+  /// Recovery-only constructor: shards are filled in by Recover().
+  ShardedLedgerGroup() = default;
+
+  /// Unavailable for quarantined shards, InvalidArgument out of range.
+  Status CheckShard(size_t shard) const;
+
+  /// Any non-quarantined shard (for shard-independent work like batched
+  /// prevalidation). Never null: group construction guarantees at least
+  /// one healthy shard.
+  const Ledger* AnyHealthyShard() const;
+
   /// Clue/request-hash routing shared by the serial and pipelined paths.
+  /// Rejects transactions routed to a quarantined shard with Unavailable.
   Status RouteShard(const ClientTransaction& tx, size_t* shard) const;
 
   /// Routes `p`, and on success enqueues its commit ticket on the owning
@@ -172,6 +216,7 @@ class ShardedLedgerGroup {
   void SubmitPrevalidateChunk(std::vector<std::shared_ptr<PendingAppend>> chunk);
 
   std::vector<std::unique_ptr<Ledger>> shards_;
+  std::vector<Status> shard_health_;  // indexed like shards_; OK if healthy
 
   std::mutex engine_mu_;
   std::unique_ptr<ThreadPool> prevalidate_pool_;

@@ -1,0 +1,187 @@
+#include "storage/env.h"
+
+#include <cstdio>
+#include <sys/stat.h>
+
+#ifdef _WIN32
+#include <io.h>
+#else
+#include <unistd.h>
+#endif
+
+namespace ledgerdb {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// StdioFile / StdioEnv — the production backend. fsync() after fflush() so
+// Sync() means what it says at the device level, not just libc's buffer.
+// ---------------------------------------------------------------------------
+
+class StdioFile : public File {
+ public:
+  explicit StdioFile(std::FILE* f) : file_(f) {}
+
+  ~StdioFile() override {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  Status Read(uint64_t offset, size_t n, Bytes* out) const override {
+    out->resize(n);
+    if (n == 0) return Status::OK();
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed");
+    }
+    size_t got = std::fread(out->data(), 1, n, file_);
+    if (got != n) return Status::IOError("short read");
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, Slice data) override {
+    if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+      return Status::IOError("seek failed");
+    }
+    if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
+      return Status::IOError("short write");
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+#ifndef _WIN32
+    if (::fsync(::fileno(file_)) != 0) return Status::IOError("fsync failed");
+#endif
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+#ifdef _WIN32
+    if (::_chsize_s(::_fileno(file_), static_cast<long long>(size)) != 0) {
+      return Status::IOError("truncate failed");
+    }
+#else
+    if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0) {
+      return Status::IOError("ftruncate failed");
+    }
+#endif
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* out) const override {
+    if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+    struct stat st;
+    if (::fstat(::fileno(file_), &st) != 0) {
+      return Status::IOError("fstat failed");
+    }
+    *out = static_cast<uint64_t>(st.st_size);
+    return Status::OK();
+  }
+
+ private:
+  mutable std::FILE* file_;
+};
+
+class StdioEnv : public Env {
+ public:
+  Status OpenFile(const std::string& path,
+                  std::unique_ptr<File>* out) override {
+    // "r+b" preserves existing content; fall back to "w+b" to create.
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
+    if (f == nullptr) return Status::IOError("cannot open " + path);
+    *out = std::make_unique<StdioFile>(f);
+    return Status::OK();
+  }
+
+  bool FileExists(const std::string& path) const override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (std::remove(path.c_str()) != 0) {
+      return Status::IOError("cannot delete " + path);
+    }
+    return Status::OK();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// MemFile — view onto MemEnv-owned bytes; survives handle close/reopen.
+// ---------------------------------------------------------------------------
+
+class MemFile : public File {
+ public:
+  explicit MemFile(std::shared_ptr<MemFileData> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, Bytes* out) const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset + n > data_->bytes.size()) {
+      return Status::IOError("short read");
+    }
+    out->assign(data_->bytes.begin() + static_cast<long>(offset),
+                data_->bytes.begin() + static_cast<long>(offset + n));
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, Slice data) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    if (offset + data.size() > data_->bytes.size()) {
+      data_->bytes.resize(offset + data.size(), 0);
+    }
+    std::memcpy(data_->bytes.data() + offset, data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Status Truncate(uint64_t size) override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    data_->bytes.resize(size, 0);
+    return Status::OK();
+  }
+
+  Status Size(uint64_t* out) const override {
+    std::lock_guard<std::mutex> lock(data_->mu);
+    *out = data_->bytes.size();
+    return Status::OK();
+  }
+
+ private:
+  std::shared_ptr<MemFileData> data_;
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static StdioEnv* env = new StdioEnv();
+  return env;
+}
+
+Status MemEnv::OpenFile(const std::string& path, std::unique_ptr<File>* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(path);
+  if (it == files_.end()) {
+    it = files_.emplace(path, std::make_shared<MemFileData>()).first;
+  }
+  *out = std::make_unique<MemFile>(it->second);
+  return Status::OK();
+}
+
+bool MemEnv::FileExists(const std::string& path) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return files_.count(path) > 0;
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (files_.erase(path) == 0) {
+    return Status::IOError("cannot delete " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ledgerdb

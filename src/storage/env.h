@@ -1,0 +1,83 @@
+#ifndef LEDGERDB_STORAGE_ENV_H_
+#define LEDGERDB_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ledgerdb {
+
+/// Random-access file handle. All offsets are absolute; writes past the
+/// current end extend the file. Durability is explicit: bytes written are
+/// only guaranteed to survive a crash after a successful Sync().
+class File {
+ public:
+  virtual ~File() = default;
+
+  /// Reads exactly `n` bytes at `offset` into `out` (resized to `n`).
+  /// Short reads are IOError, not a partial result.
+  virtual Status Read(uint64_t offset, size_t n, Bytes* out) const = 0;
+
+  /// Writes `data` at `offset`, extending the file if needed.
+  virtual Status Write(uint64_t offset, Slice data) = 0;
+
+  /// Flushes all buffered writes to durable storage.
+  virtual Status Sync() = 0;
+
+  /// Shrinks (or zero-extends) the file to exactly `size` bytes.
+  virtual Status Truncate(uint64_t size) = 0;
+
+  /// Current file size in bytes.
+  virtual Status Size(uint64_t* out) const = 0;
+};
+
+/// Filesystem abstraction: the seam through which every durable byte in
+/// the system flows. Production code uses Env::Default() (stdio + fsync);
+/// tests substitute MemEnv or FaultEnv to run the identical storage code
+/// against an in-memory image or a deterministic fault schedule.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for read/write, creating it (empty) if absent.
+  virtual Status OpenFile(const std::string& path,
+                          std::unique_ptr<File>* out) = 0;
+
+  virtual bool FileExists(const std::string& path) const = 0;
+
+  virtual Status DeleteFile(const std::string& path) = 0;
+
+  /// Process-wide stdio-backed environment.
+  static Env* Default();
+};
+
+/// Backing storage for one MemEnv file, shared by every open handle on the
+/// same path so close/reopen observes previously written bytes.
+struct MemFileData {
+  std::mutex mu;
+  Bytes bytes;
+};
+
+/// In-memory environment. File contents live in a map owned by the Env, so
+/// closing and reopening a path observes previously written bytes — the
+/// property crash-recovery tests depend on. Not durable across processes.
+class MemEnv : public Env {
+ public:
+  Status OpenFile(const std::string& path,
+                  std::unique_ptr<File>* out) override;
+  bool FileExists(const std::string& path) const override;
+  Status DeleteFile(const std::string& path) override;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<MemFileData>> files_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_STORAGE_ENV_H_

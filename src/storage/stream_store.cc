@@ -19,6 +19,29 @@ std::array<uint32_t, 256> BuildCrcTable() {
   return table;
 }
 
+uint32_t DecodeU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+void EncodeFrameHeader(uint8_t* h, uint32_t capacity, uint32_t length,
+                       uint32_t seq, uint32_t payload_crc) {
+  std::memcpy(h, &capacity, 4);
+  std::memcpy(h + 4, &length, 4);
+  std::memcpy(h + 8, &seq, 4);
+  std::memcpy(h + 12, &payload_crc, 4);
+  uint32_t header_crc = Crc32(h, 16);
+  std::memcpy(h + 16, &header_crc, 4);
+}
+
+constexpr size_t kWatermarkRecordSize = 12;  // [u64 size][u32 crc]
+
+std::string WatermarkPath(const std::string& path) { return path + ".wm"; }
+std::string QuarantinePath(const std::string& path) {
+  return path + ".quarantine";
+}
+
 }  // namespace
 
 uint32_t Crc32(const uint8_t* data, size_t size) {
@@ -60,66 +83,158 @@ Status MemoryStreamStore::Overwrite(uint64_t index, Slice record) {
 // FileStreamStore
 // ---------------------------------------------------------------------------
 
+FileStreamStore::FileStreamStore(Env* env, std::string path)
+    : env_(env), path_(std::move(path)) {}
+
+FileStreamStore::~FileStreamStore() = default;
+
 Status FileStreamStore::Open(const std::string& path,
                              std::unique_ptr<FileStreamStore>* out) {
-  // Reopen without truncation when the log already exists.
-  std::FILE* f = std::fopen(path.c_str(), "r+b");
-  if (f == nullptr) f = std::fopen(path.c_str(), "w+b");
-  if (f == nullptr) {
-    return Status::IOError("cannot open stream file: " + path);
-  }
-  std::unique_ptr<FileStreamStore> store(new FileStreamStore(f));
+  return Open(Env::Default(), path, out);
+}
 
-  // Rebuild the frame index from disk.
-  if (std::fseek(f, 0, SEEK_END) != 0) return Status::IOError("seek");
-  long file_size = std::ftell(f);
-  long offset = 0;
-  while (offset + 12 <= file_size) {
-    if (std::fseek(f, offset, SEEK_SET) != 0) return Status::IOError("seek");
-    uint8_t header[12];
-    if (std::fread(header, 1, 12, f) != 12) break;
-    uint32_t capacity, len;
-    std::memcpy(&capacity, header, 4);
-    std::memcpy(&len, header + 4, 4);
-    if (len > capacity ||
-        offset + 12 + static_cast<long>(capacity) > file_size) {
-      // Torn or nonsensical final frame from a crash mid-append: drop it.
+Status FileStreamStore::Open(Env* env, const std::string& path,
+                             std::unique_ptr<FileStreamStore>* out) {
+  std::unique_ptr<FileStreamStore> store(new FileStreamStore(env, path));
+  LEDGERDB_RETURN_IF_ERROR(env->OpenFile(path, &store->file_));
+  bool wm_present = env->FileExists(WatermarkPath(path));
+  LEDGERDB_RETURN_IF_ERROR(env->OpenFile(WatermarkPath(path), &store->wm_file_));
+  uint64_t file_size = 0;
+  LEDGERDB_RETURN_IF_ERROR(store->file_->Size(&file_size));
+
+  // Load the durable watermark. An absent or unreadable sidecar degrades
+  // to 0 (every frame is treated as potentially torn — lenient), but a
+  // valid watermark pointing past the end of the log means acknowledged
+  // bytes vanished: hard corruption.
+  uint64_t wm = 0;
+  bool wm_valid = false;
+  if (wm_present) {
+    uint64_t wm_size = 0;
+    Bytes rec;
+    if (store->wm_file_->Size(&wm_size).ok() &&
+        wm_size >= kWatermarkRecordSize &&
+        store->wm_file_->Read(0, kWatermarkRecordSize, &rec).ok() &&
+        Crc32(rec.data(), 8) == DecodeU32(rec.data() + 8)) {
+      std::memcpy(&wm, rec.data(), 8);
+      wm_valid = true;
+    }
+  }
+  store->report_.watermark_missing = !wm_valid;
+  store->report_.watermark = wm;
+  if (wm > file_size) {
+    return Status::Corruption(
+        "stream file shorter than durable watermark (" +
+        std::to_string(file_size) + " < " + std::to_string(wm) + "): " + path);
+  }
+
+  // Scan frames from the head. Any validation failure stops the scan at
+  // `offset`; whether that is recoverable depends on the watermark.
+  uint64_t offset = 0;
+  std::string damage;
+  while (offset < file_size && damage.empty()) {
+    if (offset + kFrameHeaderSize > file_size) {
+      damage = "partial frame header";
+      break;
+    }
+    Bytes h;
+    LEDGERDB_RETURN_IF_ERROR(store->file_->Read(offset, kFrameHeaderSize, &h));
+    uint32_t capacity = DecodeU32(h.data());
+    uint32_t length = DecodeU32(h.data() + 4);
+    uint32_t seq = DecodeU32(h.data() + 8);
+    uint32_t payload_crc = DecodeU32(h.data() + 12);
+    if (Crc32(h.data(), 16) != DecodeU32(h.data() + 16)) {
+      damage = "frame header crc mismatch";
+      break;
+    }
+    if (length > capacity) {
+      damage = "frame length exceeds capacity";
+      break;
+    }
+    if (offset + kFrameHeaderSize + capacity > file_size) {
+      damage = "frame payload extends past end of file";
+      break;
+    }
+    if (seq != static_cast<uint32_t>(store->offsets_.size())) {
+      damage = "frame sequence number mismatch";
+      break;
+    }
+    Bytes payload;
+    LEDGERDB_RETURN_IF_ERROR(
+        store->file_->Read(offset + kFrameHeaderSize, length, &payload));
+    if (Crc32(payload.data(), payload.size()) != payload_crc) {
+      damage = "frame payload crc mismatch";
       break;
     }
     store->offsets_.push_back(offset);
-    store->lengths_.push_back(len);
-    offset += 12 + static_cast<long>(capacity);
+    store->lengths_.push_back(length);
+    store->capacities_.push_back(capacity);
+    offset += kFrameHeaderSize + capacity;
   }
+
+  if (!damage.empty()) {
+    if (offset < wm) {
+      return Status::Corruption(
+          "mid-stream corruption at offset " + std::to_string(offset) +
+          " (below durable watermark " + std::to_string(wm) + "): " + damage +
+          ": " + path);
+    }
+    // Torn tail from a crash mid-append: move the damaged bytes aside for
+    // post-mortem inspection, then truncate the log back to the last valid
+    // frame boundary.
+    Bytes tail;
+    LEDGERDB_RETURN_IF_ERROR(store->file_->Read(offset, file_size - offset,
+                                                &tail));
+    std::unique_ptr<File> quarantine;
+    LEDGERDB_RETURN_IF_ERROR(env->OpenFile(QuarantinePath(path), &quarantine));
+    LEDGERDB_RETURN_IF_ERROR(quarantine->Truncate(0));
+    LEDGERDB_RETURN_IF_ERROR(quarantine->Write(0, Slice(tail)));
+    LEDGERDB_RETURN_IF_ERROR(quarantine->Sync());
+    LEDGERDB_RETURN_IF_ERROR(store->file_->Truncate(offset));
+    LEDGERDB_RETURN_IF_ERROR(store->file_->Sync());
+    store->report_.tail_quarantined = true;
+    store->report_.quarantined_bytes = tail.size();
+  }
+
+  store->end_offset_ = offset;
+  store->watermark_ = offset;
+  store->report_.frames = store->offsets_.size();
+  LEDGERDB_RETURN_IF_ERROR(store->PersistWatermark());
   *out = std::move(store);
   return Status::OK();
 }
 
-FileStreamStore::~FileStreamStore() {
-  if (file_ != nullptr) std::fclose(file_);
+Status FileStreamStore::PersistWatermark() {
+  uint8_t rec[kWatermarkRecordSize];
+  std::memcpy(rec, &watermark_, 8);
+  uint32_t crc = Crc32(rec, 8);
+  std::memcpy(rec + 8, &crc, 4);
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] {
+    return wm_file_->Write(0, Slice(rec, kWatermarkRecordSize));
+  }));
+  return RetryTransient(retry_, [&] { return wm_file_->Sync(); });
 }
 
 Status FileStreamStore::Append(Slice record, uint64_t* index) {
-  if (std::fseek(file_, 0, SEEK_END) != 0) return Status::IOError("seek");
-  long offset = std::ftell(file_);
-  uint32_t len = static_cast<uint32_t>(record.size());
-  uint32_t crc = Crc32(record.data(), record.size());
-  // Frame: [u32 capacity][u32 length][u32 crc][payload, capacity bytes].
-  // Capacity never changes; length may shrink on in-place rewrites
-  // (occult erasure, purge tombstones), so the reopen scan can always
-  // advance by capacity.
-  uint8_t header[12];
-  std::memcpy(header, &len, 4);      // capacity
-  std::memcpy(header + 4, &len, 4);  // live length
-  std::memcpy(header + 8, &crc, 4);
-  if (std::fwrite(header, 1, 12, file_) != 12 ||
-      (record.size() > 0 &&
-       std::fwrite(record.data(), 1, record.size(), file_) != record.size())) {
-    return Status::IOError("short write");
+  uint32_t length = static_cast<uint32_t>(record.size());
+  uint32_t seq = static_cast<uint32_t>(offsets_.size());
+  uint32_t payload_crc = Crc32(record.data(), record.size());
+  Bytes frame(kFrameHeaderSize + record.size());
+  EncodeFrameHeader(frame.data(), /*capacity=*/length, length, seq,
+                    payload_crc);
+  if (length > 0) {
+    std::memcpy(frame.data() + kFrameHeaderSize, record.data(), record.size());
   }
-  std::fflush(file_);
-  *index = offsets_.size();
+  uint64_t offset = end_offset_;
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      retry_, [&] { return file_->Write(offset, Slice(frame)); }));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] { return file_->Sync(); }));
   offsets_.push_back(offset);
-  lengths_.push_back(len);
+  lengths_.push_back(length);
+  capacities_.push_back(length);
+  end_offset_ = offset + frame.size();
+  watermark_ = end_offset_;
+  LEDGERDB_RETURN_IF_ERROR(PersistWatermark());
+  *index = seq;
   return Status::OK();
 }
 
@@ -127,21 +242,24 @@ Status FileStreamStore::Read(uint64_t index, Bytes* out) const {
   if (index >= offsets_.size()) {
     return Status::NotFound("stream index out of range");
   }
-  if (std::fseek(file_, offsets_[index], SEEK_SET) != 0) {
-    return Status::IOError("seek");
+  Bytes h;
+  LEDGERDB_RETURN_IF_ERROR(file_->Read(offsets_[index], kFrameHeaderSize, &h));
+  if (Crc32(h.data(), 16) != DecodeU32(h.data() + 16)) {
+    return Status::Corruption("stream frame header crc mismatch");
   }
-  uint8_t header[12];
-  if (std::fread(header, 1, 12, file_) != 12) {
-    return Status::IOError("short read");
+  uint32_t capacity = DecodeU32(h.data());
+  uint32_t length = DecodeU32(h.data() + 4);
+  uint32_t seq = DecodeU32(h.data() + 8);
+  uint32_t payload_crc = DecodeU32(h.data() + 12);
+  if (seq != static_cast<uint32_t>(index)) {
+    return Status::Corruption("stream frame sequence mismatch");
   }
-  uint32_t len, crc;
-  std::memcpy(&len, header + 4, 4);
-  std::memcpy(&crc, header + 8, 4);
-  out->resize(len);
-  if (len > 0 && std::fread(out->data(), 1, len, file_) != len) {
-    return Status::IOError("short read");
+  if (length > capacity) {
+    return Status::Corruption("stream frame length exceeds capacity");
   }
-  if (Crc32(out->data(), out->size()) != crc) {
+  LEDGERDB_RETURN_IF_ERROR(
+      file_->Read(offsets_[index] + kFrameHeaderSize, length, out));
+  if (Crc32(out->data(), out->size()) != payload_crc) {
     return Status::Corruption("stream frame crc mismatch");
   }
   return Status::OK();
@@ -152,34 +270,61 @@ Status FileStreamStore::Overwrite(uint64_t index, Slice record) {
     return Status::NotFound("stream index out of range");
   }
   // Capacity = the frame's original payload size, fixed at append time.
-  if (std::fseek(file_, offsets_[index], SEEK_SET) != 0) {
-    return Status::IOError("seek");
-  }
-  uint8_t cap_bytes[4];
-  if (std::fread(cap_bytes, 1, 4, file_) != 4) {
-    return Status::IOError("short read");
-  }
-  uint32_t capacity;
-  std::memcpy(&capacity, cap_bytes, 4);
+  uint32_t capacity = capacities_[index];
   if (record.size() > capacity) {
     return Status::NotSupported("overwrite larger than original frame");
   }
-  uint32_t len = static_cast<uint32_t>(record.size());
-  uint32_t crc = Crc32(record.data(), record.size());
-  uint8_t header[8];
-  std::memcpy(header, &len, 4);
-  std::memcpy(header + 4, &crc, 4);
-  // A read followed by a write on the same stream requires repositioning.
-  if (std::fseek(file_, offsets_[index] + 4, SEEK_SET) != 0) {
-    return Status::IOError("seek");
+  uint32_t length = static_cast<uint32_t>(record.size());
+  uint32_t payload_crc = Crc32(record.data(), record.size());
+  Bytes frame(kFrameHeaderSize + record.size());
+  EncodeFrameHeader(frame.data(), capacity, length,
+                    static_cast<uint32_t>(index), payload_crc);
+  if (length > 0) {
+    std::memcpy(frame.data() + kFrameHeaderSize, record.data(), record.size());
   }
-  if (std::fwrite(header, 1, 8, file_) != 8 ||
-      (record.size() > 0 &&
-       std::fwrite(record.data(), 1, record.size(), file_) != record.size())) {
-    return Status::IOError("short write");
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      retry_, [&] { return file_->Write(offsets_[index], Slice(frame)); }));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] { return file_->Sync(); }));
+  lengths_[index] = length;
+  return Status::OK();
+}
+
+Status FileStreamStore::Fsck() const {
+  uint64_t file_size = 0;
+  LEDGERDB_RETURN_IF_ERROR(file_->Size(&file_size));
+  if (watermark_ > file_size) {
+    return Status::Corruption("stream file shorter than durable watermark");
   }
-  std::fflush(file_);
-  lengths_[index] = len;
+  if (end_offset_ != file_size) {
+    return Status::Corruption("trailing bytes past the last indexed frame");
+  }
+  for (uint64_t i = 0; i < offsets_.size(); ++i) {
+    Bytes h;
+    LEDGERDB_RETURN_IF_ERROR(file_->Read(offsets_[i], kFrameHeaderSize, &h));
+    if (Crc32(h.data(), 16) != DecodeU32(h.data() + 16)) {
+      return Status::Corruption("frame " + std::to_string(i) +
+                                ": header crc mismatch");
+    }
+    uint32_t capacity = DecodeU32(h.data());
+    uint32_t length = DecodeU32(h.data() + 4);
+    uint32_t seq = DecodeU32(h.data() + 8);
+    uint32_t payload_crc = DecodeU32(h.data() + 12);
+    if (seq != static_cast<uint32_t>(i)) {
+      return Status::Corruption("frame " + std::to_string(i) +
+                                ": sequence number mismatch");
+    }
+    if (capacity != capacities_[i] || length > capacity) {
+      return Status::Corruption("frame " + std::to_string(i) +
+                                ": geometry mismatch");
+    }
+    Bytes payload;
+    LEDGERDB_RETURN_IF_ERROR(
+        file_->Read(offsets_[i] + kFrameHeaderSize, length, &payload));
+    if (Crc32(payload.data(), payload.size()) != payload_crc) {
+      return Status::Corruption("frame " + std::to_string(i) +
+                                ": payload crc mismatch");
+    }
+  }
   return Status::OK();
 }
 

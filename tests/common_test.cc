@@ -3,6 +3,7 @@
 #include "common/bytes.h"
 #include "common/clock.h"
 #include "common/random.h"
+#include "common/retry.h"
 #include "common/status.h"
 
 namespace ledgerdb {
@@ -147,6 +148,53 @@ TEST(ClockTest, SystemClockMonotoneNonDecreasing) {
   Timestamp a = clock.Now();
   Timestamp b = clock.Now();
   EXPECT_LE(a, b);
+}
+
+TEST(RetryTest, TransientStatusIsRetriable) {
+  Status t = Status::TransientIO("disk hiccup");
+  EXPECT_TRUE(t.IsTransientIO());
+  EXPECT_TRUE(t.IsRetriable());
+  EXPECT_FALSE(Status::IOError("hard failure").IsRetriable());
+  EXPECT_FALSE(Status::Unavailable("shard down").IsRetriable());
+  EXPECT_TRUE(Status::Unavailable("shard down").IsUnavailable());
+}
+
+TEST(RetryTest, SucceedsAfterTransientFailures) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_us = 0;
+  int calls = 0;
+  Status s = RetryTransient(policy, [&] {
+    ++calls;
+    return calls < 3 ? Status::TransientIO("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryTest, ExhaustionBecomesTerminalIOError) {
+  RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.initial_backoff_us = 0;
+  int calls = 0;
+  Status s = RetryTransient(policy, [&] {
+    ++calls;
+    return Status::TransientIO("always flaky");
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+  EXPECT_FALSE(s.IsRetriable());  // exhausted: callers must not loop again
+}
+
+TEST(RetryTest, NonRetriableErrorPassesThroughImmediately) {
+  RetryPolicy policy;
+  int calls = 0;
+  Status s = RetryTransient(policy, [&] {
+    ++calls;
+    return Status::Corruption("bad frame");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(s.IsCorruption());
 }
 
 }  // namespace

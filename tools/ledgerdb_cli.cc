@@ -14,6 +14,7 @@
 //   ledgerdb_cli purge  <dir> <before_jsn>       purge history
 //   ledgerdb_cli audit  <dir>                    full Dasein-complete audit
 //   ledgerdb_cli status <dir>                    roots & counters
+//   ledgerdb_cli fsck   <dir>                    stream-level integrity check
 
 #include <cstdio>
 #include <cstring>
@@ -297,10 +298,53 @@ int CmdStatus(CliContext* ctx) {
   return 0;
 }
 
+/// Stream-level integrity check. Unlike every other command this does NOT
+/// go through OpenLedger/Recover — it must keep working (and stay
+/// informative) on images the ledger itself refuses to load.
+int CmdFsck(const std::string& dir) {
+  bool healthy = true;
+  bool repaired = false;
+  for (const char* name : {"journals.log", "blocks.log"}) {
+    std::string path = dir + "/" + name;
+    std::printf("%s:\n", name);
+    std::unique_ptr<FileStreamStore> stream;
+    Status s = FileStreamStore::Open(path, &stream);
+    if (!s.ok()) {
+      std::printf("  open:        %s\n", s.ToString().c_str());
+      healthy = false;
+      continue;
+    }
+    const FileStreamStore::RecoveryReport& report = stream->recovery_report();
+    std::printf("  frames:      %llu\n", (unsigned long long)report.frames);
+    std::printf("  watermark:   %llu%s\n",
+                (unsigned long long)stream->DurableWatermark(),
+                report.watermark_missing ? " (sidecar was missing)" : "");
+    if (report.tail_quarantined) {
+      std::printf("  torn tail:   %llu bytes quarantined to %s.quarantine\n",
+                  (unsigned long long)report.quarantined_bytes, path.c_str());
+      repaired = true;
+    }
+    s = stream->Fsck();
+    std::printf("  fsck:        %s\n", s.ToString().c_str());
+    if (!s.ok()) healthy = false;
+  }
+  // Classic fsck exit codes: 0 clean, 1 errors corrected, 2 uncorrected.
+  if (!healthy) {
+    std::printf("fsck: DAMAGED\n");
+    return 2;
+  }
+  if (repaired) {
+    std::printf("fsck: REPAIRED (torn tail quarantined)\n");
+    return 1;
+  }
+  std::printf("fsck: CLEAN\n");
+  return 0;
+}
+
 int Usage() {
   std::fprintf(stderr,
                "usage: ledgerdb_cli <init|append|get|verify|lineage|anchor|"
-               "occult|purge|audit|status> <dir> [args...]\n");
+               "occult|purge|audit|status|fsck> <dir> [args...]\n");
   return 2;
 }
 
@@ -315,6 +359,7 @@ int main(int argc, char** argv) {
     if (argc != 4) return Usage();
     return CmdInit(dir, argv[3]);
   }
+  if (command == "fsck") return CmdFsck(dir);
 
   CliContext ctx;
   int rc = OpenLedger(&ctx, dir);
