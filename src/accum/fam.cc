@@ -66,6 +66,20 @@ FamAccumulator::JournalLocation FamAccumulator::Locate(uint64_t jsn) const {
   return {1 + j / per_epoch, 1 + j % per_epoch};
 }
 
+void FamAccumulator::ExpectedLocation(int fractal_height, uint64_t jsn,
+                                      uint64_t* epoch, uint64_t* local_leaf) {
+  uint64_t capacity = 1ULL << fractal_height;
+  if (jsn < capacity) {
+    *epoch = 0;
+    *local_leaf = jsn;
+    return;
+  }
+  uint64_t j = jsn - capacity;
+  uint64_t per_epoch = capacity - 1;  // first slot is the merged cell
+  *epoch = 1 + j / per_epoch;
+  *local_leaf = 1 + j % per_epoch;
+}
+
 Status FamAccumulator::SealedEpochRoot(uint64_t e, Digest* out) const {
   if (e >= sealed_roots_.size()) return Status::NotFound("epoch not sealed");
   *out = sealed_roots_[e];

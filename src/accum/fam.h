@@ -124,6 +124,13 @@ class FamAccumulator {
   /// Epoch index containing journal `jsn`.
   uint64_t EpochOfJournal(uint64_t jsn) const { return Locate(jsn).epoch; }
 
+  /// Deterministic (epoch, local leaf) position of journal `jsn` in a fam
+  /// of the given fractal height. Verifiers use this to bind a proof's
+  /// claimed epoch and leaf_index to the jsn it allegedly proves, instead
+  /// of trusting the prover's labels.
+  static void ExpectedLocation(int fractal_height, uint64_t jsn,
+                               uint64_t* epoch, uint64_t* local_leaf);
+
   /// The purge "erasure expected" option (§III-A2): drops the interior
   /// nodes of every sealed epoch before `epoch`, retaining only each
   /// epoch's root and its merged-cell link path (the nodes "latter of the

@@ -189,38 +189,6 @@ Status ShrubsAccumulator::GetProofAtSize(uint64_t leaf_index, uint64_t as_of,
   return Status::OK();
 }
 
-bool ShrubsAccumulator::VerifyProofAgainstPeaks(
-    const Digest& payload_digest, const MembershipProof& proof,
-    const std::vector<Digest>& trusted_peaks) {
-  if (proof.peak_index >= proof.peaks.size()) return false;
-  if (proof.siblings.size() != proof.sibling_is_left.size()) return false;
-  Digest acc = HashMerkleLeaf(payload_digest);
-  for (size_t i = 0; i < proof.siblings.size(); ++i) {
-    acc = proof.sibling_is_left[i] ? HashMerkleNode(proof.siblings[i], acc)
-                                   : HashMerkleNode(acc, proof.siblings[i]);
-  }
-  if (!(acc == proof.peaks[proof.peak_index])) return false;
-  if (proof.peaks.size() != trusted_peaks.size()) return false;
-  for (size_t i = 0; i < trusted_peaks.size(); ++i) {
-    if (!(proof.peaks[i] == trusted_peaks[i])) return false;
-  }
-  return true;
-}
-
-bool ShrubsAccumulator::VerifyProof(const Digest& payload_digest,
-                                    const MembershipProof& proof,
-                                    const Digest& expected_root) {
-  if (proof.peak_index >= proof.peaks.size()) return false;
-  if (proof.siblings.size() != proof.sibling_is_left.size()) return false;
-  Digest acc = HashMerkleLeaf(payload_digest);
-  for (size_t i = 0; i < proof.siblings.size(); ++i) {
-    acc = proof.sibling_is_left[i] ? HashMerkleNode(proof.siblings[i], acc)
-                                   : HashMerkleNode(acc, proof.siblings[i]);
-  }
-  if (!(acc == proof.peaks[proof.peak_index])) return false;
-  return BagPeaks(proof.peaks) == expected_root;
-}
-
 namespace {
 
 /// Mountain decomposition of a tree of `size` leaves: (height, start leaf)
@@ -237,7 +205,59 @@ std::vector<std::pair<int, uint64_t>> Mountains(uint64_t size) {
   return out;
 }
 
+/// Structural binding: every shape field of a membership proof must match
+/// the unique shape the prover would derive from (leaf_index, tree_size).
+/// Without this a forged proof can relabel leaf_index/tree_size while the
+/// digest path still checks out (the path only constrains the digests).
+bool ProofShapeOk(const MembershipProof& proof) {
+  if (proof.leaf_index >= proof.tree_size) return false;
+  if (proof.siblings.size() != proof.sibling_is_left.size()) return false;
+  auto mountains = Mountains(proof.tree_size);
+  if (proof.peaks.size() != mountains.size()) return false;
+  if (proof.peak_index >= mountains.size()) return false;
+  const auto& [height, start] = mountains[proof.peak_index];
+  uint64_t end = start + (1ULL << height);
+  if (proof.leaf_index < start || proof.leaf_index >= end) return false;
+  if (proof.siblings.size() != static_cast<size_t>(height)) return false;
+  for (int h = 0; h < height; ++h) {
+    if (proof.sibling_is_left[h] != (((proof.leaf_index >> h) & 1) == 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
+
+bool ShrubsAccumulator::VerifyProofAgainstPeaks(
+    const Digest& payload_digest, const MembershipProof& proof,
+    const std::vector<Digest>& trusted_peaks) {
+  if (!ProofShapeOk(proof)) return false;
+  Digest acc = HashMerkleLeaf(payload_digest);
+  for (size_t i = 0; i < proof.siblings.size(); ++i) {
+    acc = proof.sibling_is_left[i] ? HashMerkleNode(proof.siblings[i], acc)
+                                   : HashMerkleNode(acc, proof.siblings[i]);
+  }
+  if (!(acc == proof.peaks[proof.peak_index])) return false;
+  if (proof.peaks.size() != trusted_peaks.size()) return false;
+  for (size_t i = 0; i < trusted_peaks.size(); ++i) {
+    if (!(proof.peaks[i] == trusted_peaks[i])) return false;
+  }
+  return true;
+}
+
+bool ShrubsAccumulator::VerifyProof(const Digest& payload_digest,
+                                    const MembershipProof& proof,
+                                    const Digest& expected_root) {
+  if (!ProofShapeOk(proof)) return false;
+  Digest acc = HashMerkleLeaf(payload_digest);
+  for (size_t i = 0; i < proof.siblings.size(); ++i) {
+    acc = proof.sibling_is_left[i] ? HashMerkleNode(proof.siblings[i], acc)
+                                   : HashMerkleNode(acc, proof.siblings[i]);
+  }
+  if (!(acc == proof.peaks[proof.peak_index])) return false;
+  return BagPeaks(proof.peaks) == expected_root;
+}
 
 Status ShrubsAccumulator::GetBatchProof(
     const std::vector<uint64_t>& leaf_indices, BatchProof* proof) const {

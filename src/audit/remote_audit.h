@@ -1,0 +1,49 @@
+#ifndef LEDGERDB_AUDIT_REMOTE_AUDIT_H_
+#define LEDGERDB_AUDIT_REMOTE_AUDIT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/retry.h"
+#include "net/transport.h"
+
+namespace ledgerdb {
+
+/// Outcome of a transport-level audit, with counters so tests can assert
+/// the audit actually covered the ledger it claims to have covered.
+struct RemoteAuditReport {
+  bool passed = false;
+  std::string failure_reason;
+
+  uint64_t journal_count = 0;       ///< journals the commitment covers
+  uint64_t deltas_replayed = 0;     ///< deltas replayed into the mirror
+  uint64_t journals_verified = 0;   ///< journals fetched + fully checked
+  uint64_t signatures_verified = 0; ///< π_c + π_s (commitment) signatures
+};
+
+struct RemoteAuditOptions {
+  PublicKey lsp_key;
+  int fractal_height = 15;
+  int mpt_cache_depth = 6;
+  RetryPolicy retry;
+  /// Verify every journal individually (fetch + content + fam proof). When
+  /// false only the commitment/delta replay runs — O(n) hashing, no
+  /// per-journal round trips.
+  bool verify_journals = true;
+};
+
+/// Audits a ledger THROUGH its transport, trusting nothing the server
+/// says: fetches the signed commitment, replays the full journal delta
+/// into a fresh local mirror (the committed roots must be reproduced
+/// bit-for-bit), then fetches and verifies every journal — content
+/// digests, author signature, and fam proof against the committed root at
+/// the position its jsn requires. This is the distrusted-LSP counterpart
+/// of the server-side DaseinAuditor: a matrix cell counts as *masked* only
+/// if this audit still passes on the post-fault ledger.
+Status RemoteAudit(LedgerTransport* transport,
+                   const RemoteAuditOptions& options,
+                   RemoteAuditReport* report);
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_AUDIT_REMOTE_AUDIT_H_

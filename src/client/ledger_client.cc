@@ -2,69 +2,197 @@
 
 namespace ledgerdb {
 
+LedgerClient::LedgerClient(LedgerTransport* transport, KeyPair identity,
+                           Options options)
+    : transport_(transport),
+      identity_(std::move(identity)),
+      options_(std::move(options)),
+      mirror_(std::make_unique<LedgerMirror>(options_.fractal_height,
+                                             options_.mpt_cache_depth)),
+      log_(transport_->uri(), options_.lsp_key) {}
+
 Status LedgerClient::AppendVerified(const Bytes& payload,
                                     const std::vector<std::string>& clues,
                                     uint64_t* jsn, Receipt* receipt) {
   ClientTransaction tx;
-  tx.ledger_uri = ledger_->uri();
+  tx.ledger_uri = transport_->uri();
   tx.clues = clues;
   tx.payload = payload;
+  // The nonce is consumed even if the submission ultimately fails: reusing
+  // it for a *different* transaction would be rejected by the server.
   tx.nonce = nonce_++;
   tx.Sign(identity_);
   Digest my_request_hash = tx.RequestHash();
 
+  // Resubmitting after a deadline is safe: the server dedups on
+  // (signer, nonce) and replays the original receipt's jsn.
   uint64_t assigned = 0;
-  LEDGERDB_RETURN_IF_ERROR(ledger_->Append(tx, &assigned));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [&] { return transport_->AppendTx(tx, &assigned); }));
 
   Receipt r;
-  LEDGERDB_RETURN_IF_ERROR(ledger_->GetReceipt(assigned, &r));
-  // π_s checks: LSP signature + the receipt commits to MY request.
-  if (!r.Verify(ledger_->lsp_key())) {
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [&] { return transport_->GetReceipt(assigned, &r); }));
+  // π_s checks: LSP signature, the receipt names the jsn the append
+  // claimed, and it commits to MY request.
+  if (!r.Verify(options_.lsp_key)) {
     return Status::VerificationFailed("LSP receipt signature invalid");
+  }
+  if (r.jsn != assigned) {
+    return Status::VerificationFailed(
+        "receipt names a different jsn than the append returned");
   }
   if (!(r.request_hash == my_request_hash)) {
     return Status::VerificationFailed(
         "receipt does not commit to the submitted transaction (threat-A)");
   }
-  // Wire round trip: the receipt is stored externally.
-  Receipt stored;
-  if (!Receipt::Deserialize(r.Serialize(), &stored)) {
-    return Status::Corruption("receipt wire format round trip failed");
-  }
-  receipts_.push_back(stored);
+  receipts_.push_back(r);
   if (jsn != nullptr) *jsn = assigned;
-  if (receipt != nullptr) *receipt = stored;
+  if (receipt != nullptr) *receipt = r;
   return Status::OK();
 }
 
-void LedgerClient::RefreshTrustedRoots() {
-  trusted_fam_root_ = ledger_->FamRoot();
-  trusted_clue_root_ = ledger_->ClueRoot();
+void LedgerClient::RebuildMirror() {
+  mirror_ = std::make_unique<LedgerMirror>(options_.fractal_height,
+                                           options_.mpt_cache_depth);
+  for (const JournalDelta& d : accepted_deltas_) (void)mirror_->Apply(d);
+}
+
+Status LedgerClient::RefreshTrustedRoots(bool* advanced,
+                                         EquivocationEvidence* ev) {
+  if (advanced != nullptr) *advanced = false;
+  SignedCommitment c;
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [&] { return transport_->GetCommitment(&c); }));
+  // Identity checks before any state is touched.
+  if (c.ledger_uri != transport_->uri()) {
+    return Status::VerificationFailed("commitment for a different ledger");
+  }
+  if (!c.Verify(options_.lsp_key)) {
+    return Status::VerificationFailed("commitment signature invalid");
+  }
+  uint64_t have = mirror_->journal_count();
+  if (c.journal_count < have) {
+    if (ev != nullptr) {
+      ev->claimed = c;
+      ev->expected_fam_root = trusted_fam_root_;
+      ev->at_count = c.journal_count;
+      ev->reason = "rollback: commitment count below the audited prefix";
+    }
+    return Status::VerificationFailed(
+        "commitment rolls back the audited journal count");
+  }
+  if (c.journal_count > have) {
+    // Audit the advance: the claimed delta must reproduce the claimed
+    // roots when replayed over our own accumulators.
+    std::vector<JournalDelta> delta;
+    LEDGERDB_RETURN_IF_ERROR(RetryTransient(options_.retry, [&] {
+      return transport_->GetDelta(have, c.journal_count, &delta);
+    }));
+    if (delta.size() != c.journal_count - have) {
+      return Status::VerificationFailed(
+          "journal delta does not cover the committed range");
+    }
+    Status applied = Status::OK();
+    for (const JournalDelta& d : delta) {
+      applied = mirror_->Apply(d);
+      if (!applied.ok()) break;
+    }
+    if (!applied.ok() || !(mirror_->fam_root() == c.fam_root) ||
+        !(mirror_->clue_root() == c.clue_root) ||
+        !(mirror_->state_root() == c.state_root)) {
+      if (ev != nullptr) {
+        ev->claimed = c;
+        ev->expected_fam_root = mirror_->fam_root();
+        ev->at_count = c.journal_count;
+        ev->reason = "committed roots diverge from the replayed delta";
+      }
+      RebuildMirror();  // discard the speculative apply
+      return Status::VerificationFailed(
+          "commitment does not match the journal delta it claims to cover");
+    }
+    accepted_deltas_.insert(accepted_deltas_.end(), delta.begin(),
+                            delta.end());
+  } else {
+    // Same count: the roots must be exactly what we already derived.
+    if (!(mirror_->fam_root() == c.fam_root) ||
+        !(mirror_->clue_root() == c.clue_root) ||
+        !(mirror_->state_root() == c.state_root)) {
+      if (ev != nullptr) {
+        ev->claimed = c;
+        ev->expected_fam_root = mirror_->fam_root();
+        ev->at_count = c.journal_count;
+        ev->reason = "two views at the audited journal count";
+      }
+      return Status::VerificationFailed(
+          "commitment contradicts the audited prefix at the same count");
+    }
+  }
+  // The audit passed; the fork-consistency log gets the final say (it also
+  // compares against every previously accepted commitment).
+  LEDGERDB_RETURN_IF_ERROR(log_.Accept(c, ev));
+  if (advanced != nullptr) *advanced = c.journal_count > have;
+  trusted_fam_root_ = c.fam_root;
+  trusted_clue_root_ = c.clue_root;
+  trusted_state_root_ = c.state_root;
+  return Status::OK();
+}
+
+Status LedgerClient::RefreshTrustedRootsUnaudited() {
+  SignedCommitment c;
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [&] { return transport_->GetCommitment(&c); }));
+  trusted_fam_root_ = c.fam_root;
+  trusted_clue_root_ = c.clue_root;
+  trusted_state_root_ = c.state_root;
+  return Status::OK();
+}
+
+Status LedgerClient::CheckJournalContent(const Journal& journal) {
+  // Local recomputation: payload must match its retained digest. Only an
+  // occulted journal whose payload has actually been erased is exempt —
+  // the digest is the record, Protocol 2. An "occulted" journal still
+  // carrying bytes must carry the right ones.
+  if (!(journal.occulted && journal.payload.empty()) &&
+      !(Sha256::Hash(journal.payload) == journal.payload_digest)) {
+    return Status::VerificationFailed("payload digest mismatch");
+  }
+  // who: the author's signature must verify.
+  if (!VerifySignature(journal.client_key, journal.request_hash,
+                       journal.client_sig)) {
+    return Status::VerificationFailed("journal author signature invalid");
+  }
+  return Status::OK();
 }
 
 Status LedgerClient::FetchAndVerifyJournal(uint64_t jsn,
                                            Journal* journal) const {
   Journal fetched;
-  LEDGERDB_RETURN_IF_ERROR(ledger_->GetJournal(jsn, &fetched));
-  // Local recomputation: payload must match its retained digest (occulted
-  // journals are exempt — the digest is the record, Protocol 2).
-  if (!fetched.occulted &&
-      !(Sha256::Hash(fetched.payload) == fetched.payload_digest)) {
-    return Status::VerificationFailed("payload digest mismatch");
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [&] { return transport_->GetJournal(jsn, &fetched); }));
+  if (fetched.jsn != jsn) {
+    return Status::VerificationFailed(
+        "server returned a journal with a different jsn");
   }
-  // who: the author's signature must verify.
-  if (!VerifySignature(fetched.client_key, fetched.request_hash,
-                       fetched.client_sig)) {
-    return Status::VerificationFailed("journal author signature invalid");
-  }
-  // what: fam proof, round-tripped through the wire format.
+  LEDGERDB_RETURN_IF_ERROR(CheckJournalContent(fetched));
+  // what: the fam proof must bind the journal at the position this jsn is
+  // *required* to occupy — never trust the proof's own labels.
   FamProof proof;
-  LEDGERDB_RETURN_IF_ERROR(ledger_->GetProof(jsn, &proof));
-  FamProof wire;
-  if (!FamProof::Deserialize(proof.Serialize(), &wire)) {
-    return Status::Corruption("fam proof wire format round trip failed");
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [&] { return transport_->GetProof(jsn, &proof); }));
+  if (proof.jsn != jsn) {
+    return Status::VerificationFailed("fam proof names a different jsn");
   }
-  if (!Ledger::VerifyJournalProof(fetched, wire, trusted_fam_root_)) {
+  uint64_t expected_epoch = 0;
+  uint64_t expected_leaf = 0;
+  FamAccumulator::ExpectedLocation(options_.fractal_height, jsn,
+                                   &expected_epoch, &expected_leaf);
+  if (proof.epoch != expected_epoch ||
+      proof.local.leaf_index != expected_leaf) {
+    return Status::VerificationFailed(
+        "fam proof places the journal at the wrong position for its jsn");
+  }
+  if (!Ledger::VerifyJournalProof(fetched, proof, trusted_fam_root_)) {
     return Status::VerificationFailed(
         "fam proof does not bind journal to the trusted root");
   }
@@ -75,22 +203,37 @@ Status LedgerClient::FetchAndVerifyJournal(uint64_t jsn,
 Status LedgerClient::FetchAndVerifyLineage(
     const std::string& clue, std::vector<Journal>* journals) const {
   std::vector<uint64_t> jsns;
-  LEDGERDB_RETURN_IF_ERROR(ledger_->ListTx(clue, &jsns));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      options_.retry, [&] { return transport_->ListTx(clue, &jsns); }));
   std::vector<Journal> fetched;
   std::vector<Digest> digests;
   for (uint64_t jsn : jsns) {
     Journal journal;
-    LEDGERDB_RETURN_IF_ERROR(ledger_->GetJournal(jsn, &journal));
+    LEDGERDB_RETURN_IF_ERROR(RetryTransient(options_.retry, [&] {
+      return transport_->GetJournal(jsn, &journal);
+    }));
+    if (journal.jsn != jsn) {
+      return Status::VerificationFailed(
+          "server returned a journal with a different jsn");
+    }
+    LEDGERDB_RETURN_IF_ERROR(CheckJournalContent(journal));
     digests.push_back(journal.TxHash());
     fetched.push_back(std::move(journal));
   }
   ClueProof proof;
-  LEDGERDB_RETURN_IF_ERROR(ledger_->GetClueProof(clue, 0, 0, &proof));
-  ClueProof wire;
-  if (!ClueProof::Deserialize(proof.Serialize(), &wire)) {
-    return Status::Corruption("clue proof wire format round trip failed");
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(options_.retry, [&] {
+    return transport_->GetClueProof(clue, 0, 0, &proof);
+  }));
+  if (proof.clue != clue) {
+    return Status::VerificationFailed("clue proof is for a different clue");
   }
-  if (!CmTree::VerifyClueProof(trusted_clue_root_, digests, wire)) {
+  // The lineage must be COMPLETE: the proof commits to the clue's total
+  // entry count, so a server hiding entries is caught here.
+  if (digests.size() != proof.entry_count) {
+    return Status::VerificationFailed(
+        "lineage is missing entries the clue proof commits to");
+  }
+  if (!CmTree::VerifyClueProof(trusted_clue_root_, digests, proof)) {
     return Status::VerificationFailed(
         "clue lineage does not verify against the trusted root");
   }
@@ -99,14 +242,58 @@ Status LedgerClient::FetchAndVerifyLineage(
 }
 
 Status LedgerClient::CheckReceiptStillHolds(const Receipt& receipt) const {
-  if (!receipt.Verify(ledger_->lsp_key())) {
+  if (!receipt.Verify(options_.lsp_key)) {
     return Status::VerificationFailed("receipt signature invalid");
   }
   Journal journal;
-  LEDGERDB_RETURN_IF_ERROR(ledger_->GetJournal(receipt.jsn, &journal));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(options_.retry, [&] {
+    return transport_->GetJournal(receipt.jsn, &journal);
+  }));
+  if (journal.jsn != receipt.jsn) {
+    return Status::VerificationFailed(
+        "server returned a journal with a different jsn");
+  }
   if (!(journal.TxHash() == receipt.tx_hash)) {
     return Status::VerificationFailed(
         "ledger content diverged from the receipt (threat-C rewrite)");
+  }
+  return Status::OK();
+}
+
+Status LedgerClient::CrossCheckCommitments(const LedgerClient& other,
+                                           EquivocationEvidence* ev) const {
+  for (const SignedCommitment& c : other.log_.entries()) {
+    LEDGERDB_RETURN_IF_ERROR(CrossCheckCommitment(c, *mirror_, ev));
+  }
+  for (const SignedCommitment& c : log_.entries()) {
+    LEDGERDB_RETURN_IF_ERROR(CrossCheckCommitment(c, *other.mirror_, ev));
+  }
+  return Status::OK();
+}
+
+Status LedgerClient::VerifyReceiptOffline(const Receipt& receipt,
+                                          const Journal& journal,
+                                          const FamProof& proof,
+                                          const PublicKey& lsp_key,
+                                          const Digest& trusted_fam_root) {
+  if (!receipt.Verify(lsp_key)) {
+    return Status::VerificationFailed("receipt signature invalid");
+  }
+  if (journal.jsn != receipt.jsn) {
+    return Status::VerificationFailed("journal does not match receipt jsn");
+  }
+  if (!(journal.request_hash == receipt.request_hash)) {
+    return Status::VerificationFailed(
+        "journal request-hash does not match the receipt");
+  }
+  if (!(journal.TxHash() == receipt.tx_hash)) {
+    return Status::VerificationFailed(
+        "journal tx-hash does not match the receipt");
+  }
+  LEDGERDB_RETURN_IF_ERROR(CheckJournalContent(journal));
+  if (!Ledger::VerifyJournalProof(journal, proof, trusted_fam_root)) {
+    return Status::VerificationFailed(
+        "fam proof does not bind journal to the trusted root");
   }
   return Status::OK();
 }

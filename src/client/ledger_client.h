@@ -1,56 +1,93 @@
 #ifndef LEDGERDB_CLIENT_LEDGER_CLIENT_H_
 #define LEDGERDB_CLIENT_LEDGER_CLIENT_H_
 
+#include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/retry.h"
 #include "ledger/ledger.h"
+#include "net/commitment_log.h"
+#include "net/mirror.h"
+#include "net/transport.h"
 
 namespace ledgerdb {
 
 /// Client-side verification SDK — the "verified at client side when LSP
 /// is distrusted" mode of §II-C. The client holds its own identity key,
 /// signs every transaction (π_c), retains every receipt (π_s) externally,
-/// pins the ledger roots it has accepted as its verification datum, and
-/// re-verifies every fetched journal/lineage locally. All proofs are
-/// round-tripped through their wire format, exactly as a remote client
-/// would receive them.
+/// and re-verifies everything it fetches. It talks to the LSP only through
+/// a LedgerTransport, which may drop, delay, duplicate, reorder or
+/// adversarially mutate any exchange:
 ///
-/// The transport here is an in-process `Ledger*`; swapping in an RPC stub
-/// with the same surface requires no changes to the verification logic.
+///  - transient failures (TransientIO, DeadlineExceeded) are retried; the
+///    retries are safe because the server deduplicates appends on
+///    (signer, nonce);
+///  - the pinned verification datum advances only through an *audited*
+///    RefreshTrustedRoots: the LSP's signed commitment is checked against
+///    a local mirror replaying the claimed journal delta, so a forged or
+///    rolled-back root is rejected instead of pinned;
+///  - every accepted commitment lands in an append-only CommitmentLog, and
+///    CrossCheckCommitments gossips logs between clients to expose an LSP
+///    that equivocates — shows different signed histories to different
+///    clients — which no single-client check can see.
 class LedgerClient {
  public:
-  LedgerClient(Ledger* ledger, KeyPair identity)
-      : ledger_(ledger), identity_(std::move(identity)) {
-    RefreshTrustedRoots();
-  }
+  struct Options {
+    /// LSP public key receipts and commitments are verified against.
+    PublicKey lsp_key;
+    /// Must match the server's fam fractal height — the client derives
+    /// each proof's expected (epoch, leaf) position from the jsn.
+    int fractal_height = 15;
+    int mpt_cache_depth = 6;
+    RetryPolicy retry;
+  };
+
+  LedgerClient(LedgerTransport* transport, KeyPair identity, Options options);
 
   const PublicKey& public_key() const { return identity_.public_key(); }
 
-  /// Signs and submits a transaction, then performs the client-side
-  /// commitment checks: the receipt's LSP signature verifies and its
-  /// request-hash matches what this client actually signed. The receipt
-  /// is retained (the external evidence for later audits).
+  /// Signs and submits a transaction, retrying transient transport
+  /// failures (idempotent on the server), then performs the client-side
+  /// commitment checks: the receipt's LSP signature verifies, it names the
+  /// jsn the append returned, and it commits to the request-hash this
+  /// client actually signed. The receipt is retained as external evidence.
   Status AppendVerified(const Bytes& payload,
                         const std::vector<std::string>& clues, uint64_t* jsn,
                         Receipt* receipt = nullptr);
 
-  /// Pins the ledger's current fam/clue roots as the verification datum.
-  /// In production the client would do this only after auditing the delta
-  /// (or against a TSA-anchored digest); tests exercise both the stale-
-  /// and fresh-root behaviors.
-  void RefreshTrustedRoots();
+  /// Audited root advance: fetches the LSP's signed commitment, verifies
+  /// the signature, then fetches the journal delta from the last accepted
+  /// count and replays it into the local mirror. The roots are pinned only
+  /// if the mirror reproduces them bit-for-bit; otherwise the mirror is
+  /// rolled back and VerificationFailed is returned. Rollbacks and
+  /// same-count conflicts are rejected by the commitment log (with
+  /// equivocation evidence in `ev` when applicable). `advanced` (optional)
+  /// reports whether the pinned count moved.
+  Status RefreshTrustedRoots(bool* advanced = nullptr,
+                             EquivocationEvidence* ev = nullptr);
+
+  /// Blind pin of whatever roots the transport claims, with no delta
+  /// audit, no signature check, and no commitment-log entry. This is the
+  /// pre-hardening behavior, kept only so tests can demonstrate what it
+  /// fails to detect. Never call this in production code.
+  Status RefreshTrustedRootsUnaudited();
 
   const Digest& trusted_fam_root() const { return trusted_fam_root_; }
   const Digest& trusted_clue_root() const { return trusted_clue_root_; }
+  const Digest& trusted_state_root() const { return trusted_state_root_; }
 
-  /// Fetches journal `jsn` and verifies it locally: payload digest
-  /// recomputation, π_c signature, and the (wire-round-tripped) fam proof
-  /// against the pinned root. VerificationFailed if anything is off.
+  /// Fetches journal `jsn` and verifies it locally: the journal is the one
+  /// asked for, its payload matches the retained digest (occulted journals
+  /// exempt, Protocol 2), π_c verifies, and the fam proof binds the
+  /// journal to the pinned root at the (epoch, leaf) position the jsn
+  /// *must* occupy — the proof's own labels are never trusted.
   Status FetchAndVerifyJournal(uint64_t jsn, Journal* journal) const;
 
   /// Fetches a clue's journals and verifies the full lineage — every
-  /// record and the record count — against the pinned clue root.
+  /// record, the record count, and the clue binding — against the pinned
+  /// clue root.
   Status FetchAndVerifyLineage(const std::string& clue,
                                std::vector<Journal>* journals) const;
 
@@ -61,13 +98,49 @@ class LedgerClient {
   /// post-hoc rewrites of this client's own journals: threat-C).
   Status CheckReceiptStillHolds(const Receipt& receipt) const;
 
+  /// Gossip: checks every commitment the other client accepted against
+  /// this client's independently built mirror, and vice versa. Two validly
+  /// signed commitments that disagree about the same journal count are
+  /// proof of a forked view; the offending commitment and the locally
+  /// derived root land in `ev`. This is the only check that catches an LSP
+  /// that equivocates consistently per client.
+  Status CrossCheckCommitments(const LedgerClient& other,
+                               EquivocationEvidence* ev = nullptr) const;
+
+  /// Offline receipt verification (no transport): the receipt verifies
+  /// under `lsp_key`, names this journal, commits to the journal's
+  /// request-hash, the journal's content digests check out, and the fam
+  /// proof binds it to `trusted_fam_root`. Used by `ledgerdb_cli
+  /// verify-receipt`.
+  static Status VerifyReceiptOffline(const Receipt& receipt,
+                                     const Journal& journal,
+                                     const FamProof& proof,
+                                     const PublicKey& lsp_key,
+                                     const Digest& trusted_fam_root);
+
+  const CommitmentLog& commitment_log() const { return log_; }
+  const LedgerMirror& mirror() const { return *mirror_; }
+
  private:
-  Ledger* ledger_;
+  /// Discards the mirror and replays every accepted delta (rollback after
+  /// a speculative apply that failed the root comparison).
+  void RebuildMirror();
+
+  /// Per-journal local checks shared by journal and lineage verification.
+  static Status CheckJournalContent(const Journal& journal);
+
+  LedgerTransport* transport_;
   KeyPair identity_;
+  Options options_;
   uint64_t nonce_ = 0;
   Digest trusted_fam_root_;
   Digest trusted_clue_root_;
+  Digest trusted_state_root_;
   std::vector<Receipt> receipts_;
+
+  std::unique_ptr<LedgerMirror> mirror_;
+  std::vector<JournalDelta> accepted_deltas_;
+  CommitmentLog log_;
 };
 
 }  // namespace ledgerdb

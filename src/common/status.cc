@@ -32,6 +32,8 @@ const char* CodeName(Status::Code code) {
       return "TransientIO";
     case Status::Code::kUnavailable:
       return "Unavailable";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }

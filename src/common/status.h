@@ -25,6 +25,7 @@ class Status {
     kTimestampRejected,
     kTransientIO,
     kUnavailable,
+    kDeadlineExceeded,
   };
 
   /// Default-constructed Status is OK.
@@ -67,6 +68,9 @@ class Status {
   static Status Unavailable(std::string msg = "") {
     return Status(Code::kUnavailable, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -85,11 +89,16 @@ class Status {
   }
   bool IsTransientIO() const { return code_ == Code::kTransientIO; }
   bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsDeadlineExceeded() const { return code_ == Code::kDeadlineExceeded; }
 
   /// True for failures that may succeed if the operation is simply retried
-  /// (e.g. a transient EIO from the storage substrate). Retry loops must
-  /// branch on this, never on message text.
-  bool IsRetriable() const { return code_ == Code::kTransientIO; }
+  /// (e.g. a transient EIO from the storage substrate, or an RPC deadline
+  /// that fired before the response arrived). Retry loops must branch on
+  /// this, never on message text. Retrying an append after a deadline is
+  /// safe only because the server deduplicates on (signer, nonce).
+  bool IsRetriable() const {
+    return code_ == Code::kTransientIO || code_ == Code::kDeadlineExceeded;
+  }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

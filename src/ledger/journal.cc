@@ -81,10 +81,32 @@ bool ClientTransaction::VerifyClientSignature() const {
   return VerifySignature(client_key, RequestHash(), client_sig);
 }
 
+Bytes ClientTransaction::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, StringToBytes(ledger_uri));
+  out.push_back(static_cast<uint8_t>(type));
+  PutU32(&out, static_cast<uint32_t>(clues.size()));
+  for (const std::string& clue : clues) {
+    PutLengthPrefixed(&out, StringToBytes(clue));
+  }
+  PutLengthPrefixed(&out, payload);
+  PutU64(&out, nonce);
+  PutU64(&out, static_cast<uint64_t>(client_ts));
+  out.push_back(client_key.valid() ? 1 : 0);
+  if (client_key.valid()) {
+    Bytes key = client_key.Serialize();
+    out.insert(out.end(), key.begin(), key.end());
+    Bytes sig = client_sig.Serialize();
+    out.insert(out.end(), sig.begin(), sig.end());
+  }
+  return out;
+}
+
 Digest Journal::TxHash() const {
   HashWriter w;
   w.Str("journal");
   w.U64(jsn);
+  w.U64(nonce);
   w.U8(static_cast<uint8_t>(type));
   w.U64(static_cast<uint64_t>(server_ts));
   w.U32(static_cast<uint32_t>(clues.size()));
@@ -112,6 +134,7 @@ Digest Journal::EndorsementHash() const {
 Bytes Journal::Serialize() const {
   Bytes out;
   PutU64(&out, jsn);
+  PutU64(&out, nonce);
   out.push_back(static_cast<uint8_t>(type));
   PutU64(&out, static_cast<uint64_t>(server_ts));
   PutU32(&out, static_cast<uint32_t>(clues.size()));
@@ -167,6 +190,7 @@ bool ReadKeySig(const Bytes& raw, size_t* pos, PublicKey* key, Signature* sig) {
 bool Journal::Deserialize(const Bytes& raw, Journal* out) {
   size_t pos = 0;
   if (!GetU64(raw, &pos, &out->jsn)) return false;
+  if (!GetU64(raw, &pos, &out->nonce)) return false;
   if (pos >= raw.size()) return false;
   out->type = static_cast<JournalType>(raw[pos++]);
   uint64_t ts = 0;
@@ -204,6 +228,68 @@ bool Journal::Deserialize(const Bytes& raw, Journal* out) {
     Endorsement e;
     if (!ReadKeySig(raw, &pos, &e.key, &e.signature)) return false;
     out->endorsements.push_back(std::move(e));
+  }
+  return pos == raw.size();
+}
+
+bool ClientTransaction::Deserialize(const Bytes& raw, ClientTransaction* out) {
+  size_t pos = 0;
+  Bytes uri;
+  if (!GetLengthPrefixed(raw, &pos, &uri)) return false;
+  out->ledger_uri.assign(uri.begin(), uri.end());
+  if (pos >= raw.size()) return false;
+  out->type = static_cast<JournalType>(raw[pos++]);
+  uint32_t clue_count = 0;
+  if (!GetU32(raw, &pos, &clue_count)) return false;
+  if (clue_count > 1024) return false;
+  out->clues.clear();
+  for (uint32_t i = 0; i < clue_count; ++i) {
+    Bytes clue;
+    if (!GetLengthPrefixed(raw, &pos, &clue)) return false;
+    out->clues.emplace_back(clue.begin(), clue.end());
+  }
+  if (!GetLengthPrefixed(raw, &pos, &out->payload)) return false;
+  if (!GetU64(raw, &pos, &out->nonce)) return false;
+  uint64_t ts = 0;
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->client_ts = static_cast<Timestamp>(ts);
+  if (pos >= raw.size()) return false;
+  if (raw[pos] > 1) return false;
+  bool has_client = raw[pos++] == 1;
+  if (has_client) {
+    if (!ReadKeySig(raw, &pos, &out->client_key, &out->client_sig)) {
+      return false;
+    }
+  } else {
+    out->client_key = PublicKey();
+  }
+  return pos == raw.size();
+}
+
+Bytes JournalDelta::Serialize() const {
+  Bytes out;
+  out.insert(out.end(), tx_hash.bytes.begin(), tx_hash.bytes.end());
+  out.insert(out.end(), payload_digest.bytes.begin(),
+             payload_digest.bytes.end());
+  PutU32(&out, static_cast<uint32_t>(clues.size()));
+  for (const std::string& clue : clues) {
+    PutLengthPrefixed(&out, StringToBytes(clue));
+  }
+  return out;
+}
+
+bool JournalDelta::Deserialize(const Bytes& raw, JournalDelta* out) {
+  size_t pos = 0;
+  if (!ReadDigest(raw, &pos, &out->tx_hash)) return false;
+  if (!ReadDigest(raw, &pos, &out->payload_digest)) return false;
+  uint32_t clue_count = 0;
+  if (!GetU32(raw, &pos, &clue_count)) return false;
+  if (clue_count > 1024) return false;
+  out->clues.clear();
+  for (uint32_t i = 0; i < clue_count; ++i) {
+    Bytes clue;
+    if (!GetLengthPrefixed(raw, &pos, &clue)) return false;
+    out->clues.emplace_back(clue.begin(), clue.end());
   }
   return pos == raw.size();
 }

@@ -44,6 +44,9 @@ struct ClientTransaction {
 
   /// Checks π_c against the embedded public key.
   bool VerifyClientSignature() const;
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, ClientTransaction* out);
 };
 
 /// An additional endorsement on a journal (multi-signature prerequisite
@@ -58,6 +61,9 @@ struct Endorsement {
 /// Protocol 2 applies: verification uses the retained digest.
 struct Journal {
   uint64_t jsn = 0;
+  /// Client-chosen sequence number; (client_key, nonce) keys server-side
+  /// append deduplication so retried submissions are idempotent.
+  uint64_t nonce = 0;
   JournalType type = JournalType::kNormal;
   Timestamp server_ts = 0;
   std::vector<std::string> clues;
@@ -79,6 +85,20 @@ struct Journal {
 
   Bytes Serialize() const;
   static bool Deserialize(const Bytes& raw, Journal* out);
+};
+
+/// The per-journal effect an audited client needs to mirror the server's
+/// commitment state: the tx-hash feeds the fam accumulator, and each clue
+/// maps to a (CM-Tree append, world-state put) pair keyed by the payload
+/// digest. Serving deltas instead of raw journals lets clients audit a
+/// root advance without downloading payloads.
+struct JournalDelta {
+  Digest tx_hash;
+  Digest payload_digest;
+  std::vector<std::string> clues;
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, JournalDelta* out);
 };
 
 }  // namespace ledgerdb

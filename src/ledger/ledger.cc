@@ -169,6 +169,11 @@ Status Ledger::CommitJournal(Journal journal, uint64_t* out_jsn,
     clue_index_.Append(clue, jsn);
     world_state_.Put(clue, journal.payload_digest.ToBytes());
   }
+  delta_log_.push_back({tx_hash, journal.payload_digest, journal.clues});
+  if (journal.client_key.valid()) {
+    dedup_[journal.client_key.Id().ToHex()][journal.nonce] = {
+        jsn, journal.request_hash};
+  }
 
   journals_.push_back(std::move(journal));
   occult_bitmap_.Resize(jsn + 1);
@@ -201,6 +206,7 @@ Status Ledger::AppendInternal(JournalType type,
 
   Journal journal;
   journal.type = type;
+  journal.nonce = tx.nonce;
   journal.server_ts = clock_->Now();
   journal.clues = clues;
   journal.payload = tx.payload;
@@ -273,6 +279,7 @@ void Ledger::PrevalidateBatch(std::span<const ClientTransaction* const> txs,
     }
     Journal& journal = outs[i].journal;
     journal.type = JournalType::kNormal;
+    journal.nonce = tx.nonce;
     journal.clues = tx.clues;
     journal.payload = tx.payload;
     journal.payload_digest = Sha256::Hash(tx.payload);
@@ -284,6 +291,27 @@ void Ledger::PrevalidateBatch(std::span<const ClientTransaction* const> txs,
 
 Status Ledger::CommitPrevalidated(PrevalidatedTx&& prevalidated,
                                   uint64_t* jsn) {
+  // Idempotent append: a resubmission of an already-committed transaction
+  // (same signer, nonce and request hash — e.g. a client retrying after a
+  // lost response) converges on the original jsn instead of appending a
+  // duplicate. A *different* transaction reusing a nonce is an error. The
+  // check runs here, on the committer thread, so concurrent const
+  // Prevalidate calls never race the map.
+  const Journal& journal = prevalidated.journal;
+  if (journal.client_key.valid()) {
+    auto signer = dedup_.find(journal.client_key.Id().ToHex());
+    if (signer != dedup_.end()) {
+      auto hit = signer->second.find(journal.nonce);
+      if (hit != signer->second.end()) {
+        if (hit->second.request_hash == journal.request_hash) {
+          if (jsn != nullptr) *jsn = hit->second.jsn;
+          return Status::OK();
+        }
+        return Status::AlreadyExists(
+            "nonce already used by a different transaction");
+      }
+    }
+  }
   prevalidated.journal.server_ts = clock_->Now();
   return CommitJournal(std::move(prevalidated.journal), jsn);
 }
@@ -338,6 +366,27 @@ Status Ledger::GetReceipt(uint64_t jsn, Receipt* receipt) {
   receipt->block_hash = blocks_[jsn_to_block_[jsn]].Hash();
   receipt->timestamp = clock_->Now();
   receipt->lsp_sig = lsp_key_.Sign(receipt->MessageHash());
+  return Status::OK();
+}
+
+Status Ledger::GetCommitment(SignedCommitment* out) const {
+  out->ledger_uri = uri_;
+  out->journal_count = NumJournals();
+  out->fam_root = fam_.Root();
+  out->clue_root = cmtree_.Root();
+  out->state_root = world_state_.Root();
+  out->timestamp = clock_->Now();
+  out->lsp_sig = lsp_key_.Sign(out->MessageHash());
+  return Status::OK();
+}
+
+Status Ledger::GetDelta(uint64_t from, uint64_t to,
+                        std::vector<JournalDelta>* out) const {
+  if (from > to || to > delta_log_.size()) {
+    return Status::OutOfRange("delta range beyond ledger size");
+  }
+  out->assign(delta_log_.begin() + static_cast<long>(from),
+              delta_log_.begin() + static_cast<long>(to));
   return Status::OK();
 }
 
@@ -799,6 +848,8 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
         ledger->clue_index_.Append(clue, i);
         ledger->world_state_.Put(clue, tombstone.payload_digest.ToBytes());
       }
+      ledger->delta_log_.push_back(
+          {tombstone.tx_hash, tombstone.payload_digest, tombstone.clues});
       ledger->journals_.push_back(std::nullopt);
       ledger->occult_bitmap_.Resize(i + 1);
       ledger->jsn_to_block_.push_back(kUnsealedBlock);

@@ -185,6 +185,18 @@ class Ledger {
   /// block first if needed (receipts commit at block granularity).
   Status GetReceipt(uint64_t jsn, Receipt* receipt);
 
+  /// Signs the current ledger commitment (journal count + the three roots).
+  /// This is what audited clients pin and gossip; see SignedCommitment.
+  Status GetCommitment(SignedCommitment* out) const;
+
+  /// Per-journal effects in [from, to): exactly what a client mirror needs
+  /// to replay the server's accumulator transitions (tx-hash into fam, clue
+  /// appends, world-state puts). Covers purged journals too — their deltas
+  /// were retained at tombstoning time, so audited root-advances span purge
+  /// boundaries.
+  Status GetDelta(uint64_t from, uint64_t to,
+                  std::vector<JournalDelta>* out) const;
+
   // -------------------------------------------------------------------
   // Read path
   // -------------------------------------------------------------------
@@ -435,6 +447,23 @@ class Ledger {
   MemoryStreamStore survival_stream_;
   std::vector<uint64_t> pending_occult_;
   BitmapIndex occult_bitmap_;
+
+  /// Append idempotency: (signer id, nonce) -> original commit. A retried
+  /// submission with the same request hash returns the original jsn; a
+  /// *different* transaction reusing a nonce is rejected (AlreadyExists).
+  /// Rebuilt from the journal stream on recovery; entries for purged
+  /// journals are lost with their tombstones, so the dedup horizon ends at
+  /// the purge boundary. Mutated only on the committer thread.
+  struct DedupEntry {
+    uint64_t jsn;
+    Digest request_hash;
+  };
+  std::unordered_map<std::string, std::unordered_map<uint64_t, DedupEntry>>
+      dedup_;
+
+  /// Per-journal mirror deltas, one per jsn (tombstoned journals included:
+  /// the tombstone retains exactly the delta fields). Serves GetDelta.
+  std::vector<JournalDelta> delta_log_;
 };
 
 }  // namespace ledgerdb

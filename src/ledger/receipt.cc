@@ -45,4 +45,54 @@ bool Receipt::Deserialize(const Bytes& raw, Receipt* out) {
   return Signature::Deserialize(sig, &out->lsp_sig);
 }
 
+Digest SignedCommitment::MessageHash() const {
+  Bytes buf = StringToBytes("commitment");
+  PutU32(&buf, static_cast<uint32_t>(ledger_uri.size()));
+  Bytes uri = StringToBytes(ledger_uri);
+  buf.insert(buf.end(), uri.begin(), uri.end());
+  PutU64(&buf, journal_count);
+  for (const Digest* d : {&fam_root, &clue_root, &state_root}) {
+    buf.insert(buf.end(), d->bytes.begin(), d->bytes.end());
+  }
+  PutU64(&buf, static_cast<uint64_t>(timestamp));
+  return Sha256::Hash(buf);
+}
+
+bool SignedCommitment::Verify(const PublicKey& lsp_key) const {
+  return VerifySignature(lsp_key, MessageHash(), lsp_sig);
+}
+
+Bytes SignedCommitment::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, StringToBytes(ledger_uri));
+  PutU64(&out, journal_count);
+  for (const Digest* d : {&fam_root, &clue_root, &state_root}) {
+    out.insert(out.end(), d->bytes.begin(), d->bytes.end());
+  }
+  PutU64(&out, static_cast<uint64_t>(timestamp));
+  Bytes sig = lsp_sig.Serialize();
+  out.insert(out.end(), sig.begin(), sig.end());
+  return out;
+}
+
+bool SignedCommitment::Deserialize(const Bytes& raw, SignedCommitment* out) {
+  size_t pos = 0;
+  Bytes uri;
+  if (!GetLengthPrefixed(raw, &pos, &uri)) return false;
+  out->ledger_uri.assign(uri.begin(), uri.end());
+  if (!GetU64(raw, &pos, &out->journal_count)) return false;
+  for (Digest* d : {&out->fam_root, &out->clue_root, &out->state_root}) {
+    if (pos + 32 > raw.size()) return false;
+    std::copy(raw.begin() + static_cast<long>(pos),
+              raw.begin() + static_cast<long>(pos) + 32, d->bytes.begin());
+    pos += 32;
+  }
+  uint64_t ts = 0;
+  if (!GetU64(raw, &pos, &ts)) return false;
+  out->timestamp = static_cast<Timestamp>(ts);
+  if (pos + 64 != raw.size()) return false;
+  Bytes sig(raw.begin() + static_cast<long>(pos), raw.end());
+  return Signature::Deserialize(sig, &out->lsp_sig);
+}
+
 }  // namespace ledgerdb

@@ -1,6 +1,8 @@
 #ifndef LEDGERDB_LEDGER_RECEIPT_H_
 #define LEDGERDB_LEDGER_RECEIPT_H_
 
+#include <string>
+
 #include "common/clock.h"
 #include "crypto/ecdsa.h"
 #include "crypto/hash.h"
@@ -28,6 +30,32 @@ struct Receipt {
 
   Bytes Serialize() const;
   static bool Deserialize(const Bytes& raw, Receipt* out);
+};
+
+/// LSP-signed ledger commitment at a journal count: the three roots a
+/// client must pin to verify membership, lineage, and state proofs. This
+/// is what an audited RefreshTrustedRoots advances to (after verifying the
+/// journal delta reproduces the roots) and what CrossCheckCommitments
+/// gossips between clients to expose equivocation: two validly signed
+/// commitments at the same journal_count with different roots are
+/// themselves the evidence of a forked view.
+struct SignedCommitment {
+  std::string ledger_uri;
+  uint64_t journal_count = 0;
+  Digest fam_root;
+  Digest clue_root;
+  Digest state_root;
+  Timestamp timestamp = 0;
+  Signature lsp_sig;
+
+  /// The signed message digest over all commitment fields.
+  Digest MessageHash() const;
+
+  /// Checks the LSP signature.
+  bool Verify(const PublicKey& lsp_key) const;
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, SignedCommitment* out);
 };
 
 }  // namespace ledgerdb

@@ -18,6 +18,7 @@ Status LedgerService::CreateLedger(const std::string& uri, Ledger** out) {
   Hosted hosted;
   hosted.ledger = std::make_unique<Ledger>(uri, options_.ledger_defaults,
                                            clock_, lsp_key_, members_);
+  LEDGERDB_RETURN_IF_ERROR(hosted.ledger->init_status());
   hosted.ledger->AttachTLedger(&tledger_);
   // The genesis journal alone does not warrant an anchor.
   hosted.anchored_jsn_count = hosted.ledger->NumJournals();

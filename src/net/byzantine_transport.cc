@@ -1,0 +1,315 @@
+#include "net/byzantine_transport.h"
+
+namespace ledgerdb {
+
+namespace {
+
+/// Wire wrappers so list-shaped responses go through the same generic
+/// fault plumbing as the struct responses.
+struct JsnListWire {
+  std::vector<uint64_t> jsns;
+
+  Bytes Serialize() const {
+    Bytes raw;
+    PutU32(&raw, static_cast<uint32_t>(jsns.size()));
+    for (uint64_t jsn : jsns) PutU64(&raw, jsn);
+    return raw;
+  }
+
+  static bool Deserialize(const Bytes& raw, JsnListWire* out) {
+    size_t pos = 0;
+    uint32_t count = 0;
+    if (!GetU32(raw, &pos, &count)) return false;
+    out->jsns.assign(count, 0);
+    for (uint32_t i = 0; i < count; ++i) {
+      if (!GetU64(raw, &pos, &out->jsns[i])) return false;
+    }
+    return pos == raw.size();
+  }
+};
+
+struct DeltaListWire {
+  std::vector<JournalDelta> deltas;
+
+  Bytes Serialize() const {
+    Bytes raw;
+    PutU32(&raw, static_cast<uint32_t>(deltas.size()));
+    for (const JournalDelta& d : deltas) PutLengthPrefixed(&raw, d.Serialize());
+    return raw;
+  }
+
+  static bool Deserialize(const Bytes& raw, DeltaListWire* out) {
+    size_t pos = 0;
+    uint32_t count = 0;
+    if (!GetU32(raw, &pos, &count)) return false;
+    if (count > 1u << 20) return false;
+    out->deltas.clear();
+    out->deltas.reserve(count);
+    for (uint32_t i = 0; i < count; ++i) {
+      Bytes block;
+      if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+      JournalDelta d;
+      if (!JournalDelta::Deserialize(block, &d)) return false;
+      out->deltas.push_back(std::move(d));
+    }
+    return pos == raw.size();
+  }
+};
+
+}  // namespace
+
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kNone:
+      return "None";
+    case FaultKind::kDrop:
+      return "Drop";
+    case FaultKind::kDelay:
+      return "Delay";
+    case FaultKind::kDuplicate:
+      return "Duplicate";
+    case FaultKind::kReorder:
+      return "Reorder";
+    case FaultKind::kTransientError:
+      return "TransientError";
+    case FaultKind::kForgeProof:
+      return "ForgeProof";
+    case FaultKind::kTruncateProof:
+      return "TruncateProof";
+    case FaultKind::kStaleRoot:
+      return "StaleRoot";
+    case FaultKind::kSubstituteReceipt:
+      return "SubstituteReceipt";
+    case FaultKind::kCorruptPayload:
+      return "CorruptPayload";
+  }
+  return "Unknown";
+}
+
+FaultKind ByzantineTransport::TakeFault(RpcOp op) {
+  ++ops_;
+  uint64_t nth = op_counts_[Idx(op)]++;
+  auto it = schedule_.find({static_cast<uint8_t>(op), nth});
+  if (it == schedule_.end()) return FaultKind::kNone;
+  ++faults_injected_;
+  return it->second;
+}
+
+void ByzantineTransport::MutateBytes(Bytes* raw) {
+  if (raw->empty()) return;
+  size_t byte = rng_.Uniform(raw->size());
+  int bit = static_cast<int>(rng_.Uniform(8));
+  (*raw)[byte] ^= static_cast<uint8_t>(1u << bit);
+}
+
+Status ByzantineTransport::AppendTx(const ClientTransaction& tx,
+                                    uint64_t* jsn) {
+  FaultKind fault = TakeFault(RpcOp::kAppendTx);
+  Bytes& stash = stash_[Idx(RpcOp::kAppendTx)];
+  if (!stash.empty() && fault == FaultKind::kNone) {
+    size_t pos = 0;
+    Bytes raw = std::move(stash);
+    stash.clear();
+    if (!GetU64(raw, &pos, jsn)) {
+      return Status::Corruption("reordered response undecodable");
+    }
+    return Status::OK();
+  }
+  switch (fault) {
+    case FaultKind::kDrop:
+      return Status::DeadlineExceeded("injected: request dropped");
+    case FaultKind::kTransientError:
+      return Status::TransientIO("injected: transient network error");
+    case FaultKind::kDelay: {
+      uint64_t discarded = 0;
+      (void)inner_->AppendTx(tx, &discarded);  // the append DID commit
+      if (delay_clock_ != nullptr) delay_clock_->Advance(delay_advance_);
+      return Status::DeadlineExceeded("injected: response past deadline");
+    }
+    case FaultKind::kDuplicate: {
+      uint64_t first = 0;
+      (void)inner_->AppendTx(tx, &first);
+      return inner_->AppendTx(tx, jsn);
+    }
+    case FaultKind::kReorder: {
+      uint64_t committed = 0;
+      Status st = inner_->AppendTx(tx, &committed);
+      if (st.ok()) {
+        Bytes raw;
+        PutU64(&raw, committed);
+        stash = std::move(raw);
+      }
+      return Status::DeadlineExceeded("injected: response reordered");
+    }
+    case FaultKind::kForgeProof:
+    case FaultKind::kSubstituteReceipt: {
+      // Lie about the assigned jsn; the receipt check must catch it.
+      LEDGERDB_RETURN_IF_ERROR(inner_->AppendTx(tx, jsn));
+      *jsn += 1;
+      return Status::OK();
+    }
+    default:
+      return inner_->AppendTx(tx, jsn);
+  }
+}
+
+Status ByzantineTransport::GetReceipt(uint64_t jsn, Receipt* out) {
+  FaultKind fault = TakeFault(RpcOp::kGetReceipt);
+  if (fault == FaultKind::kSubstituteReceipt) {
+    // A perfectly valid receipt — for a different journal.
+    uint64_t other = jsn > 0 ? jsn - 1 : jsn + 1;
+    return inner_->GetReceipt(other, out);
+  }
+  return HandleWire<Receipt>(RpcOp::kGetReceipt, fault, out,
+                             [&](Receipt* o) {
+                               return inner_->GetReceipt(jsn, o);
+                             });
+}
+
+Status ByzantineTransport::GetJournal(uint64_t jsn, Journal* out) {
+  FaultKind fault = TakeFault(RpcOp::kGetJournal);
+  if (fault == FaultKind::kSubstituteReceipt) {
+    uint64_t other = jsn > 0 ? jsn - 1 : jsn + 1;
+    return inner_->GetJournal(other, out);
+  }
+  if (fault == FaultKind::kCorruptPayload) {
+    LEDGERDB_RETURN_IF_ERROR(inner_->GetJournal(jsn, out));
+    if (!out->payload.empty()) {
+      out->payload[rng_.Uniform(out->payload.size())] ^= 0x01;
+    } else {
+      // Occulted journal: attack the retained digest instead.
+      out->payload_digest.bytes[rng_.Uniform(out->payload_digest.bytes.size())] ^=
+          0x01;
+    }
+    return Status::OK();
+  }
+  return HandleWire<Journal>(RpcOp::kGetJournal, fault, out,
+                             [&](Journal* o) {
+                               return inner_->GetJournal(jsn, o);
+                             });
+}
+
+Status ByzantineTransport::GetProof(uint64_t jsn, FamProof* out) {
+  FaultKind fault = TakeFault(RpcOp::kGetProof);
+  if (fault == FaultKind::kTruncateProof) {
+    LEDGERDB_RETURN_IF_ERROR(inner_->GetProof(jsn, out));
+    if (!out->epoch_links.empty()) {
+      out->epoch_links.pop_back();  // chain no longer reaches the live epoch
+    } else if (!out->local.siblings.empty()) {
+      out->local.siblings.pop_back();
+      out->local.sibling_is_left.pop_back();
+    }
+    return Status::OK();
+  }
+  return HandleWire<FamProof>(RpcOp::kGetProof, fault, out,
+                              [&](FamProof* o) {
+                                return inner_->GetProof(jsn, o);
+                              });
+}
+
+Status ByzantineTransport::GetClueProof(const std::string& clue,
+                                        uint64_t begin, uint64_t end,
+                                        ClueProof* out) {
+  FaultKind fault = TakeFault(RpcOp::kGetClueProof);
+  if (fault == FaultKind::kTruncateProof) {
+    LEDGERDB_RETURN_IF_ERROR(inner_->GetClueProof(clue, begin, end, out));
+    if (!out->batch.nodes.empty()) {
+      out->batch.nodes.pop_back();
+    } else if (!out->batch.peaks.empty()) {
+      out->batch.peaks.pop_back();
+    }
+    return Status::OK();
+  }
+  return HandleWire<ClueProof>(
+      RpcOp::kGetClueProof, fault, out, [&](ClueProof* o) {
+        return inner_->GetClueProof(clue, begin, end, o);
+      });
+}
+
+Status ByzantineTransport::ListTx(const std::string& clue,
+                                  std::vector<uint64_t>* jsns) {
+  FaultKind fault = TakeFault(RpcOp::kListTx);
+  if (fault == FaultKind::kTruncateProof) {
+    // Present an incomplete lineage (hide the newest entry for the clue).
+    LEDGERDB_RETURN_IF_ERROR(inner_->ListTx(clue, jsns));
+    if (!jsns->empty()) jsns->pop_back();
+    return Status::OK();
+  }
+  JsnListWire wire;
+  Status st = HandleWire<JsnListWire>(
+      RpcOp::kListTx, fault, &wire, [&](JsnListWire* o) {
+        return inner_->ListTx(clue, &o->jsns);
+      });
+  if (st.ok()) *jsns = std::move(wire.jsns);
+  return st;
+}
+
+Status ByzantineTransport::GetCommitment(SignedCommitment* out) {
+  FaultKind fault = TakeFault(RpcOp::kGetCommitment);
+  if (fork_mirror_ != nullptr) {
+    // Equivocation mode: commit to the forked view. The fork mirror is
+    // caught up with mutated deltas, so the forged commitment is fully
+    // self-consistent with what GetDelta serves this client.
+    SignedCommitment honest;
+    LEDGERDB_RETURN_IF_ERROR(inner_->GetCommitment(&honest));
+    if (honest.journal_count > fork_mirror_->journal_count()) {
+      std::vector<JournalDelta> deltas;
+      LEDGERDB_RETURN_IF_ERROR(inner_->GetDelta(
+          fork_mirror_->journal_count(), honest.journal_count, &deltas));
+      uint64_t base = fork_mirror_->journal_count();
+      for (size_t i = 0; i < deltas.size(); ++i) {
+        ForkDelta(base + i, &deltas[i]);
+        LEDGERDB_RETURN_IF_ERROR(fork_mirror_->Apply(deltas[i]));
+      }
+    }
+    out->ledger_uri = honest.ledger_uri;
+    out->journal_count = fork_mirror_->journal_count();
+    out->fam_root = fork_mirror_->fam_root();
+    out->clue_root = fork_mirror_->clue_root();
+    out->state_root = fork_mirror_->state_root();
+    out->timestamp = honest.timestamp;
+    out->lsp_sig = forger_->Sign(out->MessageHash());
+    return Status::OK();
+  }
+  if (fault == FaultKind::kStaleRoot) {
+    if (commitment_cache_.empty()) {
+      // Nothing old to replay yet; capture and serve the live one.
+      LEDGERDB_RETURN_IF_ERROR(inner_->GetCommitment(out));
+      commitment_cache_.push_back(*out);
+      return Status::OK();
+    }
+    *out = commitment_cache_.front();
+    return Status::OK();
+  }
+  Status st = HandleWire<SignedCommitment>(
+      RpcOp::kGetCommitment, fault, out, [&](SignedCommitment* o) {
+        return inner_->GetCommitment(o);
+      });
+  if (st.ok() && fault == FaultKind::kNone) commitment_cache_.push_back(*out);
+  return st;
+}
+
+Status ByzantineTransport::GetDelta(uint64_t from, uint64_t to,
+                                    std::vector<JournalDelta>* out) {
+  FaultKind fault = TakeFault(RpcOp::kGetDelta);
+  if (fork_mirror_ != nullptr) {
+    LEDGERDB_RETURN_IF_ERROR(inner_->GetDelta(from, to, out));
+    for (size_t i = 0; i < out->size(); ++i) ForkDelta(from + i, &(*out)[i]);
+    return Status::OK();
+  }
+  if (fault == FaultKind::kTruncateProof) {
+    // Serve fewer deltas than the range asked for.
+    LEDGERDB_RETURN_IF_ERROR(inner_->GetDelta(from, to, out));
+    if (!out->empty()) out->pop_back();
+    return Status::OK();
+  }
+  DeltaListWire wire;
+  Status st = HandleWire<DeltaListWire>(
+      RpcOp::kGetDelta, fault, &wire, [&](DeltaListWire* o) {
+        return inner_->GetDelta(from, to, &o->deltas);
+      });
+  if (st.ok()) *out = std::move(wire.deltas);
+  return st;
+}
+
+}  // namespace ledgerdb

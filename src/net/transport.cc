@@ -1,0 +1,157 @@
+#include "net/transport.h"
+
+namespace ledgerdb {
+
+const char* RpcOpName(RpcOp op) {
+  switch (op) {
+    case RpcOp::kAppendTx:
+      return "AppendTx";
+    case RpcOp::kGetReceipt:
+      return "GetReceipt";
+    case RpcOp::kGetJournal:
+      return "GetJournal";
+    case RpcOp::kGetProof:
+      return "GetProof";
+    case RpcOp::kGetClueProof:
+      return "GetClueProof";
+    case RpcOp::kListTx:
+      return "ListTx";
+    case RpcOp::kGetCommitment:
+      return "GetCommitment";
+    case RpcOp::kGetDelta:
+      return "GetDelta";
+  }
+  return "Unknown";
+}
+
+LocalTransport::LocalTransport(Ledger* ledger)
+    : ledger_(ledger), uri_(ledger->uri()) {}
+
+LocalTransport::LocalTransport(LedgerService* service, std::string uri)
+    : service_(service), uri_(std::move(uri)) {}
+
+Status LocalTransport::Resolve(Ledger** out) {
+  if (ledger_ == nullptr) {
+    LEDGERDB_RETURN_IF_ERROR(service_->GetLedger(uri_, &ledger_));
+  }
+  *out = ledger_;
+  return Status::OK();
+}
+
+const PublicKey& LocalTransport::lsp_key() const {
+  // Resolve() has run by the time any verification needs this; fall back
+  // to the service key for a not-yet-resolved service-addressed transport.
+  if (ledger_ != nullptr) return ledger_->lsp_key();
+  return service_->lsp_key();
+}
+
+Status LocalTransport::AppendTx(const ClientTransaction& tx, uint64_t* jsn) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  // Request over the wire: the server only ever sees the serialized form.
+  ClientTransaction wire;
+  if (!ClientTransaction::Deserialize(tx.Serialize(), &wire)) {
+    return Status::InvalidArgument("transaction wire encoding failed");
+  }
+  return ledger->Append(wire, jsn);
+}
+
+Status LocalTransport::GetReceipt(uint64_t jsn, Receipt* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  Receipt r;
+  LEDGERDB_RETURN_IF_ERROR(ledger->GetReceipt(jsn, &r));
+  if (!Receipt::Deserialize(r.Serialize(), out)) {
+    return Status::Corruption("receipt wire round trip failed");
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::GetJournal(uint64_t jsn, Journal* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  Journal j;
+  LEDGERDB_RETURN_IF_ERROR(ledger->GetJournal(jsn, &j));
+  if (!Journal::Deserialize(j.Serialize(), out)) {
+    return Status::Corruption("journal wire round trip failed");
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::GetProof(uint64_t jsn, FamProof* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  FamProof proof;
+  LEDGERDB_RETURN_IF_ERROR(ledger->GetProof(jsn, &proof));
+  if (!FamProof::Deserialize(proof.Serialize(), out)) {
+    return Status::Corruption("fam proof wire round trip failed");
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::GetClueProof(const std::string& clue, uint64_t begin,
+                                    uint64_t end, ClueProof* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  ClueProof proof;
+  LEDGERDB_RETURN_IF_ERROR(ledger->GetClueProof(clue, begin, end, &proof));
+  if (!ClueProof::Deserialize(proof.Serialize(), out)) {
+    return Status::Corruption("clue proof wire round trip failed");
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::ListTx(const std::string& clue,
+                              std::vector<uint64_t>* jsns) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  std::vector<uint64_t> raw;
+  LEDGERDB_RETURN_IF_ERROR(ledger->ListTx(clue, &raw));
+  // Wire: [u32 count][u64 jsn]* — round-tripped like every other response.
+  Bytes wire;
+  PutU32(&wire, static_cast<uint32_t>(raw.size()));
+  for (uint64_t jsn : raw) PutU64(&wire, jsn);
+  size_t pos = 0;
+  uint32_t count = 0;
+  if (!GetU32(wire, &pos, &count)) {
+    return Status::Corruption("jsn list wire round trip failed");
+  }
+  jsns->assign(count, 0);
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!GetU64(wire, &pos, &(*jsns)[i])) {
+      return Status::Corruption("jsn list wire round trip failed");
+    }
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::GetCommitment(SignedCommitment* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  SignedCommitment c;
+  LEDGERDB_RETURN_IF_ERROR(ledger->GetCommitment(&c));
+  if (!SignedCommitment::Deserialize(c.Serialize(), out)) {
+    return Status::Corruption("commitment wire round trip failed");
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::GetDelta(uint64_t from, uint64_t to,
+                                std::vector<JournalDelta>* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  std::vector<JournalDelta> deltas;
+  LEDGERDB_RETURN_IF_ERROR(ledger->GetDelta(from, to, &deltas));
+  out->clear();
+  out->reserve(deltas.size());
+  for (const JournalDelta& d : deltas) {
+    JournalDelta wire;
+    if (!JournalDelta::Deserialize(d.Serialize(), &wire)) {
+      return Status::Corruption("delta wire round trip failed");
+    }
+    out->push_back(std::move(wire));
+  }
+  return Status::OK();
+}
+
+}  // namespace ledgerdb

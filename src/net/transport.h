@@ -1,0 +1,98 @@
+#ifndef LEDGERDB_NET_TRANSPORT_H_
+#define LEDGERDB_NET_TRANSPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ledger/ledger.h"
+#include "ledger/service.h"
+
+namespace ledgerdb {
+
+/// The RPC operations a ledger client can issue. Fault injection schedules
+/// against these (ByzantineTransport), so the enum is part of the net
+/// plane's public surface.
+enum class RpcOp : uint8_t {
+  kAppendTx = 0,
+  kGetReceipt,
+  kGetJournal,
+  kGetProof,
+  kGetClueProof,
+  kListTx,
+  kGetCommitment,
+  kGetDelta,
+};
+
+constexpr int kNumRpcOps = 8;
+
+const char* RpcOpName(RpcOp op);
+
+/// Transport seam between LedgerClient / auditors and the LSP (§II-B: the
+/// LSP is *distrusted*, so everything a client learns arrives through this
+/// interface and must be independently verified). Implementations:
+/// LocalTransport (honest, in-process, wire round-tripped) and
+/// ByzantineTransport (adversarial decorator). An actual network stub
+/// implements the same surface; client verification logic is unchanged.
+class LedgerTransport {
+ public:
+  virtual ~LedgerTransport() = default;
+
+  /// Submits a signed transaction; `jsn` receives the assigned sequence
+  /// number. Safe to retry: the server deduplicates on (signer, nonce).
+  virtual Status AppendTx(const ClientTransaction& tx, uint64_t* jsn) = 0;
+
+  virtual Status GetReceipt(uint64_t jsn, Receipt* out) = 0;
+  virtual Status GetJournal(uint64_t jsn, Journal* out) = 0;
+  virtual Status GetProof(uint64_t jsn, FamProof* out) = 0;
+  virtual Status GetClueProof(const std::string& clue, uint64_t begin,
+                              uint64_t end, ClueProof* out) = 0;
+  virtual Status ListTx(const std::string& clue,
+                        std::vector<uint64_t>* jsns) = 0;
+  virtual Status GetCommitment(SignedCommitment* out) = 0;
+  virtual Status GetDelta(uint64_t from, uint64_t to,
+                          std::vector<JournalDelta>* out) = 0;
+
+  virtual const std::string& uri() const = 0;
+};
+
+/// Honest in-process transport. Every request and response is serialized
+/// and re-parsed through its wire format, so clients exercise exactly the
+/// byte surface a remote deployment would expose — a proof that survives
+/// LocalTransport has survived its codec.
+class LocalTransport : public LedgerTransport {
+ public:
+  explicit LocalTransport(Ledger* ledger);
+
+  /// Service-addressed variant: the ledger is resolved from `service` by
+  /// uri on first use (so the transport can be built before the ledger).
+  LocalTransport(LedgerService* service, std::string uri);
+
+  Status AppendTx(const ClientTransaction& tx, uint64_t* jsn) override;
+  Status GetReceipt(uint64_t jsn, Receipt* out) override;
+  Status GetJournal(uint64_t jsn, Journal* out) override;
+  Status GetProof(uint64_t jsn, FamProof* out) override;
+  Status GetClueProof(const std::string& clue, uint64_t begin, uint64_t end,
+                      ClueProof* out) override;
+  Status ListTx(const std::string& clue, std::vector<uint64_t>* jsns) override;
+  Status GetCommitment(SignedCommitment* out) override;
+  Status GetDelta(uint64_t from, uint64_t to,
+                  std::vector<JournalDelta>* out) override;
+
+  const std::string& uri() const override { return uri_; }
+
+  /// The LSP key clients verify receipts/commitments against. Exposed for
+  /// convenience in tests; a real client configures this out-of-band.
+  const PublicKey& lsp_key() const;
+
+ private:
+  Status Resolve(Ledger** out);
+
+  Ledger* ledger_ = nullptr;
+  LedgerService* service_ = nullptr;
+  std::string uri_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_NET_TRANSPORT_H_

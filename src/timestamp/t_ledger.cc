@@ -104,9 +104,12 @@ bool TLedger::VerifyTimeProof(const Digest& digest, const TimeProof& proof,
                               const PublicKey& tsa_key) {
   // (1) TSA really signed this root at this time.
   if (!proof.finalization.Verify(tsa_key)) return false;
-  // (2) The membership proof is against exactly the finalized size and its
-  // peaks bag into the attested root.
+  // (2) The membership proof is against exactly the finalized size, sits
+  // at the claimed submission index, and its peaks bag into the attested
+  // root. Binding leaf_index to proof.index stops an index relabel that
+  // would shift which T-Ledger slot the attestation is claimed for.
   if (proof.membership.tree_size != proof.finalized_size) return false;
+  if (proof.membership.leaf_index != proof.index) return false;
   return ShrubsAccumulator::VerifyProof(digest, proof.membership,
                                         proof.finalization.digest);
 }

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "client/ledger_client.h"
+#include "net/transport.h"
 
 namespace ledgerdb {
 namespace {
@@ -20,7 +21,11 @@ class ClientTest : public ::testing::Test {
     options.block_capacity = 4;
     ledger_ = std::make_unique<Ledger>("lg://client", options, &clock_, lsp_,
                                        &registry_);
-    client_ = std::make_unique<LedgerClient>(ledger_.get(), alice_);
+    transport_ = std::make_unique<LocalTransport>(ledger_.get());
+    LedgerClient::Options copts;
+    copts.lsp_key = lsp_.public_key();
+    copts.fractal_height = options.fractal_height;
+    client_ = std::make_unique<LedgerClient>(transport_.get(), alice_, copts);
   }
 
   SimulatedClock clock_;
@@ -28,6 +33,7 @@ class ClientTest : public ::testing::Test {
   MemberRegistry registry_;
   KeyPair lsp_, alice_;
   std::unique_ptr<Ledger> ledger_;
+  std::unique_ptr<LocalTransport> transport_;
   std::unique_ptr<LedgerClient> client_;
 };
 
@@ -43,7 +49,7 @@ TEST_F(ClientTest, AppendVerifiedRetainsValidReceipts) {
 TEST_F(ClientTest, FetchAndVerifyJournal) {
   uint64_t jsn = 0;
   ASSERT_TRUE(client_->AppendVerified(StringToBytes("hello"), {}, &jsn).ok());
-  client_->RefreshTrustedRoots();
+  ASSERT_TRUE(client_->RefreshTrustedRoots().ok());
   Journal journal;
   ASSERT_TRUE(client_->FetchAndVerifyJournal(jsn, &journal).ok());
   EXPECT_EQ(journal.payload, StringToBytes("hello"));
@@ -52,13 +58,13 @@ TEST_F(ClientTest, FetchAndVerifyJournal) {
 TEST_F(ClientTest, StaleRootRejectsNewJournals) {
   uint64_t j1 = 0, j2 = 0;
   ASSERT_TRUE(client_->AppendVerified(StringToBytes("one"), {}, &j1).ok());
-  client_->RefreshTrustedRoots();
+  ASSERT_TRUE(client_->RefreshTrustedRoots().ok());
   ASSERT_TRUE(client_->AppendVerified(StringToBytes("two"), {}, &j2).ok());
   Journal journal;
   // The pinned root predates journal two: verification must fail closed
   // until the client refreshes its datum.
   EXPECT_TRUE(client_->FetchAndVerifyJournal(j2, &journal).IsVerificationFailed());
-  client_->RefreshTrustedRoots();
+  ASSERT_TRUE(client_->RefreshTrustedRoots().ok());
   EXPECT_TRUE(client_->FetchAndVerifyJournal(j2, &journal).ok());
 }
 
@@ -69,7 +75,7 @@ TEST_F(ClientTest, FetchAndVerifyLineage) {
                                      {"asset"}, nullptr)
                     .ok());
   }
-  client_->RefreshTrustedRoots();
+  ASSERT_TRUE(client_->RefreshTrustedRoots().ok());
   std::vector<Journal> lineage;
   ASSERT_TRUE(client_->FetchAndVerifyLineage("asset", &lineage).ok());
   EXPECT_EQ(lineage.size(), 5u);
@@ -88,7 +94,7 @@ TEST_F(ClientTest, OccultedJournalStillVerifies) {
   std::vector<Endorsement> sigs = {{dba.public_key(), dba.Sign(req)},
                                    {regulator.public_key(), regulator.Sign(req)}};
   ASSERT_TRUE(ledger_->Occult(jsn, sigs, nullptr).ok());
-  client_->RefreshTrustedRoots();
+  ASSERT_TRUE(client_->RefreshTrustedRoots().ok());
   Journal journal;
   ASSERT_TRUE(client_->FetchAndVerifyJournal(jsn, &journal).ok());
   EXPECT_TRUE(journal.occulted);

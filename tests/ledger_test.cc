@@ -150,6 +150,41 @@ TEST_F(LedgerTest, AppendAssignsSequentialJsns) {
   EXPECT_EQ(ledger_->NumJournals(), 3u);
 }
 
+TEST_F(LedgerTest, ResubmittedTransactionIsIdempotent) {
+  // A client that never saw its response resubmits the SAME signed
+  // transaction (same nonce). The server must converge on the original
+  // journal instead of appending twice.
+  ClientTransaction tx = MakeTx(alice_, "pay bob 5", {"acct"});
+  uint64_t first = 0, second = 0;
+  ASSERT_TRUE(ledger_->Append(tx, &first).ok());
+  uint64_t count = ledger_->NumJournals();
+  ASSERT_TRUE(ledger_->Append(tx, &second).ok());
+  EXPECT_EQ(second, first);
+  EXPECT_EQ(ledger_->NumJournals(), count);  // nothing was re-appended
+  // The replay serves the ORIGINAL receipt.
+  Receipt r1, r2;
+  ASSERT_TRUE(ledger_->GetReceipt(first, &r1).ok());
+  ASSERT_TRUE(ledger_->GetReceipt(second, &r2).ok());
+  EXPECT_EQ(r1.Serialize(), r2.Serialize());
+}
+
+TEST_F(LedgerTest, NonceReuseWithDifferentContentRejected) {
+  ClientTransaction tx = MakeTx(alice_, "pay bob 5");
+  uint64_t jsn = 0;
+  ASSERT_TRUE(ledger_->Append(tx, &jsn).ok());
+  // Same signer, same nonce, different content: this is NOT a retry.
+  ClientTransaction forged = tx;
+  forged.payload = StringToBytes("pay mallory 500");
+  forged.Sign(alice_);
+  uint64_t other = 0;
+  EXPECT_TRUE(ledger_->Append(forged, &other).IsAlreadyExists());
+  // A different client may reuse the nonce value freely.
+  ClientTransaction bobs = tx;
+  bobs.payload = StringToBytes("bob's own");
+  bobs.Sign(bob_);
+  EXPECT_TRUE(ledger_->Append(bobs, &other).ok());
+}
+
 TEST_F(LedgerTest, AppendRejectsBadSignature) {
   ClientTransaction tx = MakeTx(alice_, "x");
   tx.payload = StringToBytes("tampered-in-flight");  // threat-A

@@ -134,6 +134,34 @@ TEST_F(RecoveryTest, ReceiptsRemainValidAfterRecovery) {
   EXPECT_EQ(again.tx_hash, original.tx_hash);
 }
 
+TEST_F(RecoveryTest, DedupStateSurvivesRecovery) {
+  // The (signer, nonce) dedup table is rebuilt during replay: a client
+  // retrying a pre-crash submission against the recovered ledger must get
+  // the original jsn back, not a second journal.
+  ClientTransaction tx;
+  tx.ledger_uri = "lg://rec";
+  tx.payload = StringToBytes("pre-crash");
+  tx.nonce = nonce_++;
+  tx.client_ts = clock_.Now();
+  tx.Sign(alice_);
+  uint64_t jsn = 0;
+  ASSERT_TRUE(ledger_->Append(tx, &jsn).ok());
+  Append("other traffic");
+
+  auto recovered = Reopen();
+  uint64_t count = recovered->NumJournals();
+  uint64_t replayed = 0;
+  ASSERT_TRUE(recovered->Append(tx, &replayed).ok());
+  EXPECT_EQ(replayed, jsn);
+  EXPECT_EQ(recovered->NumJournals(), count);
+  // And a conflicting reuse of the nonce is still rejected post-recovery.
+  ClientTransaction forged = tx;
+  forged.payload = StringToBytes("post-crash forgery");
+  forged.Sign(alice_);
+  uint64_t other = 0;
+  EXPECT_TRUE(recovered->Append(forged, &other).IsAlreadyExists());
+}
+
 TEST_F(RecoveryTest, OccultStateSurvivesRecovery) {
   uint64_t target = Append("secret-pii");
   Append("other");

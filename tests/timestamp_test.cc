@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include "client/ledger_client.h"
+#include "net/byzantine_transport.h"
+#include "net/transport.h"
 #include "timestamp/attacks.h"
 #include "timestamp/pegging.h"
 #include "timestamp/t_ledger.h"
@@ -310,6 +313,94 @@ TEST(AttackSimTest, TLedgerHonestSubmissionUnaffected) {
   EXPECT_TRUE(r.bounded);
   EXPECT_EQ(r.rejections, 0u);
   EXPECT_LE(r.window, dt + 500 * kMicrosPerMilli);
+}
+
+TEST(AttackSimTest, RejectionAccountingTracksStalling) {
+  Timestamp dt = kMicrosPerSecond;
+  Timestamp tau_delta = 500 * kMicrosPerMilli;
+  // Inside τ_Δ nothing bounces; past it, exactly the stalled submission.
+  auto fresh = SimulateTLedgerAttack(dt, tau_delta, tau_delta / 2);
+  EXPECT_EQ(fresh.rejections, 0u);
+  auto stalled = SimulateTLedgerAttack(dt, tau_delta, 2 * tau_delta);
+  EXPECT_EQ(stalled.rejections, 1u);
+  // Two-way pegging never rejects — it bounds the window by anchoring.
+  auto twoway = SimulateTwoWayAttack(dt, 2 * tau_delta);
+  EXPECT_EQ(twoway.rejections, 0u);
+}
+
+TEST(AttackSimTest, WindowSaturationSweepAsDelayGrows) {
+  Timestamp dt = kMicrosPerSecond;
+  Timestamp tau_delta = 500 * kMicrosPerMilli;
+  Timestamp prev_twoway = 0;
+  bool tledger_rejected_before = false;
+  for (Timestamp delay = 0; delay <= 64 * kMicrosPerSecond;
+       delay = delay == 0 ? kMicrosPerSecond : delay * 4) {
+    auto twoway = SimulateTwoWayAttack(dt, delay);
+    EXPECT_TRUE(twoway.bounded);
+    EXPECT_GE(twoway.window, prev_twoway);  // monotone in the delay…
+    EXPECT_LE(twoway.window, 2 * dt);       // …but saturated at 2·Δτ
+    prev_twoway = twoway.window;
+
+    auto tl = SimulateTLedgerAttack(dt, tau_delta, delay);
+    EXPECT_TRUE(tl.bounded);
+    EXPECT_LE(tl.window, tau_delta + dt);   // saturated at τ_Δ + Δτ
+    // Once the delay exceeds τ_Δ the protocol starts bouncing, and keeps
+    // bouncing for every longer stall (rejection is monotone).
+    if (delay >= tau_delta) EXPECT_GT(tl.rejections, 0u);
+    if (tledger_rejected_before) EXPECT_GT(tl.rejections, 0u);
+    tledger_rejected_before = tl.rejections > 0;
+  }
+}
+
+// The transport-level version of the stall: a Byzantine network delays the
+// append exchange past τ_Δ. The client masks the delay by retrying (the
+// server dedups the resubmission), but the LSP's attempt to peg the root
+// at the journal's creation time is now stale and T-Ledger bounces it —
+// the adversary cannot buy itself an unbounded tamper window.
+TEST(AttackSimTest, TransportDelayInjectionIsBoundedByTLedger) {
+  SimulatedClock clock(1000000);
+  KeyPair tsa_key = KeyPair::FromSeedString("byz-time-tsa");
+  TsaService tsa(tsa_key, &clock);
+  TLedger::Options topt;
+  topt.tau_delta = 500 * kMicrosPerMilli;
+  topt.finalize_interval = kMicrosPerSecond;
+  TLedger tledger(&tsa, &clock, KeyPair::FromSeedString("byz-time-tl"), topt);
+
+  KeyPair lsp = KeyPair::FromSeedString("byz-time-lsp");
+  KeyPair alice = KeyPair::FromSeedString("byz-time-alice");
+  LedgerOptions lopt;
+  lopt.fractal_height = 3;
+  lopt.block_capacity = 4;
+  Ledger ledger("lg://byz-time", lopt, &clock, lsp, nullptr);
+  LocalTransport local(&ledger);
+  ByzantineTransport byz(&local, 2026);
+  byz.SetDelayClock(&clock, topt.tau_delta + 100 * kMicrosPerMilli);
+  byz.InjectFault(RpcOp::kAppendTx, 0, FaultKind::kDelay);
+
+  LedgerClient::Options copts;
+  copts.lsp_key = lsp.public_key();
+  copts.fractal_height = lopt.fractal_height;
+  LedgerClient client(&byz, alice, copts);
+
+  Timestamp tau_c = clock.Now();
+  uint64_t jsn = 0;
+  ASSERT_TRUE(client.AppendVerified(StringToBytes("doc"), {}, &jsn).ok());
+  EXPECT_GT(byz.faults_injected(), 0u);
+  // Pegging at the pre-delay creation time is rejected as stale…
+  TLedgerReceipt receipt;
+  EXPECT_TRUE(
+      tledger.Submit(ledger.FamRoot(), tau_c, &receipt).IsTimestampRejected());
+  EXPECT_EQ(tledger.rejected_count(), 1u);
+  // …and re-pegging with a fresh τ_c succeeds, provably, within τ_Δ + Δτ.
+  Timestamp retry_at = clock.Now();
+  ASSERT_TRUE(tledger.Submit(ledger.FamRoot(), retry_at, &receipt).ok());
+  clock.Advance(topt.finalize_interval);
+  tledger.Tick();
+  TimeProof proof;
+  ASSERT_TRUE(tledger.GetTimeProof(receipt.index, &proof).ok());
+  EXPECT_TRUE(
+      TLedger::VerifyTimeProof(ledger.FamRoot(), proof, tsa.public_key()));
+  EXPECT_LE(clock.Now() - retry_at, topt.tau_delta + topt.finalize_interval);
 }
 
 }  // namespace

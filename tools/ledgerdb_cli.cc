@@ -15,6 +15,9 @@
 //   ledgerdb_cli audit  <dir>                    full Dasein-complete audit
 //   ledgerdb_cli status <dir>                    roots & counters
 //   ledgerdb_cli fsck   <dir>                    stream-level integrity check
+//   ledgerdb_cli receipt <dir> <jsn> <file>      export a receipt (hex)
+//   ledgerdb_cli verify-receipt <dir> <file>     offline receipt check
+//                                                (exit 0 valid, 2 forged)
 
 #include <cstdio>
 #include <cstring>
@@ -24,6 +27,7 @@
 #include <vector>
 
 #include "audit/dasein_auditor.h"
+#include "client/ledger_client.h"
 #include "ledger/ledger.h"
 
 using namespace ledgerdb;
@@ -298,6 +302,52 @@ int CmdStatus(CliContext* ctx) {
   return 0;
 }
 
+int CmdReceipt(CliContext* ctx, uint64_t jsn, const std::string& out_path) {
+  Receipt receipt;
+  Status s = ctx->ledger->GetReceipt(jsn, &receipt);
+  if (!s.ok()) return FailStatus("receipt", s);
+  if (!WriteFileString(out_path, ToHex(receipt.Serialize()))) {
+    return Fail("cannot write receipt file: " + out_path);
+  }
+  std::printf("receipt for jsn %llu written to %s\n", (unsigned long long)jsn,
+              out_path.c_str());
+  return 0;
+}
+
+/// Offline receipt verification: the receipt file is the client's retained
+/// π_s evidence; the ledger directory supplies the journal, fam proof and
+/// current root. Exit 0 when the receipt binds, 2 when it is forged or the
+/// ledger content diverged (threat-C), 1 on I/O problems.
+int CmdVerifyReceipt(CliContext* ctx, const std::string& receipt_path) {
+  std::string hex;
+  if (!ReadFileString(receipt_path, &hex)) {
+    return Fail("cannot read receipt file: " + receipt_path);
+  }
+  Bytes raw;
+  Receipt receipt;
+  if (!FromHex(hex, &raw) || !Receipt::Deserialize(raw, &receipt)) {
+    std::printf("receipt: FORGED (undecodable)\n");
+    return 2;
+  }
+  Journal journal;
+  Status s = ctx->ledger->GetJournal(receipt.jsn, &journal);
+  if (!s.ok()) return FailStatus("get journal", s);
+  FamProof proof;
+  s = ctx->ledger->GetProof(receipt.jsn, &proof);
+  if (!s.ok()) return FailStatus("get proof", s);
+  s = LedgerClient::VerifyReceiptOffline(receipt, journal, proof,
+                                         ctx->ledger->lsp_key(),
+                                         ctx->ledger->FamRoot());
+  std::printf("jsn:      %llu\n", (unsigned long long)receipt.jsn);
+  std::printf("tx-hash:  %s\n", receipt.tx_hash.ToHex().c_str());
+  if (!s.ok()) {
+    std::printf("receipt: FORGED (%s)\n", s.message().c_str());
+    return 2;
+  }
+  std::printf("receipt: VALID\n");
+  return 0;
+}
+
 /// Stream-level integrity check. Unlike every other command this does NOT
 /// go through OpenLedger/Recover — it must keep working (and stay
 /// informative) on images the ledger itself refuses to load.
@@ -344,7 +394,8 @@ int CmdFsck(const std::string& dir) {
 int Usage() {
   std::fprintf(stderr,
                "usage: ledgerdb_cli <init|append|get|verify|lineage|anchor|"
-               "occult|purge|audit|status|fsck> <dir> [args...]\n");
+               "occult|purge|audit|status|fsck|receipt|verify-receipt> "
+               "<dir> [args...]\n");
   return 2;
 }
 
@@ -378,5 +429,11 @@ int main(int argc, char** argv) {
   if (command == "purge" && argc == 4) return CmdPurge(&ctx, std::strtoull(argv[3], nullptr, 10));
   if (command == "audit") return CmdAudit(&ctx);
   if (command == "status") return CmdStatus(&ctx);
+  if (command == "receipt" && argc == 5) {
+    return CmdReceipt(&ctx, std::strtoull(argv[3], nullptr, 10), argv[4]);
+  }
+  if (command == "verify-receipt" && argc == 4) {
+    return CmdVerifyReceipt(&ctx, argv[3]);
+  }
   return Usage();
 }
