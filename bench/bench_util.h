@@ -3,6 +3,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cinttypes>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -10,6 +11,8 @@
 #include <string>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace ledgerdb::bench {
 
@@ -97,18 +100,36 @@ class LatencySampler {
 
 /// Machine-readable results sink shared by every bench binary: pass
 /// `--json <path>` and at exit a single object is written:
-///   {"meta": {"host_cores": N, ...}, "results": [{"name", "ops_per_sec",
-///    "p50_us", "p99_us"}, ...]}
-/// Host facts live in `meta` (host_cores is filled automatically; add more
-/// with SetMeta) so environment context never masquerades as a benchmark
-/// row. Without the flag this is a no-op, keeping the human-readable
-/// tables as the only output.
+///   {"meta": {"schema": 2, "run_id": ..., "host_cores": N,
+///    "elapsed_secs": S, ...}, "results": [{"name", "ops_per_sec",
+///    "p50_us", "p99_us"}, ...], "metrics": {...}?}
+/// Schema 2 additions over the original (implicit) schema 1: a "schema"
+/// version so downstream tooling can reject layouts it does not know, a
+/// "run_id" (microseconds since the epoch at reporter construction —
+/// monotonic across successive runs on one host) so re-recorded artifacts
+/// never silently collide, and "elapsed_secs" (wall clock from construction
+/// to flush). Pass `--metrics` as well to embed a full observability
+/// registry snapshot under a top-level "metrics" key. Host facts live in
+/// `meta` (host_cores is filled automatically; add more with SetMeta) so
+/// environment context never masquerades as a benchmark row. Without
+/// `--json` this is a no-op, keeping the human-readable tables as the only
+/// output.
 class JsonReporter {
  public:
-  JsonReporter(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
-      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+  JsonReporter(int argc, char** argv)
+      : start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      if (std::string(argv[i]) == "--json" && i + 1 < argc) {
+        path_ = argv[i + 1];
+      }
+      if (std::string(argv[i]) == "--metrics") metrics_ = true;
     }
+    SetMetaInt("schema", 2);
+    SetMetaInt("run_id",
+               static_cast<uint64_t>(
+                   std::chrono::duration_cast<std::chrono::microseconds>(
+                       std::chrono::system_clock::now().time_since_epoch())
+                       .count()));
     SetMeta("host_cores",
             static_cast<double>(std::thread::hardware_concurrency()));
   }
@@ -116,16 +137,31 @@ class JsonReporter {
   ~JsonReporter() { Flush(); }
 
   bool enabled() const { return !path_.empty(); }
+  bool metrics_enabled() const { return metrics_; }
 
   /// Records a host/environment fact; replaces any prior value for `key`.
   void SetMeta(const std::string& key, double value) {
     for (Meta& m : meta_) {
       if (m.key == key) {
         m.value = value;
+        m.integer = false;
         return;
       }
     }
-    meta_.push_back({key, value});
+    meta_.push_back({key, value, 0, false});
+  }
+
+  /// Integer variant: emitted without %g mantissa rounding (run ids exceed
+  /// the 53-bit double-exact range well before 2100).
+  void SetMetaInt(const std::string& key, uint64_t value) {
+    for (Meta& m : meta_) {
+      if (m.key == key) {
+        m.int_value = value;
+        m.integer = true;
+        return;
+      }
+    }
+    meta_.push_back({key, 0.0, value, true});
   }
 
   void Add(const std::string& name, double ops_per_sec, double p50_us = 0.0,
@@ -146,10 +182,19 @@ class JsonReporter {
       std::fprintf(stderr, "cannot write %s\n", path_.c_str());
       return;
     }
+    SetMeta("elapsed_secs",
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          start_)
+                .count());
     std::fprintf(f, "{\n  \"meta\": {");
     for (size_t i = 0; i < meta_.size(); ++i) {
-      std::fprintf(f, "%s\"%s\": %g", i == 0 ? "" : ", ",
-                   meta_[i].key.c_str(), meta_[i].value);
+      if (meta_[i].integer) {
+        std::fprintf(f, "%s\"%s\": %" PRIu64, i == 0 ? "" : ", ",
+                     meta_[i].key.c_str(), meta_[i].int_value);
+      } else {
+        std::fprintf(f, "%s\"%s\": %g", i == 0 ? "" : ", ",
+                     meta_[i].key.c_str(), meta_[i].value);
+      }
     }
     std::fprintf(f, "},\n  \"results\": [\n");
     for (size_t i = 0; i < entries_.size(); ++i) {
@@ -160,7 +205,13 @@ class JsonReporter {
                    e.name.c_str(), e.ops_per_sec, e.p50_us, e.p99_us,
                    i + 1 < entries_.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]");
+    if (metrics_) {
+      std::string snapshot =
+          obs::MetricsRegistry::Default().Snapshot().ToJson(/*indent=*/2);
+      std::fprintf(f, ",\n  \"metrics\": %s", snapshot.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("JSON results written to %s\n", path_.c_str());
     entries_.clear();
@@ -176,9 +227,13 @@ class JsonReporter {
   struct Meta {
     std::string key;
     double value;
+    uint64_t int_value;
+    bool integer;
   };
 
   std::string path_;
+  bool metrics_ = false;
+  std::chrono::steady_clock::time_point start_;
   std::vector<Meta> meta_;
   std::vector<Entry> entries_;
 };

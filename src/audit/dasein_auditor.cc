@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ledgerdb {
 
 namespace {
@@ -9,6 +13,7 @@ namespace {
 Status Fail(AuditReport* report, const std::string& reason) {
   report->passed = false;
   report->failure_reason = reason;
+  LEDGERDB_OBS_COUNT(obs::names::kAuditFailuresTotal);
   return Status::VerificationFailed(reason);
 }
 
@@ -190,6 +195,7 @@ Status DaseinAuditor::VerifyBlockRange(uint64_t first_block,
 
 Status DaseinAuditor::VerifyWhatRange(uint64_t begin, uint64_t end,
                                       AuditReport* report) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kAuditWhat);
   const auto& blocks = context_.ledger->blocks();
   if (blocks.empty()) return Status::OK();
   uint64_t first_block = blocks.size(), last_block = 0;
@@ -216,6 +222,7 @@ Status DaseinAuditor::VerifyWhatRange(uint64_t begin, uint64_t end,
 
 Status DaseinAuditor::VerifyWhen(const AuditOptions& options,
                                  AuditReport* report) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kAuditWhen);
   const Ledger& ledger = *context_.ledger;
   for (const TimeJournalInfo& info : ledger.time_journals()) {
     Journal journal;
@@ -232,6 +239,7 @@ Status DaseinAuditor::VerifyWhen(const AuditOptions& options,
 
 Status DaseinAuditor::VerifyWho(uint64_t begin, uint64_t end,
                                 AuditReport* report) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kAuditWho);
   const Ledger& ledger = *context_.ledger;
   constexpr size_t kChunk = 256;
   uint64_t cursor = std::max(begin, ledger.PurgedBoundary());
@@ -332,6 +340,7 @@ Status DaseinAuditor::VerifyWho(uint64_t begin, uint64_t end,
 Status DaseinAuditor::Audit(const Receipt& latest_receipt,
                             const AuditOptions& options,
                             AuditReport* report) const {
+  LEDGERDB_OBS_COUNT(obs::names::kAuditAuditsTotal);
   *report = AuditReport();
   const Ledger& ledger = *context_.ledger;
 

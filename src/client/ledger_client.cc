@@ -1,5 +1,8 @@
 #include "client/ledger_client.h"
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace ledgerdb {
 
 LedgerClient::LedgerClient(LedgerTransport* transport, KeyPair identity,
@@ -14,6 +17,7 @@ LedgerClient::LedgerClient(LedgerTransport* transport, KeyPair identity,
 Status LedgerClient::AppendVerified(const Bytes& payload,
                                     const std::vector<std::string>& clues,
                                     uint64_t* jsn, Receipt* receipt) {
+  LEDGERDB_OBS_COUNT(obs::names::kClientAppendsTotal);
   ClientTransaction tx;
   tx.ledger_uri = transport_->uri();
   tx.clues = clues;
@@ -60,6 +64,8 @@ void LedgerClient::RebuildMirror() {
 
 Status LedgerClient::RefreshTrustedRoots(bool* advanced,
                                          EquivocationEvidence* ev) {
+  LEDGERDB_OBS_TIMER(refresh_timer, obs::names::kClientRefreshUs);
+  LEDGERDB_OBS_COUNT(obs::names::kClientRefreshesTotal);
   if (advanced != nullptr) *advanced = false;
   SignedCommitment c;
   LEDGERDB_RETURN_IF_ERROR(RetryTransient(
@@ -79,6 +85,7 @@ Status LedgerClient::RefreshTrustedRoots(bool* advanced,
       ev->at_count = c.journal_count;
       ev->reason = "rollback: commitment count below the audited prefix";
     }
+    LEDGERDB_OBS_COUNT(obs::names::kClientEquivocationsTotal);
     return Status::VerificationFailed(
         "commitment rolls back the audited journal count");
   }
@@ -108,6 +115,7 @@ Status LedgerClient::RefreshTrustedRoots(bool* advanced,
         ev->reason = "committed roots diverge from the replayed delta";
       }
       RebuildMirror();  // discard the speculative apply
+      LEDGERDB_OBS_COUNT(obs::names::kClientEquivocationsTotal);
       return Status::VerificationFailed(
           "commitment does not match the journal delta it claims to cover");
     }
@@ -124,13 +132,18 @@ Status LedgerClient::RefreshTrustedRoots(bool* advanced,
         ev->at_count = c.journal_count;
         ev->reason = "two views at the audited journal count";
       }
+      LEDGERDB_OBS_COUNT(obs::names::kClientEquivocationsTotal);
       return Status::VerificationFailed(
           "commitment contradicts the audited prefix at the same count");
     }
   }
   // The audit passed; the fork-consistency log gets the final say (it also
   // compares against every previously accepted commitment).
-  LEDGERDB_RETURN_IF_ERROR(log_.Accept(c, ev));
+  Status accepted = log_.Accept(c, ev);
+  if (!accepted.ok()) {
+    LEDGERDB_OBS_COUNT(obs::names::kClientEquivocationsTotal);
+    return accepted;
+  }
   if (advanced != nullptr) *advanced = c.journal_count > have;
   trusted_fam_root_ = c.fam_root;
   trusted_clue_root_ = c.clue_root;

@@ -6,6 +6,8 @@
 #include <thread>
 
 #include "common/status.h"
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
 
 namespace ledgerdb {
 
@@ -20,26 +22,63 @@ struct RetryPolicy {
   uint64_t max_backoff_us = 10'000;
 };
 
+/// What a RetryTransient call actually consumed — callers log or assert on
+/// this to diagnose retry storms and exhaustion.
+struct RetryStats {
+  int attempts = 0;          ///< operations issued (first try included)
+  uint64_t backoff_us = 0;   ///< total time slept between attempts
+  bool exhausted = false;    ///< budget ran out with the op still transient
+};
+
 /// Runs `op` (any callable returning Status) until it returns a
 /// non-retriable Status or the attempt budget is exhausted. Exhaustion
-/// converts the last transient failure into a terminal IOError so callers
-/// never see kTransientIO escape a retry boundary.
+/// converts the last transient failure into a terminal IOError — carrying
+/// the consumed attempt count and backoff time — so callers never see
+/// kTransientIO escape a retry boundary. `stats` (optional) receives the
+/// attempt accounting either way; the same numbers feed the
+/// ledgerdb_retry_* metrics.
 template <typename Op>
-Status RetryTransient(const RetryPolicy& policy, Op&& op) {
+Status RetryTransient(const RetryPolicy& policy, Op&& op,
+                      RetryStats* stats = nullptr) {
   uint64_t backoff_us = policy.initial_backoff_us;
+  RetryStats local;
   Status last;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
+    ++local.attempts;
     last = op();
-    if (!last.IsRetriable()) return last;
+    if (!last.IsRetriable()) {
+      LEDGERDB_OBS_COUNT_N(obs::names::kRetryAttemptsTotal,
+                           static_cast<uint64_t>(local.attempts));
+      if (local.attempts > 1) {
+        LEDGERDB_OBS_COUNT_N(obs::names::kRetryRetriesTotal,
+                             static_cast<uint64_t>(local.attempts - 1));
+        LEDGERDB_OBS_OBSERVE(obs::names::kRetryBackoffUs, local.backoff_us);
+      }
+      if (stats != nullptr) *stats = local;
+      return last;
+    }
     if (attempt + 1 < policy.max_attempts && backoff_us > 0) {
       std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      local.backoff_us += backoff_us;
       backoff_us = backoff_us * 2 < policy.max_backoff_us ? backoff_us * 2
                                                           : policy.max_backoff_us;
     }
   }
-  return Status::IOError("transient I/O error persisted after " +
-                         std::to_string(policy.max_attempts) +
-                         " attempts: " + last.message());
+  local.exhausted = true;
+  LEDGERDB_OBS_COUNT_N(obs::names::kRetryAttemptsTotal,
+                       static_cast<uint64_t>(local.attempts));
+  if (local.attempts > 1) {
+    LEDGERDB_OBS_COUNT_N(obs::names::kRetryRetriesTotal,
+                         static_cast<uint64_t>(local.attempts - 1));
+  }
+  LEDGERDB_OBS_OBSERVE(obs::names::kRetryBackoffUs, local.backoff_us);
+  LEDGERDB_OBS_COUNT(obs::names::kRetryExhaustedTotal);
+  if (stats != nullptr) *stats = local;
+  return Status::IOError(
+      "transient I/O error persisted after " +
+      std::to_string(local.attempts) + " of " +
+      std::to_string(policy.max_attempts) + " attempts (" +
+      std::to_string(local.backoff_us) + " us backoff): " + last.message());
 }
 
 }  // namespace ledgerdb

@@ -2,6 +2,10 @@
 
 #include <cstring>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ledgerdb {
 
 using secp256k1::AffinePoint;
@@ -181,6 +185,10 @@ std::vector<uint8_t> VerifyBatch(std::span<const VerifyJob> jobs) {
   const size_t n = jobs.size();
   std::vector<uint8_t> ok(n, 0);
   if (n == 0) return ok;
+  LEDGERDB_OBS_SPAN(span, obs::stages::kSigBatch);
+  LEDGERDB_OBS_COUNT(obs::names::kCryptoBatchVerifyCallsTotal);
+  LEDGERDB_OBS_COUNT_N(obs::names::kCryptoBatchVerifySigsTotal, n);
+  LEDGERDB_OBS_OBSERVE(obs::names::kCryptoBatchChunkCount, n);
 
   // Screen malformed inputs. `winv` carries s for live jobs and zero for
   // dead ones; NInvBatch skips zeros, so a bad job never enters the
@@ -236,6 +244,12 @@ std::vector<uint8_t> VerifyBatch(std::span<const VerifyJob> jobs) {
     if (!live[i] || raff[i].infinity) continue;
     U256 rx = NCanon(raff[i].x);
     ok[i] = rx == jobs[i].sig->r ? 1 : 0;
+  }
+  size_t failures = 0;
+  for (size_t i = 0; i < n; ++i) failures += ok[i] == 0;
+  if (failures > 0) {
+    LEDGERDB_OBS_COUNT_N(obs::names::kCryptoBatchVerifyFailuresTotal,
+                         failures);
   }
   return ok;
 }

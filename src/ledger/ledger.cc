@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ledgerdb {
 
 namespace {
@@ -229,6 +233,7 @@ Status Ledger::Prevalidate(const ClientTransaction& tx,
 
 void Ledger::PrevalidateBatch(std::span<const ClientTransaction* const> txs,
                               PrevalidatedTx* outs, Status* statuses) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kPrevalidate);
   const size_t n = txs.size();
   // Cheap per-tx screening first; only transactions that survive it enter
   // the batched π_c check. who (π_c): reject unsigned or mis-signed
@@ -297,6 +302,7 @@ Status Ledger::CommitPrevalidated(PrevalidatedTx&& prevalidated,
   // duplicate. A *different* transaction reusing a nonce is an error. The
   // check runs here, on the committer thread, so concurrent const
   // Prevalidate calls never race the map.
+  LEDGERDB_OBS_SPAN(span, obs::stages::kCommit);
   const Journal& journal = prevalidated.journal;
   if (journal.client_key.valid()) {
     auto signer = dedup_.find(journal.client_key.Id().ToHex());
@@ -305,15 +311,23 @@ Status Ledger::CommitPrevalidated(PrevalidatedTx&& prevalidated,
       if (hit != signer->second.end()) {
         if (hit->second.request_hash == journal.request_hash) {
           if (jsn != nullptr) *jsn = hit->second.jsn;
+          LEDGERDB_OBS_COUNT(obs::names::kLedgerDedupHitsTotal);
           return Status::OK();
         }
+        LEDGERDB_OBS_COUNT(obs::names::kLedgerAppendFailuresTotal);
         return Status::AlreadyExists(
             "nonce already used by a different transaction");
       }
     }
   }
   prevalidated.journal.server_ts = clock_->Now();
-  return CommitJournal(std::move(prevalidated.journal), jsn);
+  Status status = CommitJournal(std::move(prevalidated.journal), jsn);
+  if (status.ok()) {
+    LEDGERDB_OBS_COUNT(obs::names::kLedgerAppendsTotal);
+  } else {
+    LEDGERDB_OBS_COUNT(obs::names::kLedgerAppendFailuresTotal);
+  }
+  return status;
 }
 
 Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
@@ -324,6 +338,7 @@ Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
 
 Status Ledger::SealBlock() {
   if (pending_block_.empty()) return Status::OK();
+  LEDGERDB_OBS_SPAN(span, obs::stages::kSeal);
   ShrubsAccumulator tx_tree;
   for (uint64_t jsn : pending_block_) {
     tx_tree.Append(journals_[jsn]->TxHash());
@@ -348,6 +363,7 @@ Status Ledger::SealBlock() {
   for (uint64_t jsn : pending_block_) jsn_to_block_[jsn] = header.height;
   blocks_.push_back(header);
   pending_block_.clear();
+  LEDGERDB_OBS_COUNT(obs::names::kLedgerBlocksSealedTotal);
   return Status::OK();
 }
 
@@ -412,11 +428,13 @@ Status Ledger::ListTx(const std::string& clue,
 }
 
 Status Ledger::GetProof(uint64_t jsn, FamProof* proof) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kProofBuild);
   return fam_.GetProof(jsn, proof);
 }
 
 Status Ledger::GetProofAnchored(uint64_t jsn, const TrustedAnchor& anchor,
                                 FamProof* proof) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kProofBuild);
   return fam_.GetProofAnchored(jsn, anchor, proof);
 }
 
@@ -823,6 +841,7 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
   if (!storage.enabled()) {
     return Status::InvalidArgument("recovery requires journal+block streams");
   }
+  LEDGERDB_OBS_TIMER(recover_timer, obs::names::kLedgerRecoverUs);
   std::unique_ptr<Ledger> ledger(new Ledger(RecoveryTag{}, std::move(uri),
                                             options, clock, std::move(lsp_key),
                                             members, storage));
@@ -951,6 +970,7 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
   }
 
   ledger->recovering_ = false;
+  LEDGERDB_OBS_COUNT_N(obs::names::kLedgerRecoveredJournalsTotal, n);
   *out = std::move(ledger);
   return Status::OK();
 }

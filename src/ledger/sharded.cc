@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace ledgerdb {
 
 Digest GroupCommitment::Combined() const {
@@ -68,6 +71,8 @@ Status ShardedLedgerGroup::Recover(const std::string& uri, size_t shard_count,
     outcome->quarantined = shard_count - recovered;
     outcome->shard_status = group->shard_health_;
   }
+  LEDGERDB_OBS_GAUGE_SET(obs::names::kShardQuarantinedCount,
+                         static_cast<int64_t>(shard_count - recovered));
   if (recovered == 0) {
     return Status::Corruption("group recovery failed: no shard recovered (" +
                               group->shard_health_[0].ToString() + ")");
@@ -203,10 +208,22 @@ bool ShardedLedgerGroup::EnqueueCommitTicket(
   // order.
   Ledger* commit_ledger = shards_[p->shard].get();
   size_t shard = p->shard;
+  LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardLaneDepthCount, 1);
   committers_[shard]->Submit([p, commit_ledger, shard] {
+    LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardLaneDepthCount, -1);
     {
+      // The committer lane stalls here whenever its ticket's prevalidation
+      // has not finished yet — the wait time is the pipeline's bubble.
+      uint64_t wait_start = obs::Enabled() ? obs::NowUs() : 0;
       std::unique_lock<std::mutex> lock(p->mu);
+      if (!p->ready) {
+        LEDGERDB_OBS_COUNT(obs::names::kShardCommitterStallsTotal);
+      }
       p->cv.wait(lock, [&] { return p->ready; });
+      if (wait_start != 0) {
+        LEDGERDB_OBS_OBSERVE(obs::names::kShardCommitWaitUs,
+                             obs::NowUs() - wait_start);
+      }
     }
     if (!p->prevalidate_status.ok()) {
       p->done.set_value({p->prevalidate_status, Location{}});
@@ -230,6 +247,7 @@ void ShardedLedgerGroup::SubmitPrevalidateChunk(
   // member registry, so any shard's ledger can prevalidate the chunk
   // regardless of routing.
   const Ledger* ledger = AnyHealthyShard();
+  LEDGERDB_OBS_OBSERVE(obs::names::kShardPrevalidateChunkCount, chunk.size());
   prevalidate_pool_->Submit([chunk = std::move(chunk), ledger] {
     std::vector<const ClientTransaction*> txs(chunk.size());
     std::vector<Ledger::PrevalidatedTx> outs(chunk.size());
@@ -254,6 +272,7 @@ Status ShardedLedgerGroup::AppendBatch(std::span<const ClientTransaction> txs,
   // shared inversions (the batch-inverse gain saturates well before this),
   // small enough to keep many chunks in flight across the pool.
   constexpr size_t kPrevalidateChunk = 64;
+  LEDGERDB_OBS_COUNT(obs::names::kShardBatchAppendsTotal);
   std::vector<std::future<AppendOutcome>> futures;
   futures.reserve(txs.size());
   std::vector<std::shared_ptr<PendingAppend>> chunk;

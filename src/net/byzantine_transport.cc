@@ -1,5 +1,8 @@
 #include "net/byzantine_transport.h"
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace ledgerdb {
 
 namespace {
@@ -88,10 +91,13 @@ const char* FaultKindName(FaultKind kind) {
 
 FaultKind ByzantineTransport::TakeFault(RpcOp op) {
   ++ops_;
+  LEDGERDB_OBS_COUNT_LABEL(obs::names::kNetRpcsTotal, "op", RpcOpName(op));
   uint64_t nth = op_counts_[Idx(op)]++;
   auto it = schedule_.find({static_cast<uint8_t>(op), nth});
   if (it == schedule_.end()) return FaultKind::kNone;
   ++faults_injected_;
+  LEDGERDB_OBS_COUNT_LABEL(obs::names::kNetFaultsInjectedTotal, "kind",
+                           FaultKindName(it->second));
   return it->second;
 }
 

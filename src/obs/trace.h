@@ -1,0 +1,141 @@
+#ifndef LEDGERDB_OBS_TRACE_H_
+#define LEDGERDB_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace ledgerdb::obs {
+
+/// A named pipeline stage. `metric` is the always-on microsecond histogram
+/// every span of this stage feeds; the ring-buffer record is the sampled
+/// detailed layer on top.
+struct Stage {
+  const char* name;
+  const char* metric;
+};
+
+/// Span stage taxonomy: an append decomposes into prevalidate → sig_batch
+/// → commit → seal (plus proof_build on the read side); a Dasein audit
+/// into its what / when / who phases. docs/observability.md documents the
+/// mapping to metric names.
+namespace stages {
+inline constexpr Stage kPrevalidate{"prevalidate", names::kLedgerPrevalidateUs};
+inline constexpr Stage kSigBatch{"sig_batch", names::kCryptoBatchVerifyUs};
+inline constexpr Stage kCommit{"commit", names::kLedgerCommitUs};
+inline constexpr Stage kSeal{"seal", names::kLedgerSealUs};
+inline constexpr Stage kProofBuild{"proof_build", names::kLedgerProofBuildUs};
+inline constexpr Stage kAuditWhat{"audit_what", names::kAuditWhatUs};
+inline constexpr Stage kAuditWhen{"audit_when", names::kAuditWhenUs};
+inline constexpr Stage kAuditWho{"audit_who", names::kAuditWhoUs};
+}  // namespace stages
+
+/// One detailed span record captured in a thread's ring.
+struct SpanRecord {
+  const char* stage = nullptr;  ///< Stage::name (static storage)
+  uint64_t start_us = 0;        ///< obs::NowUs() at span entry
+  uint64_t dur_us = 0;
+  uint32_t thread = 0;  ///< stable per-ring id
+};
+
+/// Lightweight stage tracer. Every ObsSpan observes its stage histogram
+/// (always-on, cheap); one span in every `sample_every` additionally
+/// pushes a detailed SpanRecord into a per-thread ring buffer whose
+/// snapshot `ledgerdb_cli stats` and tests can inspect. Rings are owned by
+/// the tracer and survive thread exit (a finished thread's last records
+/// stay visible; its ring is recycled for the next new thread).
+class SpanTracer {
+ public:
+  static constexpr size_t kRingCapacity = 1024;
+
+  SpanTracer();
+  ~SpanTracer();
+
+  SpanTracer(const SpanTracer&) = delete;
+  SpanTracer& operator=(const SpanTracer&) = delete;
+
+  static SpanTracer& Default();
+
+  /// 1 records every span, N records every Nth (per thread), 0 disables
+  /// the detailed ring entirely (histograms stay on). Default: 16.
+  void SetSampleEvery(uint32_t n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  uint32_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+
+  /// Called by ObsSpan: decides sampling and pushes into this thread's
+  /// ring.
+  void Record(const char* stage, uint64_t start_us, uint64_t dur_us);
+
+  /// Most-recent records across all rings, oldest first.
+  std::vector<SpanRecord> Snapshot() const;
+
+  void Clear();
+
+ private:
+  struct Ring;
+  struct State;
+  struct ThreadSlot;
+
+  Ring* RingForThisThread();
+
+  std::atomic<uint32_t> sample_every_{16};
+
+  // Rings live behind a shared State so a thread-exit destructor (or a
+  // thread whose cached slot points at an already-destroyed tracer) can
+  // tell a live tracer from a dead one via weak_ptr instead of comparing
+  // raw addresses, which stack reuse can make collide.
+  std::shared_ptr<State> state_;
+};
+
+/// RAII stage scope. Construction stamps the clock; destruction feeds the
+/// stage histogram and (sampled) the detailed ring. Use through the
+/// LEDGERDB_OBS_SPAN macro, which caches the histogram lookup in a
+/// function-local static and compiles the site away under
+/// LEDGERDB_OBS_OFF.
+class ObsSpan {
+ public:
+  ObsSpan(const Stage& stage, Histogram* hist)
+      : active_(Enabled()), stage_(stage.name), hist_(hist) {
+    if (active_) start_us_ = NowUs();
+  }
+
+  ~ObsSpan() {
+    if (!active_) return;
+    uint64_t dur = NowUs() - start_us_;
+    hist_->Observe(dur);
+    SpanTracer::Default().Record(stage_, start_us_, dur);
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  bool active_;
+  const char* stage_;
+  Histogram* hist_;
+  uint64_t start_us_ = 0;
+};
+
+}  // namespace ledgerdb::obs
+
+#if defined(LEDGERDB_OBS_OFF)
+#define LEDGERDB_OBS_SPAN(var, stage) \
+  int var##_obs_off_unused [[maybe_unused]] = 0
+#else
+#define LEDGERDB_OBS_SPAN(var, stage)                                 \
+  static ::ledgerdb::obs::Histogram* var##_hist =                     \
+      ::ledgerdb::obs::MetricsRegistry::Default().GetHistogram(       \
+          (stage).metric);                                            \
+  ::ledgerdb::obs::ObsSpan var((stage), var##_hist)
+#endif
+
+#endif  // LEDGERDB_OBS_TRACE_H_

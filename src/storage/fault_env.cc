@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace ledgerdb {
 
 namespace {
@@ -84,6 +87,22 @@ Status FaultEnv::DeleteFile(const std::string& path) {
   return base_->DeleteFile(path);
 }
 
+namespace {
+
+const char* StorageFaultName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kTornWrite: return "torn_write";
+    case FaultKind::kDroppedSync: return "dropped_sync";
+    case FaultKind::kBitFlip: return "bit_flip";
+    case FaultKind::kTruncate: return "truncate";
+    case FaultKind::kTransientError: return "transient_error";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
 bool FaultEnv::NextFault(FaultKind* kind) {
   auto it = plan_.find(op_counter_);
   ++op_counter_;
@@ -91,6 +110,8 @@ bool FaultEnv::NextFault(FaultKind* kind) {
   *kind = it->second;
   plan_.erase(it);
   ++injected_;
+  LEDGERDB_OBS_COUNT_LABEL(obs::names::kStorageFaultsInjectedTotal, "kind",
+                           StorageFaultName(*kind));
   return true;
 }
 

@@ -3,6 +3,9 @@
 #include <array>
 #include <cstring>
 
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
 namespace ledgerdb {
 
 namespace {
@@ -193,11 +196,16 @@ Status FileStreamStore::Open(Env* env, const std::string& path,
     LEDGERDB_RETURN_IF_ERROR(store->file_->Sync());
     store->report_.tail_quarantined = true;
     store->report_.quarantined_bytes = tail.size();
+    LEDGERDB_OBS_COUNT(obs::names::kStorageTornTailsTotal);
+    LEDGERDB_OBS_COUNT_N(obs::names::kStorageQuarantinedBytesTotal,
+                         tail.size());
   }
 
   store->end_offset_ = offset;
   store->watermark_ = offset;
   store->report_.frames = store->offsets_.size();
+  LEDGERDB_OBS_COUNT_N(obs::names::kStorageRecoveredFramesTotal,
+                       store->offsets_.size());
   LEDGERDB_RETURN_IF_ERROR(store->PersistWatermark());
   *out = std::move(store);
   return Status::OK();
@@ -211,10 +219,16 @@ Status FileStreamStore::PersistWatermark() {
   LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] {
     return wm_file_->Write(0, Slice(rec, kWatermarkRecordSize));
   }));
-  return RetryTransient(retry_, [&] { return wm_file_->Sync(); });
+  return RetryTransient(retry_, [&] {
+    LEDGERDB_OBS_COUNT(obs::names::kStorageFsyncsTotal);
+    return wm_file_->Sync();
+  });
 }
 
 Status FileStreamStore::Append(Slice record, uint64_t* index) {
+  LEDGERDB_OBS_TIMER(append_timer, obs::names::kStorageAppendUs);
+  LEDGERDB_OBS_COUNT(obs::names::kStorageAppendsTotal);
+  LEDGERDB_OBS_COUNT_N(obs::names::kStorageAppendBytesTotal, record.size());
   uint32_t length = static_cast<uint32_t>(record.size());
   uint32_t seq = static_cast<uint32_t>(offsets_.size());
   uint32_t payload_crc = Crc32(record.data(), record.size());
@@ -227,7 +241,10 @@ Status FileStreamStore::Append(Slice record, uint64_t* index) {
   uint64_t offset = end_offset_;
   LEDGERDB_RETURN_IF_ERROR(RetryTransient(
       retry_, [&] { return file_->Write(offset, Slice(frame)); }));
-  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] { return file_->Sync(); }));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] {
+    LEDGERDB_OBS_COUNT(obs::names::kStorageFsyncsTotal);
+    return file_->Sync();
+  }));
   offsets_.push_back(offset);
   lengths_.push_back(length);
   capacities_.push_back(length);
@@ -282,9 +299,13 @@ Status FileStreamStore::Overwrite(uint64_t index, Slice record) {
   if (length > 0) {
     std::memcpy(frame.data() + kFrameHeaderSize, record.data(), record.size());
   }
+  LEDGERDB_OBS_COUNT(obs::names::kStorageOverwritesTotal);
   LEDGERDB_RETURN_IF_ERROR(RetryTransient(
       retry_, [&] { return file_->Write(offsets_[index], Slice(frame)); }));
-  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] { return file_->Sync(); }));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] {
+    LEDGERDB_OBS_COUNT(obs::names::kStorageFsyncsTotal);
+    return file_->Sync();
+  }));
   lengths_[index] = length;
   return Status::OK();
 }

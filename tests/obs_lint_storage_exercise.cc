@@ -1,0 +1,40 @@
+// Storage-side exercise for the metrics-name lint test. Lives in its own
+// translation unit because storage/fault_env.h and net/byzantine_transport.h
+// both define `ledgerdb::FaultKind` (distinct fault taxonomies for distinct
+// planes) and must never be included together; obs_lint_test.cc holds the
+// net side.
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "storage/env.h"
+#include "storage/fault_env.h"
+#include "storage/stream_store.h"
+
+namespace ledgerdb {
+
+/// Drives the storage plane far enough to register every
+/// ledgerdb_storage_* series in the default registry: appends, fsyncs, an
+/// overwrite, a reopen scan, and one injected transient fault (which also
+/// registers the labeled fault counter and the retry series).
+void ExerciseStorageObs() {
+  MemEnv mem;
+  {
+    FaultEnv env(&mem, /*seed=*/0x11A7);
+    env.ScheduleFault(5, FaultKind::kTransientError);
+    std::unique_ptr<FileStreamStore> store;
+    if (!FileStreamStore::Open(&env, "lint-exercise.log", &store).ok()) {
+      return;
+    }
+    uint64_t idx = 0;
+    store->Append(Slice(std::string_view("lint-record-a")), &idx).ok();
+    store->Append(Slice(std::string_view("lint-record-b")), &idx).ok();
+    store->Overwrite(idx, Slice(std::string_view("lint-redacted"))).ok();
+  }
+  // Reopen through the clean env so the recovery scan runs too.
+  std::unique_ptr<FileStreamStore> reopened;
+  FileStreamStore::Open(&mem, "lint-exercise.log", &reopened).ok();
+}
+
+}  // namespace ledgerdb

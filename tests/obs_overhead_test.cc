@@ -1,0 +1,139 @@
+// Tracing-overhead smoke (perf tier): the instrumented Ledger::Append hot
+// path must stay within 5% of its observability-disabled self. The obs hot
+// path is one relaxed atomic add per counter hit and two clock reads per
+// span; ECDSA verification (~100 us/append) dominates, so 5% is a wide
+// margin — a regression here means instrumentation landed on the hot path
+// in a form far heavier than designed (e.g. a registry lookup per call).
+//
+// Methodology: runtime kill switch (obs::SetEnabled) flipped between
+// interleaved trials in one binary, min-of-k per arm to shed scheduler
+// noise, up to 3 verdict rounds before failing. Sanitizer builds distort
+// the atomic/clock cost model and are skipped; LEDGERDB_OBS_OFF builds
+// compile both arms to identical code, so the comparison is vacuous and
+// skipped too.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ledger/ledger.h"
+#include "obs/metrics.h"
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+#define LEDGERDB_UNDER_SANITIZER 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(undefined_behavior_sanitizer)
+#define LEDGERDB_UNDER_SANITIZER 1
+#endif
+#endif
+
+namespace ledgerdb {
+namespace {
+
+class ObsOverheadTest : public ::testing::Test {
+ protected:
+  ObsOverheadTest()
+      : clock_(1700000000LL * kMicrosPerSecond),
+        ca_(KeyPair::FromSeedString("ca")),
+        registry_(&ca_),
+        lsp_key_(KeyPair::FromSeedString("lsp")),
+        alice_(KeyPair::FromSeedString("alice")) {
+    EXPECT_TRUE(registry_
+                    .Register(ca_.Certify("lsp", lsp_key_.public_key(),
+                                          Role::kLsp))
+                    .ok());
+    EXPECT_TRUE(registry_
+                    .Register(ca_.Certify("alice", alice_.public_key(),
+                                          Role::kUser))
+                    .ok());
+    LedgerOptions options;
+    options.fractal_height = 8;
+    options.block_capacity = 64;
+    ledger_ = std::make_unique<Ledger>("lg://overhead", options, &clock_,
+                                       lsp_key_, &registry_);
+  }
+
+  /// Wall time in seconds for `n` fresh appends (transactions are built
+  /// and signed outside the timed region).
+  double TimeAppends(int n) {
+    std::vector<ClientTransaction> txs;
+    txs.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      ClientTransaction tx;
+      tx.ledger_uri = "lg://overhead";
+      tx.payload = StringToBytes("overhead-probe-" + std::to_string(nonce_));
+      tx.nonce = nonce_++;
+      tx.client_ts = clock_.Now();
+      tx.Sign(alice_);
+      txs.push_back(std::move(tx));
+    }
+    auto start = std::chrono::steady_clock::now();
+    for (ClientTransaction& tx : txs) {
+      uint64_t jsn = 0;
+      Status s = ledger_->Append(tx, &jsn);
+      EXPECT_TRUE(s.ok()) << s.message();
+    }
+    auto end = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(end - start).count();
+  }
+
+  /// Min-of-k append time with the obs runtime switch in `enabled` state.
+  double MinTrial(bool enabled, int k, int appends_per_trial) {
+    double best = 1e9;
+    for (int i = 0; i < k; ++i) {
+      obs::SetEnabled(enabled);
+      double t = TimeAppends(appends_per_trial);
+      if (t < best) best = t;
+    }
+    obs::SetEnabled(true);
+    return best;
+  }
+
+  SimulatedClock clock_;
+  CertificateAuthority ca_;
+  MemberRegistry registry_;
+  KeyPair lsp_key_, alice_;
+  std::unique_ptr<Ledger> ledger_;
+  uint64_t nonce_ = 0;
+};
+
+TEST_F(ObsOverheadTest, InstrumentedAppendWithinFivePercent) {
+#if defined(LEDGERDB_UNDER_SANITIZER)
+  GTEST_SKIP() << "sanitizer build: timing comparison not meaningful";
+#elif defined(LEDGERDB_OBS_OFF)
+  GTEST_SKIP() << "LEDGERDB_OBS_OFF build: both arms compile identically";
+#else
+  constexpr int kAppendsPerTrial = 192;
+  constexpr int kTrialsPerArm = 3;
+  constexpr int kRounds = 3;
+  constexpr double kMaxRatio = 1.05;
+
+  TimeAppends(32);  // warm caches / first-block paths outside the verdict
+
+  double last_ratio = 0.0;
+  for (int round = 0; round < kRounds; ++round) {
+    // Interleave arms within the round so drift (thermal, other tenants)
+    // hits both equally.
+    double on_s = MinTrial(/*enabled=*/true, kTrialsPerArm, kAppendsPerTrial);
+    double off_s =
+        MinTrial(/*enabled=*/false, kTrialsPerArm, kAppendsPerTrial);
+    last_ratio = on_s / off_s;
+    if (last_ratio <= kMaxRatio) {
+      SUCCEED() << "round " << round << ": on=" << on_s * 1e6 / kAppendsPerTrial
+                << "us/append off=" << off_s * 1e6 / kAppendsPerTrial
+                << "us/append ratio=" << last_ratio;
+      return;
+    }
+  }
+  FAIL() << "instrumentation overhead ratio " << last_ratio << " exceeds "
+         << kMaxRatio << " across " << kRounds << " rounds";
+#endif
+}
+
+}  // namespace
+}  // namespace ledgerdb
