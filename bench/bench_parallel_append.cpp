@@ -12,12 +12,14 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "ledger/sharded.h"
+#include "storage/stream_store.h"
 
 using namespace ledgerdb;
 using namespace ledgerdb::bench;
@@ -128,6 +130,109 @@ int main(int argc, char** argv) {
              chunk_lat.PercentileUs(99) / chunk);
   }
 
+  // Durable write path: real files + fsync through Env::Default(). The
+  // serial baseline pays two fsyncs per append (frame + watermark); the
+  // pipelined path coalesces each committer-lane group into one
+  // FileStreamStore::AppendBatch — one buffered write and one fsync pair
+  // per group — and hands block sealing to the per-shard sealer lanes.
+  // This is the gap the group-commit design actually closes: the
+  // in-memory rows above are compute-bound, the durable rows are
+  // fsync-bound.
+  Header("Durable write path (real files + fsync): per-append vs group commit");
+  const size_t kGroupCommitMaxSize = 64;
+  const uint64_t kGroupCommitMaxDelayUs = 20000;
+  json.SetMetaInt("group_commit_max_size", kGroupCommitMaxSize);
+  json.SetMetaInt("group_commit_max_delay_us", kGroupCommitMaxDelayUs);
+  auto fsyncs_now = [] {
+    obs::MetricsSnapshot snap = obs::MetricsRegistry::Default().Snapshot();
+    for (const auto& [name, value] : snap.counters) {
+      if (name == "ledgerdb_storage_fsyncs_total") return value;
+    }
+    return uint64_t{0};
+  };
+  auto open_stores =
+      [](const std::string& tag, size_t shards,
+         std::vector<std::unique_ptr<FileStreamStore>>* stores,
+         std::vector<LedgerStorage>* storage) {
+        Env* env = Env::Default();
+        for (size_t s = 0; s < shards; ++s) {
+          for (const char* kind : {"journals", "blocks"}) {
+            std::string path = "/tmp/ledgerdb_bpa_" + tag + "_" +
+                               std::to_string(s) + "_" + kind + ".log";
+            for (const char* suffix : {"", ".wm", ".quarantine"}) {
+              (void)env->DeleteFile(path + suffix);
+            }
+            std::unique_ptr<FileStreamStore> store;
+            if (!FileStreamStore::Open(env, path, &store).ok()) std::abort();
+            stores->push_back(std::move(store));
+          }
+          storage->push_back({(*stores)[2 * s].get(),
+                              (*stores)[2 * s + 1].get()});
+        }
+      };
+
+  const uint64_t n_durable = std::max<uint64_t>(512, n / 2);
+  std::printf("%-34s %12s %14s %10s\n", "config", "TPS", "fsyncs/append",
+              "speedup");
+  double durable_serial_tps = 0.0;
+  {
+    std::vector<std::unique_ptr<FileStreamStore>> stores;
+    std::vector<LedgerStorage> storage;
+    open_stores("serial", 1, &stores, &storage);
+    ShardedLedgerGroup group("lg://bpa", 1, fx.options, &fx.clock, fx.lsp,
+                             &fx.registry, std::move(storage));
+    uint64_t fsyncs_before = fsyncs_now();
+    double secs = TimeSeconds([&] {
+      for (uint64_t i = 0; i < n_durable; ++i) {
+        ShardedLedgerGroup::Location loc;
+        if (!group.Append(txs[i], &loc).ok()) std::abort();
+      }
+    });
+    durable_serial_tps = static_cast<double>(n_durable) / secs;
+    double fsyncs_per_append =
+        static_cast<double>(fsyncs_now() - fsyncs_before) /
+        static_cast<double>(n_durable);
+    std::printf("%-34s %12.0f %14.3f %9s\n", "durable serial 1-shard",
+                durable_serial_tps, fsyncs_per_append, "1.0x");
+    json.Add("durable/serial-1-shard", durable_serial_tps);
+    json.SetMeta("serial_fsyncs_per_append", fsyncs_per_append);
+  }
+  {
+    std::vector<std::unique_ptr<FileStreamStore>> stores;
+    std::vector<LedgerStorage> storage;
+    open_stores("group", 4, &stores, &storage);
+    ShardedLedgerGroup group("lg://bpa", 4, fx.options, &fx.clock, fx.lsp,
+                             &fx.registry, std::move(storage));
+    group.SetPipelineOptions({kGroupCommitMaxSize, kGroupCommitMaxDelayUs});
+    group.StartParallelAppend(8);
+    uint64_t fsyncs_before = fsyncs_now();
+    const size_t chunk = 256;
+    std::vector<ShardedLedgerGroup::Location> locations;
+    double secs = TimeSeconds([&] {
+      for (size_t off = 0; off < n_durable; off += chunk) {
+        size_t len = std::min<size_t>(chunk, n_durable - off);
+        if (!group
+                 .AppendBatch(std::span<const ClientTransaction>(
+                                  txs.data() + off, len),
+                              &locations)
+                 .ok()) {
+          std::abort();
+        }
+      }
+    });
+    group.StopParallelAppend();
+    if (group.TotalJournals() != n_durable + 4) std::abort();
+    double tps = static_cast<double>(n_durable) / secs;
+    double fsyncs_per_append =
+        static_cast<double>(fsyncs_now() - fsyncs_before) /
+        static_cast<double>(n_durable);
+    std::printf("%-34s %12.0f %14.3f %9.1fx\n",
+                "durable pipelined 4-shard x 8-thr", tps, fsyncs_per_append,
+                tps / durable_serial_tps);
+    json.Add("durable/pipelined-4-shard-8-thread", tps);
+    json.SetMeta("fsyncs_per_append", fsyncs_per_append);
+  }
+
   // Phase decomposition: the measured speedup above is bounded by the
   // host's core count (`hw` below; CI containers are often 1-core, where
   // the pipeline can only show that its overhead is negligible). The
@@ -187,12 +292,16 @@ int main(int argc, char** argv) {
   }
 
   std::printf(
-      "\nAcceptance bar: pipelined 4-shard x 8-thread >= 3x serial 1-shard\n"
+      "\nAcceptance bars: pipelined 4-shard x 8-thread >= 3x serial 1-shard\n"
       "on hosts with >= 8 cores (the modeled ceiling above; on this %u-core\n"
-      "host the measured rows show the pipeline adds no overhead). The\n"
-      "pipeline parallelizes pi_c ECDSA verification (the dominant cost)\n"
-      "across the worker pool while per-shard committer lanes retire\n"
-      "commits in submission order.\n",
+      "host the measured in-memory rows are compute-bound by pi_c). On the\n"
+      "durable path the win is measured, not modeled: group commit must\n"
+      "beat the per-append-fsync baseline >= 2x with < 0.1 fsyncs per\n"
+      "append (see the durable rows and the fsyncs_per_append meta). The\n"
+      "pipeline parallelizes pi_c ECDSA verification across the worker\n"
+      "pool, coalesces each committer-lane group into one buffered\n"
+      "write + fsync pair, and retires block seals on per-shard sealer\n"
+      "lanes off the commit critical path.\n",
       hw);
   return 0;
 }

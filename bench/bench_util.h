@@ -132,6 +132,7 @@ class JsonReporter {
                        .count()));
     SetMeta("host_cores",
             static_cast<double>(std::thread::hardware_concurrency()));
+    SetMetaInt("hardware_concurrency", std::thread::hardware_concurrency());
   }
 
   ~JsonReporter() { Flush(); }

@@ -152,7 +152,6 @@ Status Ledger::CommitJournal(Journal journal, uint64_t* out_jsn,
                              bool persist) {
   uint64_t jsn = journals_.size();
   journal.jsn = jsn;
-  Digest tx_hash = journal.TxHash();
 
   // Persist first: a failed stream write leaves every accumulator
   // untouched, so memory and disk never disagree about the journal count.
@@ -166,6 +165,13 @@ Status Ledger::CommitJournal(Journal journal, uint64_t* out_jsn,
                                 std::to_string(jsn) + ")");
     }
   }
+  return ApplyCommitted(std::move(journal), out_jsn);
+}
+
+Status Ledger::ApplyCommitted(Journal journal, uint64_t* out_jsn) {
+  uint64_t jsn = journals_.size();
+  journal.jsn = jsn;
+  Digest tx_hash = journal.TxHash();
 
   fam_.Append(tx_hash);
   for (const std::string& clue : journal.clues) {
@@ -181,14 +187,24 @@ Status Ledger::CommitJournal(Journal journal, uint64_t* out_jsn,
 
   journals_.push_back(std::move(journal));
   occult_bitmap_.Resize(jsn + 1);
-  jsn_to_block_.push_back(kUnsealedBlock);
+  {
+    // jsn_to_block_ growth here races the sealer lane's element writes.
+    std::lock_guard<std::mutex> lock(seal_mu_);
+    jsn_to_block_.push_back(kUnsealedBlock);
+  }
   if (out_jsn != nullptr) *out_jsn = jsn;
   if (!recovering_) {
     pending_block_.push_back(jsn);
     // The journal itself is durable at this point; a failed seal surfaces
     // the error but the journals stay queued for the next seal attempt.
     if (pending_block_.size() >= options_.block_capacity) {
-      LEDGERDB_RETURN_IF_ERROR(SealBlock());
+      if (seal_scheduler_) {
+        SealJob job;
+        PrepareSeal(&job);
+        seal_scheduler_(std::move(job));
+      } else {
+        LEDGERDB_RETURN_IF_ERROR(SealBlock());
+      }
     }
   }
   return Status::OK();
@@ -336,12 +352,137 @@ Status Ledger::Append(const ClientTransaction& tx, uint64_t* jsn) {
   return CommitPrevalidated(std::move(prevalidated), jsn);
 }
 
+Status Ledger::CommitPrevalidatedGroup(std::vector<PrevalidatedTx>&& batch,
+                                       std::vector<uint64_t>* jsns,
+                                       std::vector<Status>* statuses) {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kCommit);
+  const size_t n = batch.size();
+  jsns->assign(n, 0);
+  statuses->assign(n, Status::OK());
+
+  // Dedup screen on the committer thread, exactly as CommitPrevalidated:
+  // retried submissions converge on their original jsn and drop out of
+  // the group, nonce conflicts fail alone. Within-group duplicates are
+  // resolved against the jsns being assigned right here, so the group
+  // commits the same set a serial replay of the batch would.
+  std::vector<size_t> live;  // indexes into `batch` that will commit
+  live.reserve(n);
+  std::vector<size_t> group_hits;  // converged on a jsn assigned this group
+  std::unordered_map<std::string, std::unordered_map<uint64_t, size_t>>
+      group_nonces;  // signer -> nonce -> index into `batch`
+  for (size_t i = 0; i < n; ++i) {
+    Journal& journal = batch[i].journal;
+    if (journal.client_key.valid()) {
+      const std::string signer_id = journal.client_key.Id().ToHex();
+      const DedupEntry* prior = nullptr;
+      DedupEntry group_entry;
+      auto signer = dedup_.find(signer_id);
+      if (signer != dedup_.end()) {
+        auto hit = signer->second.find(journal.nonce);
+        if (hit != signer->second.end()) prior = &hit->second;
+      }
+      if (prior == nullptr) {
+        auto in_group = group_nonces.find(signer_id);
+        if (in_group != group_nonces.end()) {
+          auto hit = in_group->second.find(journal.nonce);
+          if (hit != in_group->second.end()) {
+            const Journal& earlier = batch[hit->second].journal;
+            group_entry = {earlier.jsn, earlier.request_hash};
+            prior = &group_entry;
+          }
+        }
+      }
+      if (prior != nullptr) {
+        if (prior->request_hash == journal.request_hash) {
+          (*jsns)[i] = prior->jsn;
+          if (prior == &group_entry) group_hits.push_back(i);
+          LEDGERDB_OBS_COUNT(obs::names::kLedgerDedupHitsTotal);
+        } else {
+          (*statuses)[i] = Status::AlreadyExists(
+              "nonce already used by a different transaction");
+          LEDGERDB_OBS_COUNT(obs::names::kLedgerAppendFailuresTotal);
+        }
+        continue;
+      }
+      group_nonces[signer_id][journal.nonce] = i;
+    }
+    journal.server_ts = clock_->Now();
+    journal.jsn = journals_.size() + live.size();
+    live.push_back(i);
+  }
+  if (live.empty()) return Status::OK();
+
+  // Persist the whole group with one storage flush. A failure here fails
+  // every surviving journal and leaves the ledger untouched — the group
+  // is all-or-nothing, matching AppendBatch's durability contract.
+  if (storage_.enabled()) {
+    std::vector<Bytes> encoded;
+    std::vector<Slice> slices;
+    encoded.reserve(live.size());
+    slices.reserve(live.size());
+    for (size_t idx : live) {
+      encoded.push_back(batch[idx].journal.Serialize());
+      slices.emplace_back(encoded.back());
+    }
+    uint64_t first = 0;
+    Status persist = storage_.journals->AppendBatch(slices, &first);
+    if (persist.ok() && first != journals_.size()) {
+      persist = Status::Corruption(
+          "journal stream out of sync with ledger (" + std::to_string(first) +
+          " vs " + std::to_string(journals_.size()) + ")");
+    }
+    if (!persist.ok()) {
+      for (size_t idx : live) {
+        (*statuses)[idx] = persist;
+        LEDGERDB_OBS_COUNT(obs::names::kLedgerAppendFailuresTotal);
+      }
+      // Dedup hits that converged on a jsn assigned within this failed
+      // group point at journals that never committed.
+      for (size_t idx : group_hits) {
+        (*statuses)[idx] = persist;
+        (*jsns)[idx] = 0;
+      }
+      return persist;
+    }
+  }
+
+  // The group is durable; thread every journal through the accumulators.
+  // A block-boundary seal failure is surfaced as the overall status but
+  // cannot fail the appends themselves — the journals are on disk, and
+  // the boundary stays queued for the next seal attempt.
+  Status seal_status;
+  for (size_t idx : live) {
+    uint64_t jsn = 0;
+    Status apply = ApplyCommitted(std::move(batch[idx].journal), &jsn);
+    if (!apply.ok() && seal_status.ok()) seal_status = apply;
+    (*jsns)[idx] = jsn;
+    LEDGERDB_OBS_COUNT(obs::names::kLedgerAppendsTotal);
+  }
+  return seal_status;
+}
+
 Status Ledger::SealBlock() {
+  std::unique_lock<std::mutex> lock(seal_mu_);
+  seal_cv_.wait(lock, [&] { return inflight_seals_ == 0; });
+  return SealBlockLocked();
+}
+
+Status Ledger::SealBlockLocked() {
+  // Re-absorb journals from failed asynchronous seal jobs ahead of the
+  // live pending set: they carry the lowest jsns, and blocks must stay
+  // contiguous.
+  if (!failed_seal_jsns_.empty()) {
+    failed_seal_jsns_.insert(failed_seal_jsns_.end(), pending_block_.begin(),
+                             pending_block_.end());
+    pending_block_ = std::move(failed_seal_jsns_);
+    failed_seal_jsns_.clear();
+    seal_failure_ = Status::OK();
+  }
   if (pending_block_.empty()) return Status::OK();
   LEDGERDB_OBS_SPAN(span, obs::stages::kSeal);
   ShrubsAccumulator tx_tree;
   for (uint64_t jsn : pending_block_) {
-    tx_tree.Append(journals_[jsn]->TxHash());
+    tx_tree.Append(delta_log_[jsn].tx_hash);
   }
   BlockHeader header;
   header.height = blocks_.size();
@@ -364,7 +505,88 @@ Status Ledger::SealBlock() {
   blocks_.push_back(header);
   pending_block_.clear();
   LEDGERDB_OBS_COUNT(obs::names::kLedgerBlocksSealedTotal);
+  seal_cv_.notify_all();
   return Status::OK();
+}
+
+void Ledger::SetSealScheduler(SealScheduler scheduler) {
+  seal_scheduler_ = std::move(scheduler);
+}
+
+void Ledger::PrepareSeal(SealJob* job) {
+  job->first_jsn = pending_block_.front();
+  job->tx_hashes.reserve(pending_block_.size());
+  for (uint64_t jsn : pending_block_) {
+    job->tx_hashes.push_back(delta_log_[jsn].tx_hash);
+  }
+  job->timestamp = clock_->Now();
+  job->fam_root = fam_.Root();
+  job->clue_root = cmtree_.Root();
+  job->state_root = world_state_.Root();
+  {
+    std::lock_guard<std::mutex> lock(seal_mu_);
+    ++inflight_seals_;
+  }
+  pending_block_.clear();
+}
+
+void Ledger::CompleteSeal(SealJob&& job) {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kSeal);
+  // The intra-block tx tree only needs the frozen hashes — build it
+  // before taking the lock.
+  ShrubsAccumulator tx_tree;
+  for (const Digest& tx_hash : job.tx_hashes) tx_tree.Append(tx_hash);
+
+  std::unique_lock<std::mutex> lock(seal_mu_);
+  Status status;
+  if (!seal_failure_.ok()) {
+    // An earlier job in the lane failed; blocks must stay contiguous, so
+    // this one cannot seal either.
+    status = seal_failure_;
+  } else {
+    BlockHeader header;
+    header.height = blocks_.size();
+    header.first_jsn = job.first_jsn;
+    header.journal_count = static_cast<uint32_t>(job.tx_hashes.size());
+    header.timestamp = job.timestamp;
+    header.prev_block_hash =
+        blocks_.empty() ? Digest() : blocks_.back().Hash();
+    header.tx_root = tx_tree.Root();
+    header.fam_root = job.fam_root;
+    header.clue_root = job.clue_root;
+    header.state_root = job.state_root;
+    if (storage_.enabled()) {
+      uint64_t index = 0;
+      status = storage_.blocks->Append(Slice(header.Serialize()), &index);
+    }
+    if (status.ok()) {
+      for (size_t i = 0; i < job.tx_hashes.size(); ++i) {
+        jsn_to_block_[job.first_jsn + i] = header.height;
+      }
+      blocks_.push_back(header);
+      LEDGERDB_OBS_COUNT(obs::names::kLedgerBlocksSealedTotal);
+    }
+  }
+  if (!status.ok()) {
+    seal_failure_ = status;
+    for (size_t i = 0; i < job.tx_hashes.size(); ++i) {
+      failed_seal_jsns_.push_back(job.first_jsn + i);
+    }
+  }
+  --inflight_seals_;
+  lock.unlock();
+  seal_cv_.notify_all();
+}
+
+Status Ledger::WaitForSeals() {
+  std::unique_lock<std::mutex> lock(seal_mu_);
+  seal_cv_.wait(lock, [&] { return inflight_seals_ == 0; });
+  return seal_failure_;
+}
+
+size_t Ledger::SealBacklog() const {
+  std::lock_guard<std::mutex> lock(seal_mu_);
+  return inflight_seals_;
 }
 
 Status Ledger::GetReceipt(uint64_t jsn, Receipt* receipt) {
@@ -372,14 +594,26 @@ Status Ledger::GetReceipt(uint64_t jsn, Receipt* receipt) {
   if (jsn < purged_boundary_ || !journals_[jsn].has_value()) {
     return Status::NotFound("journal purged");
   }
-  if (jsn_to_block_[jsn] == kUnsealedBlock) {
-    LEDGERDB_RETURN_IF_ERROR(SealBlock());
+  Digest block_hash;
+  {
+    // Per-block future semantics: wait until either the background sealer
+    // publishes the block covering `jsn` or the sealer lane drains — in
+    // the latter case the journal is still pending (or its job failed)
+    // and we seal inline, exactly like the synchronous path.
+    std::unique_lock<std::mutex> lock(seal_mu_);
+    seal_cv_.wait(lock, [&] {
+      return jsn_to_block_[jsn] != kUnsealedBlock || inflight_seals_ == 0;
+    });
+    if (jsn_to_block_[jsn] == kUnsealedBlock) {
+      LEDGERDB_RETURN_IF_ERROR(SealBlockLocked());
+    }
+    block_hash = blocks_[jsn_to_block_[jsn]].Hash();
   }
   const Journal& journal = *journals_[jsn];
   receipt->jsn = jsn;
   receipt->request_hash = journal.request_hash;
   receipt->tx_hash = journal.TxHash();
-  receipt->block_hash = blocks_[jsn_to_block_[jsn]].Hash();
+  receipt->block_hash = block_hash;
   receipt->timestamp = clock_->Now();
   receipt->lsp_sig = lsp_key_.Sign(receipt->MessageHash());
   return Status::OK();
@@ -970,6 +1204,15 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
   }
 
   ledger->recovering_ = false;
+
+  // A crash can land between a block boundary and its (asynchronous)
+  // seal completing: the journals are durable but their block header
+  // never reached disk. Re-seal any full boundary now so crash behavior
+  // matches the synchronous path — partial boundaries stay pending, as
+  // they always have.
+  if (ledger->pending_block_.size() >= options.block_capacity) {
+    LEDGERDB_RETURN_IF_ERROR(ledger->SealBlock());
+  }
   LEDGERDB_OBS_COUNT_N(obs::names::kLedgerRecoveredJournalsTotal, n);
   *out = std::move(ledger);
   return Status::OK();

@@ -1,7 +1,10 @@
 #ifndef LEDGERDB_LEDGER_LEDGER_H_
 #define LEDGERDB_LEDGER_LEDGER_H_
 
+#include <condition_variable>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -176,10 +179,65 @@ class Ledger {
   /// serialized caller).
   Status CommitPrevalidated(PrevalidatedTx&& prevalidated, uint64_t* jsn);
 
-  /// Seals the pending block (no-op when empty). Fails without sealing if
-  /// the block header cannot be persisted; the pending journals stay
-  /// queued for the next attempt.
+  /// Stage 2 for a whole committer group: dedup-screens the batch, then
+  /// persists every surviving journal through one StreamStore::AppendBatch
+  /// group (one data fsync + one watermark fsync for the entire group)
+  /// before applying them to the accumulators in order. `jsns` and
+  /// `statuses` are indexed like `batch`; retried submissions converge on
+  /// their original jsn, nonce conflicts fail alone, and a storage
+  /// failure fails every surviving journal without mutating the ledger.
+  /// Same threading contract as CommitPrevalidated.
+  Status CommitPrevalidatedGroup(std::vector<PrevalidatedTx>&& batch,
+                                 std::vector<uint64_t>* jsns,
+                                 std::vector<Status>* statuses);
+
+  /// Seals all pending journals into one block (no-op when empty). Drains
+  /// any in-flight asynchronous seals first, re-queueing journals from
+  /// failed seal jobs ahead of the live pending set so the retry keeps
+  /// jsn order. Fails without sealing if the block header cannot be
+  /// persisted; the pending journals stay queued for the next attempt.
   Status SealBlock();
+
+  // -------------------------------------------------------------------
+  // Asynchronous sealing
+  // -------------------------------------------------------------------
+
+  /// A block boundary frozen by the committer thread: everything
+  /// CompleteSeal needs to build and persist the header without touching
+  /// live accumulator state (the roots are snapshotted at the boundary,
+  /// which is exactly what recovery's per-block fam cross-check expects).
+  struct SealJob {
+    uint64_t first_jsn = 0;
+    std::vector<Digest> tx_hashes;
+    Timestamp timestamp{};
+    Digest fam_root;
+    Digest clue_root;
+    Digest state_root;
+  };
+
+  using SealScheduler = std::function<void(SealJob&&)>;
+
+  /// Routes block sealing through `scheduler` instead of sealing inline
+  /// at block boundaries: the committer prepares a SealJob and hands it
+  /// off, continuing to append while the scheduler runs CompleteSeal on a
+  /// dedicated lane. The scheduler must execute jobs of this ledger
+  /// serially and in submission order. Call only while no appends or
+  /// seals are in flight; pass nullptr (after WaitForSeals) to restore
+  /// inline sealing.
+  void SetSealScheduler(SealScheduler scheduler);
+
+  /// Completes a seal prepared at a block boundary: builds the intra-block
+  /// tx tree from the frozen hashes and persists + publishes the header.
+  /// Runs on the sealer lane; never touches the live accumulators.
+  void CompleteSeal(SealJob&& job);
+
+  /// Blocks until every scheduled seal completes, then reports any
+  /// asynchronous seal failure. Journals from failed jobs stay queued;
+  /// the next SealBlock retries them.
+  Status WaitForSeals();
+
+  /// Seal jobs handed to the scheduler but not yet completed.
+  size_t SealBacklog() const;
 
   /// Issues the signed LSP receipt π_s for `jsn`; seals the containing
   /// block first if needed (receipts commit at block granularity).
@@ -398,6 +456,18 @@ class Ledger {
   /// leaves the ledger untouched and consistent with its streams.
   Status CommitJournal(Journal journal, uint64_t* jsn, bool persist = true);
 
+  /// In-memory half of a commit: threads an already-persisted journal
+  /// through the accumulators and handles the block boundary (inline seal
+  /// or async hand-off).
+  Status ApplyCommitted(Journal journal, uint64_t* jsn);
+
+  /// Freezes the current pending block into a SealJob on the committer
+  /// thread (hashes copied, roots snapshotted) and clears the pending set.
+  void PrepareSeal(SealJob* job);
+
+  /// SealBlock body; requires seal_mu_ held.
+  Status SealBlockLocked();
+
   /// Tracks ledger-level side effects of special journal types (purge
   /// boundaries, occult bits, time evidence). Used by both the live
   /// mutation paths and recovery replay.
@@ -436,6 +506,19 @@ class Ledger {
   std::vector<uint64_t> pending_block_;          // jsns awaiting sealing
   std::vector<uint64_t> jsn_to_block_;           // jsn -> block height (sealed)
   ShrubsAccumulator pending_tx_tree_;            // scratch per block
+
+  /// Async sealing state. seal_mu_ guards everything the sealer lane and
+  /// the committer/readers share: blocks_, jsn_to_block_ (growth on the
+  /// committer races element writes on the sealer), the in-flight count,
+  /// and the failed-job queue. pending_block_ itself stays committer-owned
+  /// except inside SealBlockLocked, which only runs when no committer is
+  /// mutating (the documented read contract).
+  SealScheduler seal_scheduler_;
+  mutable std::mutex seal_mu_;
+  mutable std::condition_variable seal_cv_;
+  size_t inflight_seals_ = 0;
+  Status seal_failure_;
+  std::vector<uint64_t> failed_seal_jsns_;
 
   TsaService* direct_tsa_ = nullptr;
   TsaPool* tsa_pool_ = nullptr;

@@ -159,6 +159,12 @@ Status ShardedLedgerGroup::Append(const ClientTransaction& tx,
 // Parallel append pipeline
 // ---------------------------------------------------------------------------
 
+namespace {
+/// Ticket backlog bound per committer lane; producers block (backpressure)
+/// when their shard's lane is this far behind.
+constexpr size_t kLaneCapacity = 4096;
+}  // namespace
+
 void ShardedLedgerGroup::StartParallelAppend(size_t prevalidate_threads) {
   std::lock_guard<std::mutex> lock(engine_mu_);
   if (prevalidate_pool_ != nullptr) return;
@@ -167,28 +173,76 @@ void ShardedLedgerGroup::StartParallelAppend(size_t prevalidate_threads) {
   }
   prevalidate_pool_ =
       std::make_unique<ThreadPool>(prevalidate_threads, /*queue_capacity=*/4096);
-  committers_.reserve(shards_.size());
+
+  // One sealer lane per shard: the committer hands each block boundary
+  // off as a SealJob and keeps appending; the single-thread pool runs the
+  // shard's CompleteSeal calls serially, in submission order.
+  sealers_.clear();
   for (size_t i = 0; i < shards_.size(); ++i) {
-    // One single-thread lane per shard: commits execute serially in
-    // submission order, preserving the Ledger single-writer invariant.
-    committers_.push_back(
-        std::make_unique<ThreadPool>(1, /*queue_capacity=*/4096));
+    sealers_.push_back(std::make_unique<ThreadPool>(1, /*queue_capacity=*/4096));
+    if (shards_[i] == nullptr) continue;
+    Ledger* ledger = shards_[i].get();
+    ThreadPool* sealer = sealers_.back().get();
+    ledger->SetSealScheduler([ledger, sealer](Ledger::SealJob&& job) {
+      // Boxed: ThreadPool tasks must be copyable.
+      auto boxed = std::make_shared<Ledger::SealJob>(std::move(job));
+      LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardSealBacklogCount, 1);
+      sealer->Submit([ledger, boxed] {
+        ledger->CompleteSeal(std::move(*boxed));
+        LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardSealBacklogCount, -1);
+      });
+    });
+  }
+
+  // One committer lane per shard: commits execute serially in submission
+  // order, preserving the Ledger single-writer invariant; the lane thread
+  // groups contiguously-ready tickets for group commit.
+  lanes_.clear();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    lanes_.push_back(std::make_unique<CommitterLane>());
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    CommitterLane* lane = lanes_[i].get();
+    Ledger* ledger = shards_[i].get();
+    lane->thread =
+        std::thread([this, lane, ledger, i] { CommitterLoop(lane, ledger, i); });
   }
 }
 
 void ShardedLedgerGroup::StopParallelAppend() {
   std::unique_ptr<ThreadPool> pool;
-  std::vector<std::unique_ptr<ThreadPool>> lanes;
+  std::vector<std::unique_ptr<CommitterLane>> lanes;
+  std::vector<std::unique_ptr<ThreadPool>> sealers;
   {
     std::lock_guard<std::mutex> lock(engine_mu_);
     pool = std::move(prevalidate_pool_);
-    lanes = std::move(committers_);
-    committers_.clear();
+    lanes = std::move(lanes_);
+    sealers = std::move(sealers_);
+    lanes_.clear();
+    sealers_.clear();
   }
   // Committer lanes drain first; their queued tickets block on
-  // prevalidations still executing on the (live) pool, then the pool
-  // itself drains and joins.
-  lanes.clear();
+  // prevalidations still executing on the (live) pool.
+  for (auto& lane : lanes) {
+    if (lane == nullptr) continue;
+    {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      lane->stopping = true;
+    }
+    lane->cv.notify_all();
+  }
+  for (auto& lane : lanes) {
+    if (lane != nullptr && lane->thread.joinable()) lane->thread.join();
+  }
+  // No committer is running, so no new seal jobs can be scheduled: drain
+  // the sealer lanes, then detach the schedulers. An asynchronous seal
+  // failure leaves its journals queued; the next SealBlock retries them.
+  sealers.clear();
+  for (auto& shard : shards_) {
+    if (shard == nullptr) continue;
+    (void)shard->WaitForSeals();
+    shard->SetSealScheduler(nullptr);
+  }
   pool.reset();
 }
 
@@ -206,35 +260,119 @@ bool ShardedLedgerGroup::EnqueueCommitTicket(
   // per-shard commit order — and therefore per-clue lineage order —
   // matches submission order even when prevalidations finish out of
   // order.
-  Ledger* commit_ledger = shards_[p->shard].get();
-  size_t shard = p->shard;
+  CommitterLane& lane = *lanes_[p->shard];
+  {
+    std::unique_lock<std::mutex> lock(lane.mu);
+    lane.space_cv.wait(lock, [&] { return lane.queue.size() < kLaneCapacity; });
+    lane.queue.push_back(p);
+  }
+  lane.cv.notify_all();
   LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardLaneDepthCount, 1);
-  committers_[shard]->Submit([p, commit_ledger, shard] {
-    LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardLaneDepthCount, -1);
+  return true;
+}
+
+void ShardedLedgerGroup::CommitterLoop(CommitterLane* lane, Ledger* ledger,
+                                       size_t shard) {
+  const size_t max_group = std::max<size_t>(1, pipeline_options_.max_group_size);
+  const auto max_delay =
+      std::chrono::microseconds(pipeline_options_.max_group_delay_us);
+  for (;;) {
+    // Head of the group: wait for a ticket (or the stop signal — the lane
+    // drains its whole queue before exiting).
+    std::vector<std::shared_ptr<PendingAppend>> group;
     {
-      // The committer lane stalls here whenever its ticket's prevalidation
-      // has not finished yet — the wait time is the pipeline's bubble.
+      std::unique_lock<std::mutex> lock(lane->mu);
+      lane->cv.wait(lock,
+                    [&] { return !lane->queue.empty() || lane->stopping; });
+      if (lane->queue.empty()) return;
+      group.push_back(std::move(lane->queue.front()));
+      lane->queue.pop_front();
+    }
+    lane->space_cv.notify_all();
+    LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardLaneDepthCount, -1);
+
+    {
+      // The lane stalls here whenever the head ticket's prevalidation has
+      // not finished yet — the wait time is the pipeline's bubble.
       uint64_t wait_start = obs::Enabled() ? obs::NowUs() : 0;
-      std::unique_lock<std::mutex> lock(p->mu);
-      if (!p->ready) {
+      std::unique_lock<std::mutex> tlock(group[0]->mu);
+      if (!group[0]->ready) {
         LEDGERDB_OBS_COUNT(obs::names::kShardCommitterStallsTotal);
       }
-      p->cv.wait(lock, [&] { return p->ready; });
+      group[0]->cv.wait(tlock, [&] { return group[0]->ready; });
       if (wait_start != 0) {
         LEDGERDB_OBS_OBSERVE(obs::names::kShardCommitWaitUs,
                              obs::NowUs() - wait_start);
       }
     }
-    if (!p->prevalidate_status.ok()) {
-      p->done.set_value({p->prevalidate_status, Location{}});
-      return;
+
+    // Coalesce the contiguously-ready queue prefix into the same group —
+    // never reordering: the scan stops at the first not-ready ticket
+    // (after waiting out the optional delay budget).
+    const auto deadline = std::chrono::steady_clock::now() + max_delay;
+    bool budget = max_delay.count() > 0;
+    while (group.size() < max_group) {
+      std::shared_ptr<PendingAppend> next;
+      {
+        std::unique_lock<std::mutex> lock(lane->mu);
+        if (lane->queue.empty()) {
+          if (!budget || lane->stopping) break;
+          lane->cv.wait_until(lock, deadline, [&] {
+            return !lane->queue.empty() || lane->stopping;
+          });
+          if (lane->queue.empty()) break;
+        }
+        next = lane->queue.front();
+      }
+      bool ready = false;
+      {
+        std::unique_lock<std::mutex> tlock(next->mu);
+        if (!next->ready && budget) {
+          next->cv.wait_until(tlock, deadline, [&] { return next->ready; });
+        }
+        ready = next->ready;
+      }
+      if (budget && std::chrono::steady_clock::now() >= deadline) {
+        budget = false;
+      }
+      if (!ready) break;
+      {
+        // Only this thread pops, so `next` is still the front.
+        std::lock_guard<std::mutex> lock(lane->mu);
+        lane->queue.pop_front();
+      }
+      lane->space_cv.notify_all();
+      LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardLaneDepthCount, -1);
+      group.push_back(std::move(next));
     }
-    uint64_t jsn = 0;
-    Status status = commit_ledger->CommitPrevalidated(
-        std::move(p->prevalidated), &jsn);
-    p->done.set_value({std::move(status), Location{shard, jsn}});
-  });
-  return true;
+
+    // Resolve failed prevalidations individually (still in submission
+    // order) and commit the survivors as one group — one storage flush
+    // for the whole set.
+    std::vector<Ledger::PrevalidatedTx> batch;
+    std::vector<std::shared_ptr<PendingAppend>> committing;
+    batch.reserve(group.size());
+    committing.reserve(group.size());
+    for (std::shared_ptr<PendingAppend>& p : group) {
+      if (!p->prevalidate_status.ok()) {
+        p->done.set_value({p->prevalidate_status, Location{}});
+        continue;
+      }
+      batch.push_back(std::move(p->prevalidated));
+      committing.push_back(std::move(p));
+    }
+    if (committing.empty()) continue;
+    std::vector<uint64_t> jsns;
+    std::vector<Status> statuses;
+    // The group-level status only carries a block-seal failure (the
+    // journals themselves are durable); per-ticket outcomes are what the
+    // callers observe.
+    (void)ledger->CommitPrevalidatedGroup(std::move(batch), &jsns, &statuses);
+    for (size_t i = 0; i < committing.size(); ++i) {
+      committing[i]->done.set_value(
+          {std::move(statuses[i]), Location{shard, jsns[i]}});
+    }
+  }
 }
 
 void ShardedLedgerGroup::SubmitPrevalidateChunk(

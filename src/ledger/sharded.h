@@ -1,11 +1,14 @@
 #ifndef LEDGERDB_LEDGER_SHARDED_H_
 #define LEDGERDB_LEDGER_SHARDED_H_
 
+#include <condition_variable>
+#include <deque>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/thread_pool.h"
@@ -38,9 +41,12 @@ struct GroupCommitment {
 /// two-stage pipeline instead: the expensive shard-independent stage
 /// (π_c ECDSA verification, membership lookup, payload hashing —
 /// Ledger::Prevalidate) fans out across a shared worker pool, while
-/// commits drain through one ordered single-thread committer lane per
-/// shard (Ledger::CommitPrevalidated), so no shard ever sees concurrent
-/// mutation and per-shard journal order equals submission order. See
+/// commits drain through one ordered committer lane per shard. Each lane
+/// coalesces the contiguously-ready prefix of its queue into a commit
+/// group (Ledger::CommitPrevalidatedGroup) — one storage flush per group
+/// instead of per journal — and hands block sealing to a dedicated
+/// per-shard sealer lane, so no shard ever sees concurrent mutation and
+/// per-shard journal order equals submission order. See
 /// docs/parallel_append.md.
 class ShardedLedgerGroup {
  public:
@@ -54,6 +60,17 @@ class ShardedLedgerGroup {
   struct AppendOutcome {
     Status status;
     Location location;
+  };
+
+  /// Tunables for the pipelined append engine's group commit.
+  struct PipelineOptions {
+    /// Max tickets a committer lane coalesces into one commit group (one
+    /// storage flush / fsync pair for the whole group).
+    size_t max_group_size = 64;
+    /// After the lane has one ready ticket, how long it may wait for more
+    /// to become ready before flushing (0 = flush whatever is
+    /// contiguously ready right now; never waits when the group is full).
+    uint64_t max_group_delay_us = 0;
   };
 
   /// `shard_storage`, when non-empty, supplies one LedgerStorage per shard
@@ -114,9 +131,19 @@ class ShardedLedgerGroup {
   // Parallel append pipeline
   // -------------------------------------------------------------------
 
+  /// Replaces the pipeline tunables. Takes effect for lanes started
+  /// afterwards — call before StartParallelAppend (or between a Stop and
+  /// the next Start).
+  void SetPipelineOptions(const PipelineOptions& options) {
+    pipeline_options_ = options;
+  }
+  const PipelineOptions& pipeline_options() const { return pipeline_options_; }
+
   /// Starts the pipeline workers: `prevalidate_threads` shared
-  /// prevalidation workers (0 = hardware concurrency) plus one committer
-  /// lane per shard. Idempotent; called lazily by AppendBatch/AppendAsync.
+  /// prevalidation workers (0 = hardware concurrency), one committer
+  /// lane per shard, and one sealer lane per shard (block sealing runs
+  /// there, off the committer's critical path). Idempotent; called lazily
+  /// by AppendBatch/AppendAsync.
   void StartParallelAppend(size_t prevalidate_threads = 0);
 
   /// Drains all in-flight appends and joins the pipeline threads. The
@@ -203,6 +230,19 @@ class ShardedLedgerGroup {
   /// Rejects transactions routed to a quarantined shard with Unavailable.
   Status RouteShard(const ClientTransaction& tx, size_t* shard) const;
 
+  /// One ordered commit lane per shard: an explicit thread draining a
+  /// bounded ticket deque, so it can coalesce the contiguously-ready
+  /// queue prefix into commit groups (Ledger::CommitPrevalidatedGroup —
+  /// one storage flush per group) without ever reordering tickets.
+  struct CommitterLane {
+    std::mutex mu;
+    std::condition_variable cv;        // queue activity / stop signal
+    std::condition_variable space_cv;  // backpressure for producers
+    std::deque<std::shared_ptr<PendingAppend>> queue;
+    bool stopping = false;
+    std::thread thread;
+  };
+
   /// Routes `p`, and on success enqueues its commit ticket on the owning
   /// shard's lane (in the caller's submission order). Returns false when
   /// routing failed (the future is already resolved with the error);
@@ -215,12 +255,17 @@ class ShardedLedgerGroup {
   /// releases each append's commit ticket.
   void SubmitPrevalidateChunk(std::vector<std::shared_ptr<PendingAppend>> chunk);
 
+  /// Body of a committer lane thread.
+  void CommitterLoop(CommitterLane* lane, Ledger* ledger, size_t shard);
+
   std::vector<std::unique_ptr<Ledger>> shards_;
   std::vector<Status> shard_health_;  // indexed like shards_; OK if healthy
 
+  PipelineOptions pipeline_options_;
   std::mutex engine_mu_;
   std::unique_ptr<ThreadPool> prevalidate_pool_;
-  std::vector<std::unique_ptr<ThreadPool>> committers_;  // one lane per shard
+  std::vector<std::unique_ptr<CommitterLane>> lanes_;    // one per shard
+  std::vector<std::unique_ptr<ThreadPool>> sealers_;     // one per shard
 };
 
 }  // namespace ledgerdb

@@ -47,6 +47,8 @@ inline constexpr char kShardPrevalidateChunkCount[] =
     "ledgerdb_shard_prevalidate_chunk_count";
 inline constexpr char kShardQuarantinedCount[] =
     "ledgerdb_shard_quarantined_count";
+inline constexpr char kShardSealBacklogCount[] =
+    "ledgerdb_shard_seal_backlog_count";
 
 // --- crypto: batched ECDSA verification ----------------------------------
 inline constexpr char kCryptoBatchVerifyCallsTotal[] =
@@ -82,6 +84,10 @@ inline constexpr char kStorageRecoveredFramesTotal[] =
     "ledgerdb_storage_recovered_frames_total";
 inline constexpr char kStorageFaultsInjectedTotal[] =
     "ledgerdb_storage_faults_injected_total";  // label: kind
+inline constexpr char kStorageGroupCommitSizeCount[] =
+    "ledgerdb_storage_group_commit_size_count";
+inline constexpr char kStorageGroupCommitFlushUs[] =
+    "ledgerdb_storage_group_commit_flush_us";
 
 // --- net: transport plane -------------------------------------------------
 inline constexpr char kNetRpcsTotal[] = "ledgerdb_net_rpcs_total";  // label: op
@@ -123,6 +129,7 @@ inline constexpr const char* kAll[] = {
     kShardCommitWaitUs,
     kShardPrevalidateChunkCount,
     kShardQuarantinedCount,
+    kShardSealBacklogCount,
     kCryptoBatchVerifyCallsTotal,
     kCryptoBatchVerifySigsTotal,
     kCryptoBatchVerifyFailuresTotal,
@@ -141,6 +148,8 @@ inline constexpr const char* kAll[] = {
     kStorageQuarantinedBytesTotal,
     kStorageRecoveredFramesTotal,
     kStorageFaultsInjectedTotal,
+    kStorageGroupCommitSizeCount,
+    kStorageGroupCommitFlushUs,
     kNetRpcsTotal,
     kNetFaultsInjectedTotal,
     kClientAppendsTotal,

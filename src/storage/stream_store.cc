@@ -56,6 +56,16 @@ uint32_t Crc32(const uint8_t* data, size_t size) {
   return crc ^ 0xffffffffu;
 }
 
+Status StreamStore::AppendBatch(const std::vector<Slice>& records,
+                                uint64_t* first_index) {
+  *first_index = Count();
+  for (const Slice& record : records) {
+    uint64_t index = 0;
+    LEDGERDB_RETURN_IF_ERROR(Append(record, &index));
+  }
+  return Status::OK();
+}
+
 // ---------------------------------------------------------------------------
 // MemoryStreamStore
 // ---------------------------------------------------------------------------
@@ -135,6 +145,15 @@ Status FileStreamStore::Open(Env* env, const std::string& path,
   uint64_t offset = 0;
   std::string damage;
   while (offset < file_size && damage.empty()) {
+    if (wm_valid && offset >= wm) {
+      // Bytes past the durable watermark were never acknowledged (the
+      // crash hit after the data write but before the watermark
+      // advanced). They may even parse as valid frames — a torn group
+      // write can tear exactly on a frame boundary — so everything past
+      // the watermark is dropped, never silently adopted.
+      damage = "unacknowledged bytes past durable watermark";
+      break;
+    }
     if (offset + kFrameHeaderSize > file_size) {
       damage = "partial frame header";
       break;
@@ -253,6 +272,61 @@ Status FileStreamStore::Append(Slice record, uint64_t* index) {
   LEDGERDB_RETURN_IF_ERROR(PersistWatermark());
   *index = seq;
   return Status::OK();
+}
+
+Status FileStreamStore::AppendBatch(const std::vector<Slice>& records,
+                                    uint64_t* first_index) {
+  if (records.empty()) {
+    *first_index = offsets_.size();
+    return Status::OK();
+  }
+  LEDGERDB_OBS_TIMER(flush_timer, obs::names::kStorageGroupCommitFlushUs);
+  LEDGERDB_OBS_OBSERVE(obs::names::kStorageGroupCommitSizeCount,
+                       records.size());
+  LEDGERDB_OBS_COUNT_N(obs::names::kStorageAppendsTotal, records.size());
+
+  // Encode every frame into one contiguous buffer at its final offset.
+  size_t total = 0;
+  for (const Slice& record : records) {
+    total += kFrameHeaderSize + record.size();
+    LEDGERDB_OBS_COUNT_N(obs::names::kStorageAppendBytesTotal, record.size());
+  }
+  Bytes group(total);
+  uint32_t seq = static_cast<uint32_t>(offsets_.size());
+  size_t pos = 0;
+  for (const Slice& record : records) {
+    uint32_t length = static_cast<uint32_t>(record.size());
+    EncodeFrameHeader(group.data() + pos, /*capacity=*/length, length,
+                      seq++, Crc32(record.data(), record.size()));
+    if (length > 0) {
+      std::memcpy(group.data() + pos + kFrameHeaderSize, record.data(),
+                  record.size());
+    }
+    pos += kFrameHeaderSize + length;
+  }
+
+  // One write, one data sync for the whole group. Nothing is indexed (and
+  // nothing acknowledged) until both land, so a crash anywhere in here
+  // leaves the durable watermark at the pre-group offset and reopen
+  // quarantines whatever prefix of the group made it to disk.
+  uint64_t offset = end_offset_;
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(
+      retry_, [&] { return file_->Write(offset, Slice(group)); }));
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(retry_, [&] {
+    LEDGERDB_OBS_COUNT(obs::names::kStorageFsyncsTotal);
+    return file_->Sync();
+  }));
+  *first_index = offsets_.size();
+  for (const Slice& record : records) {
+    uint32_t length = static_cast<uint32_t>(record.size());
+    offsets_.push_back(offset);
+    lengths_.push_back(length);
+    capacities_.push_back(length);
+    offset += kFrameHeaderSize + length;
+  }
+  end_offset_ = offset;
+  watermark_ = end_offset_;
+  return PersistWatermark();
 }
 
 Status FileStreamStore::Read(uint64_t index, Bytes* out) const {

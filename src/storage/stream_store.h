@@ -24,6 +24,15 @@ class StreamStore {
   /// Appends a record and returns its index via `index`.
   virtual Status Append(Slice record, uint64_t* index) = 0;
 
+  /// Appends every record in `records` as one durability group; record i
+  /// lands at `*first_index + i` (indexes stay dense). The base
+  /// implementation loops over Append; stores that support group commit
+  /// override it to make the whole group durable with one flush, in which
+  /// case a failure leaves nothing appended — callers must treat any
+  /// error as fatal for the entire group.
+  virtual Status AppendBatch(const std::vector<Slice>& records,
+                             uint64_t* first_index);
+
   /// Reads record `index` into `out`. NotFound if the index was never
   /// written; Corruption if the underlying bytes fail validation.
   virtual Status Read(uint64_t index, Bytes* out) const = 0;
@@ -69,11 +78,15 @@ class MemoryStreamStore : public StreamStore {
 /// torn or flipped header never parses as valid.
 ///
 /// Durability bookkeeping lives in a sidecar (`path` + ".wm") holding the
-/// byte offset up to which the log was known synced. On reopen, damage at
-/// or beyond the watermark is a torn tail from a crash mid-append: the
-/// damaged bytes are quarantined to `path` + ".quarantine" and truncated
-/// away (recoverable). Damage below the watermark means bytes the store
-/// had acknowledged as durable changed — a hard Status::Corruption.
+/// byte offset up to which the log was known synced. On reopen, anything
+/// at or beyond the watermark — damaged bytes from a torn write, or even
+/// frames that parse cleanly (a group write can tear exactly on a frame
+/// boundary, and none of those frames were ever acknowledged) — is
+/// quarantined to `path` + ".quarantine" and truncated away
+/// (recoverable). Damage below the watermark means bytes the store had
+/// acknowledged as durable changed — a hard Status::Corruption. When the
+/// sidecar is absent (legacy image) the scan is lenient: valid frames are
+/// kept and quarantine starts at the first damaged byte.
 class FileStreamStore : public StreamStore {
  public:
   static constexpr size_t kFrameHeaderSize = 20;
@@ -104,6 +117,14 @@ class FileStreamStore : public StreamStore {
   FileStreamStore& operator=(const FileStreamStore&) = delete;
 
   Status Append(Slice record, uint64_t* index) override;
+
+  /// Group commit: encodes all frames into one buffer, writes it with a
+  /// single Write + Sync and advances the durable watermark with one more
+  /// sync — two fsyncs per group instead of two per record. Either the
+  /// whole group is acknowledged or (on any error) none of it is indexed.
+  Status AppendBatch(const std::vector<Slice>& records,
+                     uint64_t* first_index) override;
+
   Status Read(uint64_t index, Bytes* out) const override;
   Status Overwrite(uint64_t index, Slice record) override;
   uint64_t Count() const override { return offsets_.size(); }

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <string>
@@ -323,6 +324,199 @@ TEST_F(FaultMatrixTest, CrashAtEveryFaultPoint) {
       EXPECT_EQ(recovered->StateRoot(), it->second.state);
     }
     ExpectAuditPasses(recovered.get());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Group-commit crash matrix
+// ---------------------------------------------------------------------------
+
+// Group durability at the stream layer: a crash anywhere between the
+// group's buffered write and its fsync/watermark pair must recover to a
+// whole-group prefix — the pre-group watermark with the torn tail
+// quarantined — never a silent partial group.
+TEST(GroupCommitFaultTest, CrashAtEveryAppendBatchFaultPoint) {
+  auto record = [](size_t i) { return "group-record-" + std::to_string(i); };
+  // Workload: two singles, a 4-record group, a 3-record group. The only
+  // counts an honest recovery may report are the group boundaries.
+  auto run_workload = [&](Env* env) -> Status {
+    std::unique_ptr<FileStreamStore> store;
+    LEDGERDB_RETURN_IF_ERROR(FileStreamStore::Open(env, "gc.log", &store));
+    uint64_t idx = 0;
+    size_t next = 0;
+    std::string a = record(next++);
+    LEDGERDB_RETURN_IF_ERROR(store->Append(Slice(a), &idx));
+    std::string b = record(next++);
+    LEDGERDB_RETURN_IF_ERROR(store->Append(Slice(b), &idx));
+    for (size_t n : {4u, 3u}) {
+      std::vector<std::string> owned;
+      std::vector<Slice> slices;
+      for (size_t i = 0; i < n; ++i) owned.push_back(record(next++));
+      for (const std::string& s : owned) slices.emplace_back(s);
+      uint64_t first = 0;
+      LEDGERDB_RETURN_IF_ERROR(store->AppendBatch(slices, &first));
+    }
+    return Status::OK();
+  };
+
+  uint64_t total_ops = 0;
+  {
+    MemEnv dry_base;
+    FaultEnv dry(&dry_base, 11);
+    Status s = run_workload(&dry);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    total_ops = dry.ops();
+  }
+  ASSERT_GT(total_ops, 10u);
+
+  const std::vector<uint64_t> group_boundaries = {0, 1, 2, 6, 9};
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    for (int f = 0; f < kFaultKindCount; ++f) {
+      FaultKind kind = static_cast<FaultKind>(f);
+      if (kind == FaultKind::kTransientError) continue;  // absorbed by retry
+      SCOPED_TRACE("fault point " + std::to_string(k) + " kind " +
+                   std::to_string(f));
+      MemEnv base;
+      FaultEnv env(&base, 5000 + k * 16 + f);
+      env.ScheduleFault(k, kind);
+      (void)run_workload(&env);
+      ASSERT_EQ(env.faults_injected(), 1);
+      EXPECT_TRUE(env.crashed());
+
+      std::unique_ptr<FileStreamStore> reopened;
+      Status open = FileStreamStore::Open(&base, "gc.log", &reopened);
+      if (!open.ok()) {
+        // Acknowledged bytes were damaged — refusal must be explicit.
+        EXPECT_TRUE(open.IsCorruption()) << open.ToString();
+        continue;
+      }
+      uint64_t count = reopened->Count();
+      EXPECT_NE(std::find(group_boundaries.begin(), group_boundaries.end(),
+                          count),
+                group_boundaries.end())
+          << "recovered a partial group: count " << count;
+      for (uint64_t i = 0; i < count; ++i) {
+        Bytes payload;
+        ASSERT_TRUE(reopened->Read(i, &payload).ok());
+        EXPECT_EQ(payload, StringToBytes(record(i)));
+      }
+    }
+  }
+}
+
+// Group durability at the ledger layer: CommitPrevalidatedGroup persists
+// its journals through one AppendBatch, so a crash at any fault point must
+// recover to a group boundary of the reference trajectory (with inline
+// boundary seals included), never a state that splits a commit group.
+TEST_F(FaultMatrixTest, GroupCommitCrashRecoversToGroupBoundary) {
+  auto run_workload = [&](Env* env,
+                          std::map<uint64_t, Snapshot>* trajectory) -> Status {
+    SimulatedClock clock(1000 * kMicrosPerSecond);
+    std::unique_ptr<FileStreamStore> jf, bf;
+    LEDGERDB_RETURN_IF_ERROR(FileStreamStore::Open(env, kJournalPath, &jf));
+    LEDGERDB_RETURN_IF_ERROR(FileStreamStore::Open(env, kBlockPath, &bf));
+    Ledger ledger(kUri, options_, &clock, lsp_, &registry_,
+                  {jf.get(), bf.get()});
+    LEDGERDB_RETURN_IF_ERROR(ledger.init_status());
+    uint64_t nonce = 0;
+    auto make_tx = [&](const std::string& payload, const std::string& clue) {
+      ClientTransaction tx;
+      tx.ledger_uri = kUri;
+      tx.clues = {clue};
+      tx.payload = StringToBytes(payload);
+      tx.nonce = nonce++;
+      tx.client_ts = clock.Now();
+      tx.Sign(alice_);
+      return tx;
+    };
+    auto snap = [&] {
+      if (trajectory != nullptr) {
+        (*trajectory)[ledger.NumJournals()] =
+            Snapshot{ledger.FamRoot(), ledger.ClueRoot(), ledger.StateRoot()};
+      }
+    };
+    snap();
+    // Three commit groups of three — with block_capacity 4, boundary
+    // seals fire inside the group applies, exercising crash points that
+    // interleave group persistence with block persistence.
+    for (int g = 0; g < 3; ++g) {
+      std::vector<Ledger::PrevalidatedTx> batch;
+      for (int i = 0; i < 3; ++i) {
+        ClientTransaction tx = make_tx(
+            "g" + std::to_string(g) + "-p" + std::to_string(i),
+            "acct-" + std::to_string(i));
+        Ledger::PrevalidatedTx pre;
+        LEDGERDB_RETURN_IF_ERROR(ledger.Prevalidate(tx, &pre));
+        batch.push_back(std::move(pre));
+      }
+      std::vector<uint64_t> jsns;
+      std::vector<Status> statuses;
+      LEDGERDB_RETURN_IF_ERROR(
+          ledger.CommitPrevalidatedGroup(std::move(batch), &jsns, &statuses));
+      for (const Status& s : statuses) LEDGERDB_RETURN_IF_ERROR(s);
+      clock.Advance(kMicrosPerSecond);
+      snap();
+    }
+    LEDGERDB_RETURN_IF_ERROR(ledger.SealBlock());
+    snap();
+    return Status::OK();
+  };
+
+  MemEnv ref_env;
+  std::map<uint64_t, Snapshot> trajectory;
+  {
+    Status ref = run_workload(&ref_env, &trajectory);
+    ASSERT_TRUE(ref.ok()) << ref.ToString();
+  }
+  uint64_t total_ops = 0;
+  {
+    MemEnv dry_base;
+    FaultEnv dry(&dry_base, 13);
+    Status s = run_workload(&dry, nullptr);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    total_ops = dry.ops();
+  }
+  ASSERT_GT(total_ops, 20u);
+
+  for (uint64_t k = 0; k < total_ops; ++k) {
+    SCOPED_TRACE("fault point " + std::to_string(k));
+    FaultKind kind = static_cast<FaultKind>(k % kFaultKindCount);
+    if (kind == FaultKind::kTransientError) kind = FaultKind::kCrash;
+    MemEnv base;
+    FaultEnv env(&base, 7000 + k);
+    env.ScheduleFault(k, kind);
+    (void)run_workload(&env, nullptr);
+    ASSERT_EQ(env.faults_injected(), 1);
+    EXPECT_TRUE(env.crashed());
+
+    std::unique_ptr<FileStreamStore> jf, bf;
+    Status jopen = FileStreamStore::Open(&base, kJournalPath, &jf);
+    if (!jopen.ok()) {
+      EXPECT_TRUE(jopen.IsCorruption()) << jopen.ToString();
+      continue;
+    }
+    Status bopen = FileStreamStore::Open(&base, kBlockPath, &bf);
+    if (!bopen.ok()) {
+      EXPECT_TRUE(bopen.IsCorruption()) << bopen.ToString();
+      continue;
+    }
+    SimulatedClock clock(1000 * kMicrosPerSecond);
+    std::unique_ptr<Ledger> recovered;
+    Status rs = Ledger::Recover(kUri, options_, &clock, lsp_, &registry_,
+                                {jf.get(), bf.get()}, &recovered);
+    if (!rs.ok()) {
+      EXPECT_TRUE(rs.IsCorruption()) << rs.ToString();
+      continue;
+    }
+    uint64_t count = recovered->NumJournals();
+    auto it = trajectory.find(count);
+    // The recovered count must be a commit-group boundary: journals of
+    // one group are never split by a crash.
+    ASSERT_NE(it, trajectory.end())
+        << "recovered mid-group: " << count << " journals";
+    EXPECT_EQ(recovered->FamRoot(), it->second.fam);
+    EXPECT_EQ(recovered->ClueRoot(), it->second.clue);
+    EXPECT_EQ(recovered->StateRoot(), it->second.state);
   }
 }
 

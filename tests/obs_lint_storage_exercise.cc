@@ -7,6 +7,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "storage/env.h"
 #include "storage/fault_env.h"
@@ -30,6 +31,12 @@ void ExerciseStorageObs() {
     uint64_t idx = 0;
     store->Append(Slice(std::string_view("lint-record-a")), &idx).ok();
     store->Append(Slice(std::string_view("lint-record-b")), &idx).ok();
+    // One group commit so the ledgerdb_storage_group_commit_* series
+    // register too.
+    std::vector<Slice> group = {Slice(std::string_view("lint-group-a")),
+                                Slice(std::string_view("lint-group-b"))};
+    uint64_t first = 0;
+    store->AppendBatch(group, &first).ok();
     store->Overwrite(idx, Slice(std::string_view("lint-redacted"))).ok();
   }
   // Reopen through the clean env so the recovery scan runs too.
