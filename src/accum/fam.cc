@@ -1,6 +1,9 @@
 #include "accum/fam.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "accum/proof_cache.h"
 
 namespace ledgerdb {
 
@@ -29,6 +32,60 @@ bool FamProof::Deserialize(const Bytes& raw, FamProof* out) {
   if (!GetU32(raw, &pos, &count) || count > (1u << 20)) return false;
   out->epoch_links.assign(count, MembershipProof());
   for (uint32_t i = 0; i < count; ++i) {
+    if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+    if (!MembershipProof::Deserialize(block, &out->epoch_links[i])) {
+      return false;
+    }
+  }
+  return pos == raw.size();
+}
+
+Bytes FamBatchProof::Serialize() const {
+  Bytes out;
+  PutU64(&out, target_epoch);
+  PutU32(&out, static_cast<uint32_t>(groups.size()));
+  for (const EpochGroup& group : groups) {
+    PutU64(&out, group.epoch);
+    PutU32(&out, static_cast<uint32_t>(group.jsns.size()));
+    for (uint64_t jsn : group.jsns) PutU64(&out, jsn);
+    PutLengthPrefixed(&out, group.batch.Serialize());
+  }
+  PutU32(&out, static_cast<uint32_t>(epoch_links.size()));
+  for (const MembershipProof& link : epoch_links) {
+    PutLengthPrefixed(&out, link.Serialize());
+  }
+  return out;
+}
+
+bool FamBatchProof::Deserialize(const Bytes& raw, FamBatchProof* out) {
+  size_t pos = 0;
+  if (!GetU64(raw, &pos, &out->target_epoch)) return false;
+  uint32_t group_count = 0;
+  if (!GetU32(raw, &pos, &group_count) || group_count > (1u << 20)) {
+    return false;
+  }
+  out->groups.assign(group_count, EpochGroup());
+  Bytes block;
+  for (uint32_t g = 0; g < group_count; ++g) {
+    EpochGroup& group = out->groups[g];
+    if (!GetU64(raw, &pos, &group.epoch)) return false;
+    uint32_t jsn_count = 0;
+    if (!GetU32(raw, &pos, &jsn_count) || jsn_count > (1u << 20)) {
+      return false;
+    }
+    group.jsns.assign(jsn_count, 0);
+    for (uint32_t i = 0; i < jsn_count; ++i) {
+      if (!GetU64(raw, &pos, &group.jsns[i])) return false;
+    }
+    if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+    if (!BatchProof::Deserialize(block, &group.batch)) return false;
+  }
+  uint32_t link_count = 0;
+  if (!GetU32(raw, &pos, &link_count) || link_count > (1u << 20)) {
+    return false;
+  }
+  out->epoch_links.assign(link_count, MembershipProof());
+  for (uint32_t i = 0; i < link_count; ++i) {
     if (!GetLengthPrefixed(raw, &pos, &block)) return false;
     if (!MembershipProof::Deserialize(block, &out->epoch_links[i])) {
       return false;
@@ -118,17 +175,42 @@ Status FamAccumulator::RootAtJournalCount(uint64_t count, Digest* out) const {
   return Status::OK();
 }
 
-Status FamAccumulator::AppendEpochLinks(uint64_t from_epoch, uint64_t to_epoch,
-                                        FamProof* proof) const {
-  for (uint64_t e = from_epoch + 1; e <= to_epoch; ++e) {
+Status FamAccumulator::AppendEpochLinks(
+    uint64_t from_epoch, uint64_t to_epoch,
+    std::vector<MembershipProof>* links) const {
+  uint64_t start = from_epoch + 1;
+  links->reserve(links->size() + (to_epoch - from_epoch));
+  if (cache_ != nullptr && start <= to_epoch) {
+    // Serve the sealed prefix of the chain in one bulk lookup (one lock
+    // acquisition instead of one per epoch). Pruned epochs are never in
+    // the cache, so the run stops before them and the per-epoch fallback
+    // below serves them from pruned_links_; the same fallback rebuilds
+    // and inserts whatever else the run missed.
+    uint64_t sealed_hi =
+        std::min<uint64_t>(to_epoch + 1, sealed_trees_.size());
+    if (start < sealed_hi) {
+      start = cache_->LookupLinkRun(start, sealed_hi, links);
+    }
+  }
+  for (uint64_t e = start; e <= to_epoch; ++e) {
     MembershipProof link;
     if (e < sealed_trees_.size()) {
       LEDGERDB_RETURN_IF_ERROR(GetEpochLink(e, &link));
     } else {
       LEDGERDB_RETURN_IF_ERROR(current_.GetProof(0, &link));
     }
-    proof->epoch_links.push_back(std::move(link));
+    links->push_back(std::move(link));
   }
+  return Status::OK();
+}
+
+Status FamAccumulator::SealedLocalProof(uint64_t epoch, uint64_t leaf,
+                                        MembershipProof* proof) const {
+  if (cache_ != nullptr && cache_->LookupLocal(epoch, leaf, proof)) {
+    return Status::OK();
+  }
+  LEDGERDB_RETURN_IF_ERROR(sealed_trees_[epoch]->GetProof(leaf, proof));
+  if (cache_ != nullptr) cache_->InsertLocal(epoch, leaf, *proof);
   return Status::OK();
 }
 
@@ -144,11 +226,12 @@ Status FamAccumulator::GetProof(uint64_t jsn, FamProof* proof) const {
       return Status::NotFound("epoch pruned by purge");
     }
     LEDGERDB_RETURN_IF_ERROR(
-        sealed_trees_[loc.epoch]->GetProof(loc.local_leaf, &proof->local));
+        SealedLocalProof(loc.epoch, loc.local_leaf, &proof->local));
   } else {
     LEDGERDB_RETURN_IF_ERROR(current_.GetProof(loc.local_leaf, &proof->local));
   }
-  return AppendEpochLinks(loc.epoch, proof->target_epoch, proof);
+  return AppendEpochLinks(loc.epoch, proof->target_epoch,
+                          &proof->epoch_links);
 }
 
 Status FamAccumulator::GetProofAnchored(uint64_t jsn,
@@ -170,8 +253,8 @@ Status FamAccumulator::GetProofAnchored(uint64_t jsn,
     return Status::NotFound("epoch pruned by purge");
   }
   LEDGERDB_RETURN_IF_ERROR(
-      sealed_trees_[loc.epoch]->GetProof(loc.local_leaf, &proof->local));
-  return AppendEpochLinks(loc.epoch, anchor.epoch, proof);
+      SealedLocalProof(loc.epoch, loc.local_leaf, &proof->local));
+  return AppendEpochLinks(loc.epoch, anchor.epoch, &proof->epoch_links);
 }
 
 namespace {
@@ -227,7 +310,7 @@ Status FamAccumulator::GetEpochProof(uint64_t jsn, MembershipProof* proof,
     if (sealed_trees_[loc.epoch] == nullptr) {
       return Status::NotFound("epoch pruned by purge");
     }
-    return sealed_trees_[loc.epoch]->GetProof(loc.local_leaf, proof);
+    return SealedLocalProof(loc.epoch, loc.local_leaf, proof);
   }
   return current_.GetProof(loc.local_leaf, proof);
 }
@@ -237,10 +320,136 @@ Status FamAccumulator::GetEpochLink(uint64_t e, MembershipProof* link) const {
     return Status::OutOfRange("epoch not sealed");
   }
   if (sealed_trees_[e] == nullptr) {
+    // Pruned epochs already keep their link materialized; don't touch the
+    // cache (it evicts pruned epochs on purge).
     *link = pruned_links_[e];
     return Status::OK();
   }
-  return sealed_trees_[e]->GetProof(0, link);
+  if (cache_ != nullptr && cache_->LookupLink(e, link)) return Status::OK();
+  LEDGERDB_RETURN_IF_ERROR(sealed_trees_[e]->GetProof(0, link));
+  if (cache_ != nullptr) cache_->InsertLink(e, *link);
+  return Status::OK();
+}
+
+Status FamAccumulator::GetBatchProof(const std::vector<uint64_t>& jsns_in,
+                                     FamBatchProof* proof) const {
+  if (jsns_in.empty()) return Status::InvalidArgument("empty jsn set");
+  std::vector<uint64_t> jsns = jsns_in;
+  std::sort(jsns.begin(), jsns.end());
+  jsns.erase(std::unique(jsns.begin(), jsns.end()), jsns.end());
+  if (jsns.back() >= num_journals_) {
+    return Status::OutOfRange("jsn out of range");
+  }
+  proof->target_epoch = CurrentEpoch();
+  proof->groups.clear();
+  proof->epoch_links.clear();
+  // jsns are ascending and Locate is monotone, so grouping by a simple
+  // epoch-change scan yields epoch-ascending groups.
+  std::vector<std::vector<uint64_t>> group_leaves;
+  for (uint64_t jsn : jsns) {
+    JournalLocation loc = Locate(jsn);
+    if (proof->groups.empty() || proof->groups.back().epoch != loc.epoch) {
+      proof->groups.emplace_back();
+      proof->groups.back().epoch = loc.epoch;
+      group_leaves.emplace_back();
+    }
+    proof->groups.back().jsns.push_back(jsn);
+    group_leaves.back().push_back(loc.local_leaf);
+  }
+  for (size_t g = 0; g < proof->groups.size(); ++g) {
+    FamBatchProof::EpochGroup& group = proof->groups[g];
+    if (group.epoch < sealed_trees_.size()) {
+      if (sealed_trees_[group.epoch] == nullptr) {
+        return Status::NotFound("epoch pruned by purge");
+      }
+      if (cache_ != nullptr &&
+          cache_->LookupBatch(group.epoch, group_leaves[g], &group.batch)) {
+        continue;
+      }
+      LEDGERDB_RETURN_IF_ERROR(
+          sealed_trees_[group.epoch]->GetBatchProof(group_leaves[g],
+                                                    &group.batch));
+      if (cache_ != nullptr) {
+        cache_->InsertBatch(group.epoch, group_leaves[g], group.batch);
+      }
+    } else {
+      // Live epoch: never cached (it changes on every append).
+      LEDGERDB_RETURN_IF_ERROR(
+          current_.GetBatchProof(group_leaves[g], &group.batch));
+    }
+  }
+  return AppendEpochLinks(proof->groups.front().epoch, proof->target_epoch,
+                          &proof->epoch_links);
+}
+
+bool FamAccumulator::VerifyBatchProof(int fractal_height,
+                                      const std::vector<uint64_t>& jsns,
+                                      const std::vector<Digest>& journal_digests,
+                                      const FamBatchProof& proof,
+                                      const Digest& trusted_root) {
+  if (jsns.empty() || jsns.size() != journal_digests.size()) return false;
+  for (size_t i = 1; i < jsns.size(); ++i) {
+    if (jsns[i] <= jsns[i - 1]) return false;
+  }
+  if (proof.groups.empty()) return false;
+  // Bind every journal to its ExpectedLocation-derived (epoch, leaf): the
+  // groups' concatenated jsns must equal the input set, group epochs must
+  // strictly ascend, and leaf labels must match the fam layout.
+  std::vector<size_t> offsets(proof.groups.size(), 0);
+  size_t cursor = 0;
+  for (size_t g = 0; g < proof.groups.size(); ++g) {
+    const FamBatchProof::EpochGroup& group = proof.groups[g];
+    if (g > 0 && group.epoch <= proof.groups[g - 1].epoch) return false;
+    if (group.jsns.empty() ||
+        group.jsns.size() != group.batch.leaf_indices.size()) {
+      return false;
+    }
+    offsets[g] = cursor;
+    for (size_t i = 0; i < group.jsns.size(); ++i) {
+      if (cursor >= jsns.size() || group.jsns[i] != jsns[cursor]) return false;
+      uint64_t expected_epoch = 0, expected_leaf = 0;
+      ExpectedLocation(fractal_height, group.jsns[i], &expected_epoch,
+                       &expected_leaf);
+      if (expected_epoch != group.epoch ||
+          group.batch.leaf_indices[i] != expected_leaf) {
+        return false;
+      }
+      ++cursor;
+    }
+  }
+  if (cursor != jsns.size()) return false;
+  uint64_t min_epoch = proof.groups.front().epoch;
+  if (proof.target_epoch < min_epoch) return false;
+  if (proof.epoch_links.size() != proof.target_epoch - min_epoch) {
+    return false;
+  }
+  auto verify_group = [&](size_t g, const Digest& epoch_root) {
+    const FamBatchProof::EpochGroup& group = proof.groups[g];
+    std::vector<Digest> slice(
+        journal_digests.begin() + static_cast<ptrdiff_t>(offsets[g]),
+        journal_digests.begin() +
+            static_cast<ptrdiff_t>(offsets[g] + group.jsns.size()));
+    return ShrubsAccumulator::VerifyBatchProof(slice, group.batch, epoch_root);
+  };
+  // Same chain walk as ChainProof, seeded by the oldest group's batch.
+  Digest running = ShrubsAccumulator::BagPeaks(proof.groups.front().batch.peaks);
+  if (!verify_group(0, running)) return false;
+  size_t next_group = 1;
+  for (uint64_t e = min_epoch + 1; e <= proof.target_epoch; ++e) {
+    const MembershipProof& link = proof.epoch_links[e - min_epoch - 1];
+    // The merged cell must be the first leaf of the next epoch.
+    if (link.leaf_index != 0) return false;
+    Digest next = ShrubsAccumulator::BagPeaks(link.peaks);
+    if (!ShrubsAccumulator::VerifyProof(running, link, next)) return false;
+    running = next;
+    if (next_group < proof.groups.size() &&
+        proof.groups[next_group].epoch == e) {
+      if (!verify_group(next_group, running)) return false;
+      ++next_group;
+    }
+  }
+  if (next_group != proof.groups.size()) return false;
+  return running == trusted_root;
 }
 
 size_t FamAccumulator::PruneSealedEpochsBefore(uint64_t epoch) {
@@ -256,6 +465,9 @@ size_t FamAccumulator::PruneSealedEpochsBefore(uint64_t epoch) {
     freed += sealed_trees_[e]->TotalNodes();
     sealed_trees_[e].reset();
   }
+  // Cached proofs for pruned epochs must become unavailable exactly when
+  // fresh ones do (the uncached path now answers NotFound for them).
+  if (cache_ != nullptr && limit > 0) cache_->InvalidateEpochsBelow(limit);
   return freed;
 }
 

@@ -11,6 +11,8 @@
 
 namespace ledgerdb {
 
+class ProofCache;
+
 /// Proof that a journal is committed by a fam accumulator.
 ///
 /// `local` proves the journal inside its epoch tree (to that epoch's root).
@@ -36,6 +38,43 @@ struct FamProof {
 
   Bytes Serialize() const;
   static bool Deserialize(const Bytes& raw, FamProof* out);
+};
+
+/// Batched fam proof: the §IV-C shared-node-set idea applied across the
+/// whole fractal chain. Journals are grouped by containing epoch; each
+/// group ships ONE Shrubs BatchProof (the minimal N2 − (N2 ∩ N3) node
+/// set) instead of per-journal paths, and the proof carries a single
+/// merged-cell link chain from the oldest touched epoch up to
+/// `target_epoch` — shared by every group, since later epoch roots are
+/// recomputed along the walk anyway.
+struct FamBatchProof {
+  struct EpochGroup {
+    uint64_t epoch = 0;
+    /// Ascending jsns in this epoch; parallel to `batch.leaf_indices`.
+    std::vector<uint64_t> jsns;
+    BatchProof batch;
+  };
+
+  uint64_t target_epoch = 0;
+  /// Strictly ascending by epoch; concatenated jsns are the proof's
+  /// (sorted, distinct) journal set.
+  std::vector<EpochGroup> groups;
+  /// Links for epochs (min_epoch, target_epoch]: `epoch_links[i]` proves
+  /// the root of epoch `min_epoch + i` is the merged first cell of epoch
+  /// `min_epoch + i + 1`.
+  std::vector<MembershipProof> epoch_links;
+
+  /// Verifier cost metric (digests touched), comparable to summing
+  /// FamProof::CostInHashes over the set.
+  size_t CostInHashes() const {
+    size_t cost = 0;
+    for (const auto& group : groups) cost += group.batch.CostInHashes();
+    for (const auto& link : epoch_links) cost += link.CostInHashes();
+    return cost;
+  }
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, FamBatchProof* out);
 };
 
 /// A trusted anchor in the aoa (accumulator-oriented anchor) model: the
@@ -104,6 +143,30 @@ class FamAccumulator {
   /// e's tree). Used by FamVerifier::Sync to extend its trusted set.
   Status GetEpochLink(uint64_t e, MembershipProof* link) const;
 
+  /// Batched proof for a set of journals against the current root: one
+  /// shared-node BatchProof per touched epoch plus a single link chain
+  /// from the oldest touched epoch. `jsns` need not be sorted; duplicates
+  /// are coalesced. Fails NotFound if any journal's epoch was pruned.
+  Status GetBatchProof(const std::vector<uint64_t>& jsns,
+                       FamBatchProof* proof) const;
+
+  /// Verifies a batched proof: `journal_digests[i]` corresponds to
+  /// `jsns[i]` (strictly ascending). Binds every journal to its
+  /// ExpectedLocation-derived (epoch, leaf) — the prover's labels are
+  /// cross-checked, never trusted.
+  static bool VerifyBatchProof(int fractal_height,
+                               const std::vector<uint64_t>& jsns,
+                               const std::vector<Digest>& journal_digests,
+                               const FamBatchProof& proof,
+                               const Digest& trusted_root);
+
+  /// Attaches a memoized proof cache for sealed-epoch material (links,
+  /// local paths, batched node sets). Pass nullptr to detach. The cache
+  /// only ever holds sealed (immutable) subtrees, so hits are
+  /// byte-identical to fresh rebuilds; the accumulator drops pruned
+  /// epochs from it inside PruneSealedEpochsBefore.
+  void SetProofCache(ProofCache* cache) { cache_ = cache; }
+
   /// Verifies a full proof against the published fam root.
   static bool VerifyProof(const Digest& journal_digest, const FamProof& proof,
                           const Digest& trusted_root);
@@ -154,9 +217,14 @@ class FamAccumulator {
   JournalLocation Locate(uint64_t jsn) const;
 
   /// Appends the merged-cell link proofs for epochs (from_epoch, to_epoch]
-  /// to `proof`.
+  /// to `links`.
   Status AppendEpochLinks(uint64_t from_epoch, uint64_t to_epoch,
-                          FamProof* proof) const;
+                          std::vector<MembershipProof>* links) const;
+
+  /// Local membership proof of `leaf` inside sealed (non-pruned) epoch
+  /// `epoch`, consulting the proof cache when attached.
+  Status SealedLocalProof(uint64_t epoch, uint64_t leaf,
+                          MembershipProof* proof) const;
 
   int fractal_height_;
   uint64_t epoch_capacity_;
@@ -169,6 +237,8 @@ class FamAccumulator {
   std::vector<std::unique_ptr<ShrubsAccumulator>> sealed_trees_;
   /// Merged-cell link proofs cached for pruned epochs.
   std::vector<MembershipProof> pruned_links_;
+  /// Optional memoization of sealed-epoch proof material (not owned).
+  ProofCache* cache_ = nullptr;
 };
 
 /// The steady-state fam-aoa client (§III-A1, Figure 4a): a verifier that

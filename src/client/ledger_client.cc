@@ -254,6 +254,97 @@ Status LedgerClient::FetchAndVerifyLineage(
   return Status::OK();
 }
 
+Status LedgerClient::BatchAuditRange(const std::string& clue, Timestamp from,
+                                     Timestamp to,
+                                     std::vector<Journal>* journals,
+                                     ClueRangeResult* raw) const {
+  LEDGERDB_OBS_COUNT(obs::names::kClientBatchAuditsTotal);
+  ClueRangeResult result;
+  LEDGERDB_RETURN_IF_ERROR(RetryTransient(options_.retry, [&] {
+    return transport_->ProveClueRange(clue, from, to, &result);
+  }));
+  if (result.clue != clue) {
+    return Status::VerificationFailed("range result is for a different clue");
+  }
+  if (result.end < result.begin) {
+    return Status::VerificationFailed("range result has an inverted range");
+  }
+  // COMPLETENESS over the claimed entry range: every entry in [begin, end)
+  // must be present, so a server silently dropping journals from the
+  // middle of the range is caught before any crypto runs.
+  uint64_t count = result.end - result.begin;
+  if (result.journals.size() != count) {
+    return Status::VerificationFailed(
+        "range read is missing journals the clue proof covers");
+  }
+  if (count == 0) {
+    journals->clear();
+    if (raw != nullptr) *raw = std::move(result);
+    return Status::OK();
+  }
+  // Per-journal local checks + the requested time window. The window check
+  // is against the SERVER's timestamps; their monotonicity is what makes
+  // the range boundaries meaningful (audited via the TSA scheme).
+  std::vector<Digest> digests;
+  digests.reserve(result.journals.size());
+  for (const Journal& journal : result.journals) {
+    LEDGERDB_RETURN_IF_ERROR(CheckJournalContent(journal));
+    if (journal.server_ts < from || journal.server_ts >= to) {
+      return Status::VerificationFailed(
+          "range result contains a journal outside [from, to)");
+    }
+    digests.push_back(journal.TxHash());
+  }
+  // Clue-lineage binding: each returned journal must sit at clue position
+  // begin + i — positions are derived, never read off the proof's labels.
+  if (result.clue_proof.clue != clue) {
+    return Status::VerificationFailed("clue proof is for a different clue");
+  }
+  if (result.clue_proof.batch.leaf_indices.size() != digests.size()) {
+    return Status::VerificationFailed(
+        "clue proof covers a different number of entries than returned");
+  }
+  for (size_t i = 0; i < digests.size(); ++i) {
+    if (result.clue_proof.batch.leaf_indices[i] != result.begin + i) {
+      return Status::VerificationFailed(
+          "clue proof places an entry at the wrong lineage position");
+    }
+  }
+  if (!CmTree::VerifyClueProof(trusted_clue_root_, digests, result.clue_proof)) {
+    return Status::VerificationFailed(
+        "clue range does not verify against the trusted root");
+  }
+  // Fam existence for the whole batch against ONE refreshed root. A journal
+  // listing the clue twice appears at adjacent lineage positions with the
+  // same jsn; the fam side deduplicates those but insists the repeated
+  // entries are byte-for-byte the same record.
+  std::vector<uint64_t> jsns;
+  std::vector<Digest> fam_digests;
+  jsns.reserve(result.journals.size());
+  fam_digests.reserve(result.journals.size());
+  for (size_t i = 0; i < result.journals.size(); ++i) {
+    uint64_t jsn = result.journals[i].jsn;
+    if (!jsns.empty() && jsn == jsns.back()) {
+      if (!(digests[i] == fam_digests.back())) {
+        return Status::VerificationFailed(
+            "repeated jsn in range carries diverging journal content");
+      }
+      continue;
+    }
+    jsns.push_back(jsn);
+    fam_digests.push_back(digests[i]);
+  }
+  if (!FamAccumulator::VerifyBatchProof(options_.fractal_height, jsns,
+                                        fam_digests, result.fam_batch,
+                                        trusted_fam_root_)) {
+    return Status::VerificationFailed(
+        "fam batch proof does not bind the range to the trusted root");
+  }
+  *journals = result.journals;
+  if (raw != nullptr) *raw = std::move(result);
+  return Status::OK();
+}
+
 Status LedgerClient::CheckReceiptStillHolds(const Receipt& receipt) const {
   if (!receipt.Verify(options_.lsp_key)) {
     return Status::VerificationFailed("receipt signature invalid");

@@ -91,6 +91,21 @@ class LedgerClient {
   Status FetchAndVerifyLineage(const std::string& clue,
                                std::vector<Journal>* journals) const;
 
+  /// Batch-audit mode for range reads: ONE ProveClueRange round-trip
+  /// replaces the per-journal GetJournal + GetProof loop, verified against
+  /// the roots pinned by a single (amortized) RefreshTrustedRoots. Checks:
+  /// the journal list covers the claimed entry range exactly; every
+  /// journal's content verifies (payload digest + π_c) and its server_ts
+  /// falls in [from, to); the clue proof binds each entry at the position
+  /// `begin + i` (labels are never trusted) against the pinned clue root;
+  /// and the fam batch proof binds every journal's tx-hash at its
+  /// jsn-derived (epoch, leaf) against the pinned fam root. `raw`
+  /// (optional) receives the server response for callers that want the
+  /// proofs too.
+  Status BatchAuditRange(const std::string& clue, Timestamp from, Timestamp to,
+                         std::vector<Journal>* journals,
+                         ClueRangeResult* raw = nullptr) const;
+
   /// Receipts retained by AppendVerified, in submission order.
   const std::vector<Receipt>& receipts() const { return receipts_; }
 

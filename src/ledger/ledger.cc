@@ -68,6 +68,35 @@ bool DecodeTombstone(const Bytes& raw, Tombstone* out) {
   return pos == raw.size();
 }
 
+// Cheap wire-size estimates for proof-cache accounting: inserting a memo
+// must not pay a full Serialize just to size the entry (that would cost
+// as much as the rebuild the memo is there to avoid).
+size_t ApproxProofBytes(const BatchProof& proof) {
+  return 48 * proof.nodes.size() + 32 * proof.peaks.size() +
+         8 * proof.leaf_indices.size() + 64;
+}
+
+size_t ApproxProofBytes(const MembershipProof& proof) {
+  return 32 * (proof.siblings.size() + proof.peaks.size() + 2);
+}
+
+size_t ApproxProofBytes(const ClueProof& proof) {
+  size_t bytes = proof.clue.size() + 80 + ApproxProofBytes(proof.batch);
+  for (const Bytes& node : proof.mpt.nodes) bytes += node.size() + 16;
+  return bytes;
+}
+
+size_t ApproxProofBytes(const FamBatchProof& proof) {
+  size_t bytes = 64;
+  for (const FamBatchProof::EpochGroup& group : proof.groups) {
+    bytes += 8 * group.jsns.size() + 16 + ApproxProofBytes(group.batch);
+  }
+  for (const MembershipProof& link : proof.epoch_links) {
+    bytes += ApproxProofBytes(link);
+  }
+  return bytes;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -114,6 +143,47 @@ bool TimeEvidence::Deserialize(const Bytes& raw, TimeEvidence* out) {
 }
 
 // ---------------------------------------------------------------------------
+// ClueRangeResult wire format
+// ---------------------------------------------------------------------------
+
+Bytes ClueRangeResult::Serialize() const {
+  Bytes out;
+  PutLengthPrefixed(&out, StringToBytes(clue));
+  PutU64(&out, begin);
+  PutU64(&out, end);
+  PutU32(&out, static_cast<uint32_t>(journals.size()));
+  for (const Journal& journal : journals) {
+    PutLengthPrefixed(&out, journal.Serialize());
+  }
+  PutLengthPrefixed(&out, clue_proof.Serialize());
+  PutLengthPrefixed(&out, fam_batch.Serialize());
+  return out;
+}
+
+bool ClueRangeResult::Deserialize(const Bytes& raw, ClueRangeResult* out) {
+  size_t pos = 0;
+  Bytes block;
+  if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+  out->clue.assign(block.begin(), block.end());
+  if (!GetU64(raw, &pos, &out->begin)) return false;
+  if (!GetU64(raw, &pos, &out->end)) return false;
+  uint32_t count = 0;
+  if (!GetU32(raw, &pos, &count) || count > (1u << 20)) return false;
+  // The journal list must cover the claimed entry range exactly.
+  if (out->end <= out->begin || out->end - out->begin != count) return false;
+  out->journals.assign(count, Journal());
+  for (uint32_t i = 0; i < count; ++i) {
+    if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+    if (!Journal::Deserialize(block, &out->journals[i])) return false;
+  }
+  if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+  if (!ClueProof::Deserialize(block, &out->clue_proof)) return false;
+  if (!GetLengthPrefixed(raw, &pos, &block)) return false;
+  if (!FamBatchProof::Deserialize(block, &out->fam_batch)) return false;
+  return pos == raw.size();
+}
+
+// ---------------------------------------------------------------------------
 // Ledger
 // ---------------------------------------------------------------------------
 
@@ -126,8 +196,12 @@ Ledger::Ledger(std::string uri, const LedgerOptions& options, Clock* clock,
       lsp_key_(std::move(lsp_key)),
       members_(members),
       storage_(storage),
+      proof_cache_(options.enable_proof_cache ? std::make_unique<ProofCache>(
+                                                    options.proof_cache_bytes)
+                                              : nullptr),
       fam_(options.fractal_height),
       cmtree_(&cmtree_store_, options.mpt_cache_depth) {
+  if (proof_cache_ != nullptr) fam_.SetProofCache(proof_cache_.get());
   // Genesis journal, authored by the LSP. A persist failure here poisons
   // the ledger (init_status()); the partial on-disk image recovers to an
   // explicit error rather than a ledger missing its genesis.
@@ -145,8 +219,13 @@ Ledger::Ledger(RecoveryTag, std::string uri, const LedgerOptions& options,
       members_(members),
       storage_(storage),
       recovering_(true),
+      proof_cache_(options.enable_proof_cache ? std::make_unique<ProofCache>(
+                                                    options.proof_cache_bytes)
+                                              : nullptr),
       fam_(options.fractal_height),
-      cmtree_(&cmtree_store_, options.mpt_cache_depth) {}
+      cmtree_(&cmtree_store_, options.mpt_cache_depth) {
+  if (proof_cache_ != nullptr) fam_.SetProofCache(proof_cache_.get());
+}
 
 Status Ledger::CommitJournal(Journal journal, uint64_t* out_jsn,
                              bool persist) {
@@ -185,6 +264,9 @@ Status Ledger::ApplyCommitted(Journal journal, uint64_t* out_jsn) {
         jsn, journal.request_hash};
   }
 
+  // Keeps the monotone-stamp high-water mark in sync on recovery replay,
+  // where journals arrive with their recorded timestamps.
+  last_server_ts_ = std::max(last_server_ts_, journal.server_ts);
   journals_.push_back(std::move(journal));
   occult_bitmap_.Resize(jsn + 1);
   {
@@ -227,7 +309,7 @@ Status Ledger::AppendInternal(JournalType type,
   Journal journal;
   journal.type = type;
   journal.nonce = tx.nonce;
-  journal.server_ts = clock_->Now();
+  journal.server_ts = StampServerTime();
   journal.clues = clues;
   journal.payload = tx.payload;
   journal.payload_digest = Sha256::Hash(tx.payload);
@@ -336,7 +418,7 @@ Status Ledger::CommitPrevalidated(PrevalidatedTx&& prevalidated,
       }
     }
   }
-  prevalidated.journal.server_ts = clock_->Now();
+  prevalidated.journal.server_ts = StampServerTime();
   Status status = CommitJournal(std::move(prevalidated.journal), jsn);
   if (status.ok()) {
     LEDGERDB_OBS_COUNT(obs::names::kLedgerAppendsTotal);
@@ -406,7 +488,7 @@ Status Ledger::CommitPrevalidatedGroup(std::vector<PrevalidatedTx>&& batch,
       }
       group_nonces[signer_id][journal.nonce] = i;
     }
-    journal.server_ts = clock_->Now();
+    journal.server_ts = StampServerTime();
     journal.jsn = journals_.size() + live.size();
     live.push_back(i);
   }
@@ -505,6 +587,10 @@ Status Ledger::SealBlockLocked() {
   blocks_.push_back(header);
   pending_block_.clear();
   LEDGERDB_OBS_COUNT(obs::names::kLedgerBlocksSealedTotal);
+  // Seal published: the roots moved past every cached serialized proof's
+  // stamp, so reclaim those bytes now (stale stamps are never served
+  // regardless — this is garbage collection, not correctness).
+  if (proof_cache_ != nullptr) proof_cache_->DropBlobs();
   seal_cv_.notify_all();
   return Status::OK();
 }
@@ -565,6 +651,8 @@ void Ledger::CompleteSeal(SealJob&& job) {
       }
       blocks_.push_back(header);
       LEDGERDB_OBS_COUNT(obs::names::kLedgerBlocksSealedTotal);
+      // Same seal-time blob GC as the inline path (see SealBlockLocked).
+      if (proof_cache_ != nullptr) proof_cache_->DropBlobs();
     }
   }
   if (!status.ok()) {
@@ -640,6 +728,11 @@ Status Ledger::GetDelta(uint64_t from, uint64_t to,
   return Status::OK();
 }
 
+Timestamp Ledger::StampServerTime() {
+  last_server_ts_ = std::max(last_server_ts_, clock_->Now());
+  return last_server_ts_;
+}
+
 Status Ledger::GetJournal(uint64_t jsn, Journal* out) const {
   if (jsn >= journals_.size()) return Status::NotFound("no such journal");
   if (!journals_[jsn].has_value()) return Status::NotFound("journal purged");
@@ -684,7 +777,113 @@ bool Ledger::VerifyJournalProof(const Journal& journal, const FamProof& proof,
 
 Status Ledger::GetClueProof(const std::string& clue, uint64_t begin,
                             uint64_t end, ClueProof* proof) const {
-  return cmtree_.GetClueProof(clue, begin, end, proof);
+  LEDGERDB_OBS_SPAN(span, obs::stages::kProofBuild);
+  if (proof_cache_ == nullptr) {
+    return cmtree_.GetClueProof(clue, begin, end, proof);
+  }
+  // The MptProof component binds to the global CM-Tree1 root, so the blob
+  // stamp must be the whole clue root: any clue changing invalidates it.
+  // `end == 0` ("latest") is safe under the same stamp — this clue can only
+  // grow by moving the global root.
+  Digest stamp = cmtree_.Root();
+  std::string key = "clue|" + clue + "|" + std::to_string(begin) + "|" +
+                    std::to_string(end);
+  std::shared_ptr<const void> hit;
+  if (proof_cache_->LookupObject(key, stamp, &hit)) {
+    *proof = *static_cast<const ClueProof*>(hit.get());
+    return Status::OK();
+  }
+  LEDGERDB_RETURN_IF_ERROR(cmtree_.GetClueProof(clue, begin, end, proof));
+  auto kept = std::make_shared<const ClueProof>(*proof);
+  proof_cache_->InsertObject(key, stamp, std::move(kept),
+                             ApproxProofBytes(*proof));
+  return Status::OK();
+}
+
+Status Ledger::GetProofBatch(const std::vector<uint64_t>& jsns,
+                             FamBatchProof* proof) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kProofBuild);
+  LEDGERDB_OBS_OBSERVE(obs::names::kLedgerBatchProofJournalsCount,
+                       jsns.size());
+  if (proof_cache_ == nullptr) return fam_.GetBatchProof(jsns, proof);
+  // Memoize the whole batch proof. The proof is a pure function of the
+  // fam tree state and the (sorted, deduplicated) jsn set, and the fam
+  // root commits to that state, so stamping with the root makes a hit
+  // byte-identical to a rebuild; any append moves the root and the entry
+  // goes stale. Prune changes *availability* without moving the root,
+  // which is why the prune path drops the blob section outright.
+  std::vector<uint64_t> canon = jsns;
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+  std::string key = "fambatch|";
+  key.reserve(key.size() + canon.size() * 8);
+  for (uint64_t jsn : canon) {
+    for (int b = 0; b < 8; ++b) {
+      key.push_back(static_cast<char>((jsn >> (8 * b)) & 0xff));
+    }
+  }
+  Digest stamp = fam_.Root();
+  std::shared_ptr<const void> hit;
+  if (proof_cache_->LookupObject(key, stamp, &hit)) {
+    *proof = *static_cast<const FamBatchProof*>(hit.get());
+    return Status::OK();
+  }
+  LEDGERDB_RETURN_IF_ERROR(fam_.GetBatchProof(canon, proof));
+  auto kept = std::make_shared<const FamBatchProof>(*proof);
+  proof_cache_->InsertObject(key, stamp, std::move(kept),
+                             ApproxProofBytes(*proof));
+  return Status::OK();
+}
+
+Status Ledger::ProveClueRange(const std::string& clue, Timestamp from,
+                              Timestamp to, ClueRangeResult* out) const {
+  LEDGERDB_OBS_SPAN(span, obs::stages::kProofBuild);
+  LEDGERDB_OBS_COUNT(obs::names::kLedgerRangeProofsTotal);
+  uint64_t begin = 0, end = 0;
+  LEDGERDB_RETURN_IF_ERROR(ResolveClueRange(clue, from, to, &begin, &end));
+  const std::vector<uint64_t>* postings = clue_index_.Find(clue);
+  if (postings == nullptr) return Status::NotFound("unknown clue");
+  out->clue = clue;
+  out->begin = begin;
+  out->end = end;
+  out->journals.clear();
+  out->journals.reserve(end - begin);
+  std::vector<uint64_t> jsns;
+  jsns.reserve(end - begin);
+  for (uint64_t i = begin; i < end; ++i) {
+    uint64_t jsn = (*postings)[i];
+    Journal journal;
+    LEDGERDB_RETURN_IF_ERROR(GetJournal(jsn, &journal));
+    out->journals.push_back(std::move(journal));
+    jsns.push_back(jsn);
+  }
+  LEDGERDB_RETURN_IF_ERROR(GetClueProof(clue, begin, end, &out->clue_proof));
+  return GetProofBatch(jsns, &out->fam_batch);
+}
+
+Status Ledger::ProveClueRangeWire(const std::string& clue, Timestamp from,
+                                  Timestamp to, Bytes* wire) const {
+  if (proof_cache_ == nullptr) {
+    ClueRangeResult result;
+    LEDGERDB_RETURN_IF_ERROR(ProveClueRange(clue, from, to, &result));
+    *wire = result.Serialize();
+    return Status::OK();
+  }
+  // Keyed by the client's query parameters, stamped by the fam root: the
+  // root commits the whole append sequence, and every response field —
+  // the resolved [begin, end), the journals, both proofs — is a pure
+  // function of that sequence plus the query, so a stamp match makes the
+  // served bytes identical to a fresh build. Error results (e.g. an
+  // empty range) are never memoized.
+  std::string key = "range|" + clue + "|" + std::to_string(from) + "|" +
+                    std::to_string(to);
+  Digest stamp = fam_.Root();
+  if (proof_cache_->LookupBlob(key, stamp, wire)) return Status::OK();
+  ClueRangeResult result;
+  LEDGERDB_RETURN_IF_ERROR(ProveClueRange(clue, from, to, &result));
+  *wire = result.Serialize();
+  proof_cache_->InsertBlob(key, stamp, *wire);
+  return Status::OK();
 }
 
 Status Ledger::AnchorTime(uint64_t* time_jsn) {
@@ -828,6 +1027,10 @@ Status Ledger::Purge(uint64_t purge_before_jsn,
     // Drop fam interiors for epochs wholly before the purge point; the
     // epoch containing the boundary stays intact.
     fam_.PruneSealedEpochsBefore(fam_.EpochOfJournal(purge_before_jsn - 1));
+    // Pruning narrows proof availability without moving the fam root, so
+    // root-stamped whole-proof memos could otherwise resurrect proofs the
+    // uncached path now refuses to build. Drop them all; purge is rare.
+    if (proof_cache_ != nullptr) proof_cache_->DropBlobs();
   }
   if (purge_jsn != nullptr) *purge_jsn = pj;
   return Status::OK();
@@ -866,6 +1069,10 @@ Status Ledger::Occult(uint64_t jsn, const std::vector<Endorsement>& endorsements
 
   // Set the occult bit first (the journal is immediately unretrievable),
   // then erase synchronously or defer to the reorganization utility.
+  // Occulting changes what reads return without moving any root, so
+  // root-stamped response memos must go too — a stale wire memo would
+  // leak the occulted payload.
+  if (proof_cache_ != nullptr) proof_cache_->DropBlobs();
   occult_bitmap_.Set(jsn);
   journals_[jsn]->occulted = true;
   if (options_.sync_occult_erasure) {
@@ -913,6 +1120,9 @@ Status Ledger::OccultByClue(const std::string& clue,
         "occult requires DBA and regulator signatures");
   }
 
+  // Same memo-privacy rule as the single-journal form: occulted payloads
+  // must not survive in root-stamped response memos.
+  if (proof_cache_ != nullptr) proof_cache_->DropBlobs();
   size_t count = 0;
   for (uint64_t jsn : *postings) {
     if (jsn < purged_boundary_ || !journals_[jsn].has_value()) continue;
@@ -943,20 +1153,29 @@ Status Ledger::ResolveClueRange(const std::string& clue, Timestamp from,
   const std::vector<uint64_t>* postings = clue_index_.Find(clue);
   if (postings == nullptr) return Status::NotFound("unknown clue");
   const std::vector<uint64_t>& jsns = *postings;
-  uint64_t b = jsns.size(), e = 0;
-  for (uint64_t i = 0; i < jsns.size(); ++i) {
-    // Purged journals lost their timestamps; a range query across the
-    // purge boundary is not resolvable.
-    if (!journals_[jsns[i]].has_value()) continue;
-    Timestamp ts = journals_[jsns[i]]->server_ts;
-    if (ts >= from && ts < to) {
-      b = std::min(b, i);
-      e = std::max(e, i + 1);
-    }
-  }
-  if (b >= e) return Status::NotFound("no clue entries in time range");
-  *begin = b;
-  *end = e;
+  // Purges tombstone a strict jsn prefix (everything below
+  // purged_boundary_), so the purged postings — which lost their
+  // timestamps — are a prefix of this ascending list too. Server
+  // timestamps are stamped monotonically in jsn order, so the surviving
+  // suffix is sorted by server_ts and the window resolves with two
+  // binary searches instead of a scan of the clue's whole lineage.
+  auto alive = std::lower_bound(jsns.begin(), jsns.end(), purged_boundary_);
+  // A tombstone above the boundary (mid-purge straggler) sorts as "before
+  // the window": prefix purges keep that ordering consistent, and a
+  // straggler inside the answer surfaces as GetJournal's NotFound rather
+  // than an invalid dereference here.
+  auto before = [&](uint64_t jsn, Timestamp bound) {
+    return !journals_[jsn].has_value() || journals_[jsn]->server_ts < bound;
+  };
+  auto first = std::partition_point(alive, jsns.end(), [&](uint64_t jsn) {
+    return before(jsn, from);
+  });
+  auto last = std::partition_point(first, jsns.end(), [&](uint64_t jsn) {
+    return before(jsn, to);
+  });
+  if (first == last) return Status::NotFound("no clue entries in time range");
+  *begin = static_cast<uint64_t>(first - jsns.begin());
+  *end = static_cast<uint64_t>(last - jsns.begin());
   return Status::OK();
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "accum/fam.h"
+#include "accum/proof_cache.h"
 #include "cmtree/cm_tree.h"
 #include "common/clock.h"
 #include "common/status.h"
@@ -47,6 +48,14 @@ struct LedgerOptions {
   /// When false the fam tree is retained in full — "its space consumption
   /// is acceptable (we only need digest but not raw payload)".
   bool prune_fam_on_purge = false;
+  /// Memoized proof cache for sealed fam subtrees and serialized clue
+  /// proofs. Purely a read-path accelerator: it never changes any digest,
+  /// and disabling it reproduces byte-identical proofs (the correctness
+  /// baseline the proof_cache tests pin).
+  bool enable_proof_cache = true;
+  /// Resident-byte budget for the proof cache (epoch-granular LRU
+  /// eviction past it).
+  size_t proof_cache_bytes = 8u << 20;
 };
 
 /// How a time journal's evidence was obtained (§III-B).
@@ -89,6 +98,25 @@ struct LedgerStorage {
   StreamStore* blocks = nullptr;
 
   bool enabled() const { return journals != nullptr && blocks != nullptr; }
+};
+
+/// Everything a client needs to batch-audit one clue-range read (§IV-C
+/// "verify within a range specified by version (or timestamp) boundaries",
+/// batched): the journals selected by ResolveClueRange plus ONE ClueProof
+/// over the whole entry range (lineage + completeness) and ONE FamBatchProof
+/// over their jsns (existence), instead of per-journal round-trips.
+struct ClueRangeResult {
+  std::string clue;
+  /// Entry-index range [begin, end) in the clue's lineage; `journals[i]`
+  /// is the journal behind entry `begin + i`.
+  uint64_t begin = 0;
+  uint64_t end = 0;
+  std::vector<Journal> journals;
+  ClueProof clue_proof;
+  FamBatchProof fam_batch;
+
+  Bytes Serialize() const;
+  static bool Deserialize(const Bytes& raw, ClueRangeResult* out);
 };
 
 /// The LedgerDB ledger: an auditable, tamper-evident journal store with
@@ -321,6 +349,34 @@ class Ledger {
   Status ResolveClueRange(const std::string& clue, Timestamp from,
                           Timestamp to, uint64_t* begin, uint64_t* end) const;
 
+  /// Batched fam existence proof for a set of journals: one shared-node
+  /// BatchProof per touched epoch + one link chain (see FamBatchProof).
+  Status GetProofBatch(const std::vector<uint64_t>& jsns,
+                       FamBatchProof* proof) const;
+
+  /// The batched range-read entry point: resolves [from, to) against the
+  /// clue's lineage (ResolveClueRange), fetches the selected journals, and
+  /// builds ONE ClueProof over the whole entry range plus ONE FamBatchProof
+  /// over their jsns — what LedgerClient::BatchAuditRange verifies against
+  /// a single RefreshTrustedRoots.
+  Status ProveClueRange(const std::string& clue, Timestamp from, Timestamp to,
+                        ClueRangeResult* out) const;
+
+  /// Wire-level variant for transports: returns the serialized
+  /// ClueRangeResult, memoized under the query parameters and stamped
+  /// with the fam root. A repeated range read between writes is served
+  /// as one bytes copy — no proof rebuild, no re-serialization — and the
+  /// stamp guarantees the served bytes equal a fresh build + Serialize.
+  /// Retrievability changes that do not move the root (occult, purge)
+  /// drop the memo section explicitly.
+  Status ProveClueRangeWire(const std::string& clue, Timestamp from,
+                            Timestamp to, Bytes* wire) const;
+
+  /// Proof-cache statistics (zeros when the cache is disabled).
+  ProofCache::Stats ProofCacheStats() const {
+    return proof_cache_ ? proof_cache_->stats() : ProofCache::Stats{};
+  }
+
   // -------------------------------------------------------------------
   // Unified Verify API (the paper's
   // Verify(lgid, CLUE, *{key, txdata, rho, root}, level) entry point)
@@ -486,6 +542,9 @@ class Ledger {
   /// Erases one journal's payload in place (keeps digest + metadata).
   Status ErasePayload(uint64_t jsn);
 
+  /// Reads the clock and clamps against last_server_ts_ (see that member).
+  Timestamp StampServerTime();
+
   std::string uri_;
   LedgerOptions options_;
   Clock* clock_;
@@ -496,6 +555,11 @@ class Ledger {
   Status init_status_;
 
   std::vector<std::optional<Journal>> journals_;
+  /// Memoized proof plane (null when disabled). Declared before fam_ so it
+  /// outlives the accumulator holding a raw pointer to it. Sealed-epoch
+  /// entries are managed by fam_; serialized ClueProof blobs are stamped
+  /// with the clue root and garbage-collected at seal time.
+  std::unique_ptr<ProofCache> proof_cache_;
   FamAccumulator fam_;
   MemoryNodeStore cmtree_store_;
   CmTree cmtree_;
@@ -527,6 +591,13 @@ class Ledger {
 
   uint64_t purged_boundary_ = 0;
   std::vector<uint64_t> pseudo_genesis_jsns_;
+  /// High-water mark for server timestamps. Stamping clamps against it so
+  /// server_ts is non-decreasing in jsn order even if the wall clock steps
+  /// backwards — ResolveClueRange binary-searches timestamps along a
+  /// clue's postings, and the client's batch audit rejects any range
+  /// answer whose journals stray outside the queried window, so jsn order
+  /// and time order must agree.
+  Timestamp last_server_ts_ = 0;
   MemoryStreamStore survival_stream_;
   std::vector<uint64_t> pending_occult_;
   BitmapIndex occult_bitmap_;

@@ -250,6 +250,61 @@ Status ByzantineTransport::ListTx(const std::string& clue,
   return st;
 }
 
+Status ByzantineTransport::GetProofBatch(const std::vector<uint64_t>& jsns,
+                                         FamBatchProof* out) {
+  FaultKind fault = TakeFault(RpcOp::kGetProofBatch);
+  if (fault == FaultKind::kTruncateProof) {
+    // Structurally plausible, cryptographically incomplete: shorten the
+    // link chain (the proof stops connecting to the live root) or thin
+    // the last group's shared node set.
+    LEDGERDB_RETURN_IF_ERROR(inner_->GetProofBatch(jsns, out));
+    if (!out->epoch_links.empty()) {
+      out->epoch_links.pop_back();
+    } else if (!out->groups.empty() && !out->groups.back().batch.nodes.empty()) {
+      out->groups.back().batch.nodes.pop_back();
+    } else if (!out->groups.empty() && !out->groups.back().batch.peaks.empty()) {
+      out->groups.back().batch.peaks.pop_back();
+    }
+    return Status::OK();
+  }
+  return HandleWire<FamBatchProof>(
+      RpcOp::kGetProofBatch, fault, out, [&](FamBatchProof* o) {
+        return inner_->GetProofBatch(jsns, o);
+      });
+}
+
+Status ByzantineTransport::ProveClueRange(const std::string& clue,
+                                          Timestamp from, Timestamp to,
+                                          ClueRangeResult* out) {
+  FaultKind fault = TakeFault(RpcOp::kProveClueRange);
+  if (fault == FaultKind::kTruncateProof) {
+    // Hide the newest selected journal: the batch-audit's completeness
+    // check (journal count vs claimed entry range) must catch it.
+    LEDGERDB_RETURN_IF_ERROR(inner_->ProveClueRange(clue, from, to, out));
+    if (!out->journals.empty()) out->journals.pop_back();
+    return Status::OK();
+  }
+  if (fault == FaultKind::kCorruptPayload) {
+    LEDGERDB_RETURN_IF_ERROR(inner_->ProveClueRange(clue, from, to, out));
+    for (Journal& journal : out->journals) {
+      if (!journal.payload.empty()) {
+        journal.payload[rng_.Uniform(journal.payload.size())] ^= 0x01;
+        return Status::OK();
+      }
+    }
+    if (!out->journals.empty()) {
+      Journal& journal = out->journals.front();
+      journal.payload_digest
+          .bytes[rng_.Uniform(journal.payload_digest.bytes.size())] ^= 0x01;
+    }
+    return Status::OK();
+  }
+  return HandleWire<ClueRangeResult>(
+      RpcOp::kProveClueRange, fault, out, [&](ClueRangeResult* o) {
+        return inner_->ProveClueRange(clue, from, to, o);
+      });
+}
+
 Status ByzantineTransport::GetCommitment(SignedCommitment* out) {
   FaultKind fault = TakeFault(RpcOp::kGetCommitment);
   if (fork_mirror_ != nullptr) {

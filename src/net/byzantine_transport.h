@@ -88,6 +88,10 @@ class ByzantineTransport : public LedgerTransport {
   Status GetCommitment(SignedCommitment* out) override;
   Status GetDelta(uint64_t from, uint64_t to,
                   std::vector<JournalDelta>* out) override;
+  Status GetProofBatch(const std::vector<uint64_t>& jsns,
+                       FamBatchProof* out) override;
+  Status ProveClueRange(const std::string& clue, Timestamp from, Timestamp to,
+                        ClueRangeResult* out) override;
 
   const std::string& uri() const override { return inner_->uri(); }
 

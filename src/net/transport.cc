@@ -20,6 +20,10 @@ const char* RpcOpName(RpcOp op) {
       return "GetCommitment";
     case RpcOp::kGetDelta:
       return "GetDelta";
+    case RpcOp::kGetProofBatch:
+      return "GetProofBatch";
+    case RpcOp::kProveClueRange:
+      return "ProveClueRange";
   }
   return "Unknown";
 }
@@ -121,6 +125,32 @@ Status LocalTransport::ListTx(const std::string& clue,
     if (!GetU64(wire, &pos, &(*jsns)[i])) {
       return Status::Corruption("jsn list wire round trip failed");
     }
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::GetProofBatch(const std::vector<uint64_t>& jsns,
+                                     FamBatchProof* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  FamBatchProof proof;
+  LEDGERDB_RETURN_IF_ERROR(ledger->GetProofBatch(jsns, &proof));
+  if (!FamBatchProof::Deserialize(proof.Serialize(), out)) {
+    return Status::Corruption("batch proof wire round trip failed");
+  }
+  return Status::OK();
+}
+
+Status LocalTransport::ProveClueRange(const std::string& clue, Timestamp from,
+                                      Timestamp to, ClueRangeResult* out) {
+  Ledger* ledger = nullptr;
+  LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
+  // The wire variant lets the server serve a repeated range read from its
+  // response memo without rebuilding or re-serializing the proofs.
+  Bytes wire;
+  LEDGERDB_RETURN_IF_ERROR(ledger->ProveClueRangeWire(clue, from, to, &wire));
+  if (!ClueRangeResult::Deserialize(wire, out)) {
+    return Status::Corruption("clue range wire round trip failed");
   }
   return Status::OK();
 }

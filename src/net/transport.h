@@ -22,9 +22,11 @@ enum class RpcOp : uint8_t {
   kListTx,
   kGetCommitment,
   kGetDelta,
+  kGetProofBatch,
+  kProveClueRange,
 };
 
-constexpr int kNumRpcOps = 8;
+constexpr int kNumRpcOps = 10;
 
 const char* RpcOpName(RpcOp op);
 
@@ -53,6 +55,17 @@ class LedgerTransport {
   virtual Status GetDelta(uint64_t from, uint64_t to,
                           std::vector<JournalDelta>* out) = 0;
 
+  /// Batched fam existence proof for a journal set (one shared node set
+  /// per epoch + one link chain; see FamBatchProof).
+  virtual Status GetProofBatch(const std::vector<uint64_t>& jsns,
+                               FamBatchProof* out) = 0;
+
+  /// Batched range read: journals + clue proof + fam batch proof for every
+  /// entry of `clue` with server_ts in [from, to). One round-trip replaces
+  /// N GetJournal calls plus N GetProof calls.
+  virtual Status ProveClueRange(const std::string& clue, Timestamp from,
+                                Timestamp to, ClueRangeResult* out) = 0;
+
   virtual const std::string& uri() const = 0;
 };
 
@@ -78,6 +91,10 @@ class LocalTransport : public LedgerTransport {
   Status GetCommitment(SignedCommitment* out) override;
   Status GetDelta(uint64_t from, uint64_t to,
                   std::vector<JournalDelta>* out) override;
+  Status GetProofBatch(const std::vector<uint64_t>& jsns,
+                       FamBatchProof* out) override;
+  Status ProveClueRange(const std::string& clue, Timestamp from, Timestamp to,
+                        ClueRangeResult* out) override;
 
   const std::string& uri() const override { return uri_; }
 

@@ -34,6 +34,10 @@ inline constexpr char kLedgerProofBuildUs[] = "ledgerdb_ledger_proof_build_us";
 inline constexpr char kLedgerRecoverUs[] = "ledgerdb_ledger_recover_us";
 inline constexpr char kLedgerRecoveredJournalsTotal[] =
     "ledgerdb_ledger_recovered_journals_total";
+inline constexpr char kLedgerRangeProofsTotal[] =
+    "ledgerdb_ledger_range_proofs_total";
+inline constexpr char kLedgerBatchProofJournalsCount[] =
+    "ledgerdb_ledger_batch_proof_journals_count";
 
 // --- shard: pipelined append lanes ---------------------------------------
 inline constexpr char kShardBatchAppendsTotal[] =
@@ -89,6 +93,16 @@ inline constexpr char kStorageGroupCommitSizeCount[] =
 inline constexpr char kStorageGroupCommitFlushUs[] =
     "ledgerdb_storage_group_commit_flush_us";
 
+// --- proofcache: memoized proof plane ------------------------------------
+inline constexpr char kProofCacheHitsTotal[] =
+    "ledgerdb_proofcache_hits_total";
+inline constexpr char kProofCacheMissesTotal[] =
+    "ledgerdb_proofcache_misses_total";
+inline constexpr char kProofCacheEvictionsTotal[] =
+    "ledgerdb_proofcache_evictions_total";
+inline constexpr char kProofCacheResidentBytes[] =
+    "ledgerdb_proofcache_resident_bytes";
+
 // --- net: transport plane -------------------------------------------------
 inline constexpr char kNetRpcsTotal[] = "ledgerdb_net_rpcs_total";  // label: op
 inline constexpr char kNetFaultsInjectedTotal[] =
@@ -101,6 +115,8 @@ inline constexpr char kClientRefreshesTotal[] =
 inline constexpr char kClientRefreshUs[] = "ledgerdb_client_refresh_us";
 inline constexpr char kClientEquivocationsTotal[] =
     "ledgerdb_client_equivocations_total";
+inline constexpr char kClientBatchAuditsTotal[] =
+    "ledgerdb_client_batch_audits_total";
 
 // --- audit: Dasein what/when/who -----------------------------------------
 inline constexpr char kAuditAuditsTotal[] = "ledgerdb_audit_audits_total";
@@ -123,6 +139,8 @@ inline constexpr const char* kAll[] = {
     kLedgerProofBuildUs,
     kLedgerRecoverUs,
     kLedgerRecoveredJournalsTotal,
+    kLedgerRangeProofsTotal,
+    kLedgerBatchProofJournalsCount,
     kShardBatchAppendsTotal,
     kShardLaneDepthCount,
     kShardCommitterStallsTotal,
@@ -150,12 +168,17 @@ inline constexpr const char* kAll[] = {
     kStorageFaultsInjectedTotal,
     kStorageGroupCommitSizeCount,
     kStorageGroupCommitFlushUs,
+    kProofCacheHitsTotal,
+    kProofCacheMissesTotal,
+    kProofCacheEvictionsTotal,
+    kProofCacheResidentBytes,
     kNetRpcsTotal,
     kNetFaultsInjectedTotal,
     kClientAppendsTotal,
     kClientRefreshesTotal,
     kClientRefreshUs,
     kClientEquivocationsTotal,
+    kClientBatchAuditsTotal,
     kAuditAuditsTotal,
     kAuditFailuresTotal,
     kAuditWhatUs,

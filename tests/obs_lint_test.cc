@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "client/ledger_client.h"
 #include "common/retry.h"
 #include "net/byzantine_transport.h"
 #include "net/transport.h"
@@ -85,6 +86,14 @@ class StubTransport : public LedgerTransport {
   Status GetDelta(uint64_t, uint64_t, std::vector<JournalDelta>*) override {
     return Status::OK();
   }
+  Status GetProofBatch(const std::vector<uint64_t>&,
+                       FamBatchProof*) override {
+    return Status::OK();
+  }
+  Status ProveClueRange(const std::string&, Timestamp, Timestamp,
+                        ClueRangeResult*) override {
+    return Status::OK();
+  }
   const std::string& uri() const override { return uri_; }
 
  private:
@@ -107,6 +116,41 @@ void ExerciseNetObs() {
   transport.GetReceipt(1, &receipt).ok();  // dropped
   SignedCommitment commitment;
   transport.GetCommitment(&commitment).ok();
+}
+
+/// Drives the proof-cache plane end to end: a cache-enabled ledger serves
+/// the same clue range twice through the batched proof path, registering
+/// the proofcache hit/miss counters, the resident-bytes gauge, and the
+/// ledger/client batch-proof series.
+void ExerciseProofCacheObs() {
+  SimulatedClock clock(0);
+  CertificateAuthority ca(KeyPair::FromSeedString("lint-ca"));
+  MemberRegistry registry(&ca);
+  KeyPair lsp = KeyPair::FromSeedString("lint-lsp");
+  KeyPair user = KeyPair::FromSeedString("lint-user");
+  registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+  registry.Register(ca.Certify("user", user.public_key(), Role::kUser));
+  LedgerOptions options;
+  options.fractal_height = 2;  // seals quickly: sealed-epoch cache engages
+  options.block_capacity = 4;
+  Ledger ledger("lg://lint-cache", options, &clock, lsp, &registry);
+  LocalTransport transport(&ledger);
+  LedgerClient::Options copts;
+  copts.lsp_key = lsp.public_key();
+  copts.fractal_height = options.fractal_height;
+  LedgerClient client(&transport, user, copts);
+  for (int i = 0; i < 6; ++i) {
+    EXPECT_TRUE(client
+                    .AppendVerified(StringToBytes("pc-" + std::to_string(i)),
+                                    {"pc"}, nullptr)
+                    .ok());
+  }
+  EXPECT_TRUE(client.RefreshTrustedRoots().ok());
+  std::vector<Journal> journals;
+  Timestamp to = clock.Now() + 1;
+  EXPECT_TRUE(client.BatchAuditRange("pc", 0, to, &journals).ok());
+  EXPECT_TRUE(client.BatchAuditRange("pc", 0, to, &journals).ok());  // hits
+  EXPECT_GT(ledger.ProofCacheStats().hits, 0u);
 }
 
 /// Drives RetryTransient through its three terminal shapes so every
@@ -147,6 +191,7 @@ TEST(MetricNameLint, ExercisedSeriesPassLintAndRegisterOnce) {
   ExerciseStorageObs();
   ExerciseNetObs();
   ExerciseRetryObs();
+  ExerciseProofCacheObs();
 
   std::set<std::string> catalog;
   for (size_t i = 0; i < obs::names::kAllCount; ++i) {
@@ -175,6 +220,8 @@ TEST(MetricNameLint, ExercisedSeriesPassLintAndRegisterOnce) {
   EXPECT_TRUE(has_prefix("ledgerdb_storage_"));
   EXPECT_TRUE(has_prefix("ledgerdb_net_"));
   EXPECT_TRUE(has_prefix("ledgerdb_retry_"));
+  EXPECT_TRUE(has_prefix("ledgerdb_proofcache_"));
+  EXPECT_TRUE(has_prefix("ledgerdb_client_"));
 }
 
 // ---------------------------------------------------------------------------

@@ -247,6 +247,105 @@ TEST_F(ProofPlaneFuzz, ClueProofEveryByte) {
   FuzzJunk<ClueProof>("ClueProof", 1024);
 }
 
+TEST_F(ProofPlaneFuzz, FamBatchProofEveryByte) {
+  // Cross the epoch boundary (fractal_height 3 => epoch 0 seals after 8
+  // journals) so the batched format carries two groups AND a link chain.
+  for (int i = 3; i < 9; ++i) {
+    ASSERT_TRUE(client_
+                    ->AppendVerified(StringToBytes("tx-" + std::to_string(i)),
+                                     {"asset"}, nullptr)
+                    .ok());
+  }
+  std::vector<uint64_t> jsns = {1, 3, 8};
+  std::vector<Digest> digests;
+  for (uint64_t jsn : jsns) {
+    Journal journal;
+    ASSERT_TRUE(ledger_->GetJournal(jsn, &journal).ok());
+    digests.push_back(journal.TxHash());
+  }
+  FamBatchProof proof;
+  ASSERT_TRUE(transport_->GetProofBatch(jsns, &proof).ok());
+  ASSERT_EQ(proof.groups.size(), 2u);
+  ASSERT_EQ(proof.epoch_links.size(), 1u);
+  Digest root = ledger_->FamRoot();
+  auto accept = [&](const FamBatchProof& m) {
+    return m.target_epoch == proof.target_epoch &&
+           FamAccumulator::VerifyBatchProof(options_.fractal_height, jsns,
+                                            digests, m, root);
+  };
+  // Same nested-link label slack as FamProof; the verifier derives every
+  // position from the jsns, so structural fields must all kill.
+  FuzzEveryByte<FamBatchProof>("FamBatchProof", proof.Serialize(), accept,
+                               0.95);
+  FuzzTruncateAndExtend<FamBatchProof>("FamBatchProof", proof.Serialize());
+  FuzzJunk<FamBatchProof>("FamBatchProof", 2048);
+}
+
+TEST_F(ProofPlaneFuzz, ClueRangeResultEveryByte) {
+  const Timestamp from = 0;
+  const Timestamp to = clock_.Now() + 1;
+  ClueRangeResult result;
+  ASSERT_TRUE(transport_->ProveClueRange("asset", from, to, &result).ok());
+  ASSERT_EQ(result.journals.size(), asset_digests_.size());
+  Digest clue_root = client_->trusted_clue_root();
+  Digest fam_root = client_->trusted_fam_root();
+  Bytes original = result.Serialize();
+  // The full BatchAuditRange acceptance path, reimplemented against the
+  // mutant (the client API itself only takes a transport).
+  auto accept = [&](const ClueRangeResult& m) {
+    if (m.clue != "asset") return false;
+    if (m.journals.size() != m.end - m.begin) return false;
+    std::vector<Digest> digests;
+    for (const Journal& j : m.journals) {
+      if (!(j.occulted && j.payload.empty()) &&
+          !(Sha256::Hash(j.payload) == j.payload_digest)) {
+        return false;
+      }
+      if (!VerifySignature(j.client_key, j.request_hash, j.client_sig)) {
+        return false;
+      }
+      if (j.server_ts < from || j.server_ts >= to) return false;
+      digests.push_back(j.TxHash());
+    }
+    if (m.clue_proof.clue != "asset") return false;
+    if (m.clue_proof.batch.leaf_indices.size() != digests.size()) return false;
+    for (size_t i = 0; i < digests.size(); ++i) {
+      if (m.clue_proof.batch.leaf_indices[i] != m.begin + i) return false;
+    }
+    if (!CmTree::VerifyClueProof(clue_root, digests, m.clue_proof)) {
+      return false;
+    }
+    std::vector<uint64_t> jsns;
+    std::vector<Digest> fam_digests;
+    for (size_t i = 0; i < m.journals.size(); ++i) {
+      uint64_t jsn = m.journals[i].jsn;
+      if (!jsns.empty() && jsn == jsns.back()) {
+        if (!(digests[i] == fam_digests.back())) return false;
+        continue;
+      }
+      jsns.push_back(jsn);
+      fam_digests.push_back(digests[i]);
+    }
+    if (!FamAccumulator::VerifyBatchProof(options_.fractal_height, jsns,
+                                          fam_digests, m.fam_batch,
+                                          fam_root)) {
+      return false;
+    }
+    // Presentation-flag mutants that leave every verified byte unchanged
+    // (same rationale as JournalEveryByte) count as killed.
+    bool equivalent = true;
+    for (size_t i = 0; i < m.journals.size(); ++i) {
+      if (!(m.journals[i].payload == result.journals[i].payload)) {
+        equivalent = false;
+      }
+    }
+    return m.Serialize() == original || !equivalent;
+  };
+  FuzzEveryByte<ClueRangeResult>("ClueRangeResult", original, accept, 0.95);
+  FuzzTruncateAndExtend<ClueRangeResult>("ClueRangeResult", original);
+  FuzzJunk<ClueRangeResult>("ClueRangeResult", 4096);
+}
+
 TEST_F(ProofPlaneFuzz, ReceiptEveryByte) {
   ASSERT_FALSE(client_->receipts().empty());
   const Receipt& receipt = client_->receipts().front();

@@ -27,7 +27,9 @@
 // quantiles) as JSON (default) or Prometheus exposition text. With
 // `--exercise` it first drives a representative workload — verified client
 // appends through a fault-injecting transport (retries, dedup replays),
-// a trusted-root refresh, fam proof builds, and a full Dasein audit — so
+// a trusted-root refresh, fam proof builds, a twice-run client batch audit
+// (the repeat is served from the proof cache, so the proofcache hit/miss
+// counters and resident-bytes gauge move), and a full Dasein audit — so
 // every verification-plane stage lights up. `--watch` re-prints (and with
 // `--exercise`, re-drives) every <secs> seconds; `--ticks` bounds the
 // number of rounds (0 = until interrupted). NOTE: --exercise appends real
@@ -456,6 +458,17 @@ int RunStatsExercise(CliContext* ctx, const std::string& seed) {
   FamProof proof;
   s = ctx->ledger->GetProof(last_jsn, &proof);
   if (!s.ok()) return FailStatus("exercise proof", s);
+
+  // Batched proof plane, twice: the second round is served from the proof
+  // cache (hit counters and the resident-bytes gauge move), and the
+  // client-side batch audit verifies the whole range against the roots
+  // refreshed above.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<Journal> audited;
+    s = client.BatchAuditRange("stats-exercise", 0,
+                               ctx->clock.Now() + 1, &audited);
+    if (!s.ok()) return FailStatus("exercise batch audit", s);
+  }
 
   Receipt receipt;
   s = ctx->ledger->GetReceipt(ctx->ledger->NumJournals() - 1, &receipt);
