@@ -1,0 +1,262 @@
+// Networked service-plane benchmark: what the socket hop adds on top of
+// the in-process transport, how throughput scales with concurrent client
+// connections, and how the admission controller behaves at overload.
+//
+// Rows:
+//   append/clients=N       — N client threads, each with its own
+//                            SocketTransport and signing key, issuing
+//                            signed AppendTx over a unix socket against a
+//                            2-worker server. Throughput is aggregate;
+//                            p50/p99 are per-request round-trip latencies.
+//   verify/clients=N       — same fan-out, but each thread runs a verified
+//                            LedgerClient doing FetchAndVerifyJournal
+//                            (journal + fam proof fetch + client-side
+//                            verification against pinned roots).
+//   overload/admitted      — 1 worker, queue depth 2, a 2 ms injected
+//                            service delay, 8 greedy clients: the requests
+//                            that were admitted. p99 stays bounded by
+//                            (queue depth + 1) * service delay — the queue
+//                            is the latency contract.
+//   overload/shed          — the requests shed with Unavailable by the
+//                            same run. Throughput is the shed rate;
+//                            p50/p99 show sheds fail fast (no queue wait,
+//                            no service delay — orders of magnitude below
+//                            the admitted path).
+//
+// `--json BENCH_net_service.json` emits machine-readable results; the
+// overload shed fraction lands in meta as `overload_shed_fraction`.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "client/ledger_client.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
+
+using namespace ledgerdb;
+using namespace ledgerdb::bench;
+
+namespace {
+
+constexpr uint64_t kMicrosPerSec = 1'000'000;
+
+std::string SockPath(const char* tag) {
+  return "/tmp/ldb_bench_" + std::string(tag) + "_" +
+         std::to_string(::getpid()) + ".sock";
+}
+
+struct Plant {
+  SimulatedClock clock{1000 * kMicrosPerSec};
+  CertificateAuthority ca{KeyPair::FromSeedString("ns-ca")};
+  MemberRegistry registry{&ca};
+  KeyPair lsp{KeyPair::FromSeedString("ns-lsp")};
+  std::vector<KeyPair> users;
+  LedgerOptions options;
+  std::unique_ptr<Ledger> ledger;
+
+  explicit Plant(int num_users) {
+    registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+    for (int i = 0; i < num_users; ++i) {
+      users.push_back(KeyPair::FromSeedString("ns-c" + std::to_string(i)));
+      registry.Register(ca.Certify("c" + std::to_string(i),
+                                   users.back().public_key(), Role::kUser));
+    }
+    options.fractal_height = 10;
+    ledger = std::make_unique<Ledger>("lg://bench-net", options, &clock, lsp,
+                                      &registry);
+  }
+
+  ClientTransaction SignedTx(int user, uint64_t nonce) {
+    ClientTransaction tx;
+    tx.ledger_uri = ledger->uri();
+    tx.clues = {"acct-" + std::to_string(nonce % 8)};
+    tx.payload = StringToBytes("payload-" + std::to_string(nonce));
+    tx.nonce = nonce;
+    tx.Sign(users[user]);
+    return tx;
+  }
+};
+
+/// Thread-safe percentile sink: per-request latencies from every client
+/// thread merge into one distribution.
+struct SharedSampler {
+  std::mutex mu;
+  LatencySampler lat;
+  void Add(double us) {
+    std::lock_guard<std::mutex> lock(mu);
+    lat.Add(us);
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  JsonReporter json(argc, argv);
+  int shift = ScaleShift();
+  const uint64_t total_ops = shift < 0 ? 128 : (512 << shift);
+  const std::vector<int> client_counts = {1, 2, 4, 8};
+  const int max_clients = client_counts.back();
+
+  {  // append/clients=N: aggregate signed-append throughput over the socket
+    for (int clients : client_counts) {
+      Plant plant(max_clients);
+      LedgerServer::Options sopts;
+      sopts.unix_path = SockPath("append");
+      LedgerServer server(plant.ledger.get(), sopts);
+      if (!server.Start().ok()) std::abort();
+
+      const uint64_t per_client =
+          std::max<uint64_t>(16, total_ops / static_cast<uint64_t>(clients));
+      SharedSampler shared;
+      std::vector<std::thread> threads;
+      double secs = TimeSeconds([&] {
+        for (int c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            SocketTransport transport(server.address(), plant.ledger->uri());
+            for (uint64_t n = 0; n < per_client; ++n) {
+              ClientTransaction tx = plant.SignedTx(c, n);
+              double us = TimeSeconds([&] {
+                             uint64_t jsn = 0;
+                             if (!transport.AppendTx(tx, &jsn).ok()) {
+                               std::abort();
+                             }
+                           }) *
+                          1e6;
+              shared.Add(us);
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+      });
+      server.Stop();
+      double ops = static_cast<double>(per_client) * clients / secs;
+      std::string name = "append/clients=" + std::to_string(clients);
+      std::printf("%-22s  %9.0f ops/s  p50 %7.1f us  p99 %8.1f us\n",
+                  name.c_str(), ops, shared.lat.PercentileUs(50),
+                  shared.lat.PercentileUs(99));
+      json.Add(name, ops, shared.lat);
+    }
+  }
+
+  {  // verify/clients=N: fetch + client-side proof verification fan-out
+    Plant plant(max_clients);
+    LedgerServer::Options sopts;
+    sopts.unix_path = SockPath("verify");
+    LedgerServer server(plant.ledger.get(), sopts);
+    if (!server.Start().ok()) std::abort();
+    {  // preload the ledger through the front door
+      SocketTransport seed(server.address(), plant.ledger->uri());
+      for (uint64_t n = 0; n < 256; ++n) {
+        uint64_t jsn = 0;
+        if (!seed.AppendTx(plant.SignedTx(0, n), &jsn).ok()) std::abort();
+      }
+    }
+    const uint64_t preloaded = plant.ledger->NumJournals();
+
+    for (int clients : client_counts) {
+      const uint64_t per_client =
+          std::max<uint64_t>(16, total_ops / static_cast<uint64_t>(clients));
+      SharedSampler shared;
+      std::vector<std::thread> threads;
+      double secs = TimeSeconds([&] {
+        for (int c = 0; c < clients; ++c) {
+          threads.emplace_back([&, c] {
+            SocketTransport transport(server.address(), plant.ledger->uri());
+            LedgerClient::Options copts;
+            copts.lsp_key = plant.lsp.public_key();
+            copts.fractal_height = plant.options.fractal_height;
+            LedgerClient client(&transport, plant.users[c], copts);
+            if (!client.RefreshTrustedRoots().ok()) std::abort();
+            for (uint64_t n = 0; n < per_client; ++n) {
+              double us = TimeSeconds([&] {
+                             Journal journal;
+                             uint64_t jsn = 1 + (c + n) % (preloaded - 1);
+                             if (!client.FetchAndVerifyJournal(jsn, &journal)
+                                      .ok()) {
+                               std::abort();
+                             }
+                           }) *
+                          1e6;
+              shared.Add(us);
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+      });
+      double ops = static_cast<double>(per_client) * clients / secs;
+      std::string name = "verify/clients=" + std::to_string(clients);
+      std::printf("%-22s  %9.0f ops/s  p50 %7.1f us  p99 %8.1f us\n",
+                  name.c_str(), ops, shared.lat.PercentileUs(50),
+                  shared.lat.PercentileUs(99));
+      json.Add(name, ops, shared.lat);
+    }
+    server.Stop();
+  }
+
+  {  // overload: 1 slow worker, tiny queue, 8 greedy clients
+    Plant plant(max_clients);
+    LedgerServer::Options sopts;
+    sopts.unix_path = SockPath("overload");
+    sopts.num_workers = 1;
+    sopts.queue_depth = 2;
+    sopts.debug_service_delay_us = 2'000;
+    sopts.request_timeout_us = 30'000'000;  // expiry must not mask sheds
+    LedgerServer server(plant.ledger.get(), sopts);
+    if (!server.Start().ok()) std::abort();
+
+    const int clients = 8;
+    const uint64_t per_client = shift < 0 ? 16 : 48;
+    SharedSampler admitted, shed;
+    std::vector<std::thread> threads;
+    double secs = TimeSeconds([&] {
+      for (int c = 0; c < clients; ++c) {
+        threads.emplace_back([&] {
+          SocketTransport transport(server.address(), plant.ledger->uri());
+          for (uint64_t n = 0; n < per_client; ++n) {
+            SignedCommitment commitment;
+            Status s;
+            double us =
+                TimeSeconds([&] { s = transport.GetCommitment(&commitment); }) *
+                1e6;
+            if (s.ok()) {
+              admitted.Add(us);
+            } else if (s.IsUnavailable()) {
+              shed.Add(us);
+            } else {
+              std::abort();  // overload must shed cleanly, nothing else
+            }
+          }
+        });
+      }
+      for (auto& t : threads) t.join();
+    });
+    server.Stop();
+
+    double admitted_ops = static_cast<double>(admitted.lat.count()) / secs;
+    double shed_ops = static_cast<double>(shed.lat.count()) / secs;
+    double shed_fraction =
+        static_cast<double>(shed.lat.count()) /
+        static_cast<double>(admitted.lat.count() + shed.lat.count());
+    std::printf("overload/admitted       %9.0f ops/s  p50 %7.1f us  p99 %8.1f us\n",
+                admitted_ops, admitted.lat.PercentileUs(50),
+                admitted.lat.PercentileUs(99));
+    std::printf("overload/shed           %9.0f ops/s  p50 %7.1f us  p99 %8.1f us"
+                "  (%.0f%% of requests)\n",
+                shed_ops, shed.lat.PercentileUs(50), shed.lat.PercentileUs(99),
+                shed_fraction * 100.0);
+    json.Add("overload/admitted", admitted_ops, admitted.lat);
+    json.Add("overload/shed", shed_ops, shed.lat);
+    json.SetMeta("overload_shed_fraction", shed_fraction);
+    json.SetMeta("overload_service_delay_us",
+                 static_cast<double>(sopts.debug_service_delay_us));
+  }
+
+  return 0;
+}

@@ -12,7 +12,9 @@ LedgerClient::LedgerClient(LedgerTransport* transport, KeyPair identity,
       options_(std::move(options)),
       mirror_(std::make_unique<LedgerMirror>(options_.fractal_height,
                                              options_.mpt_cache_depth)),
-      log_(transport_->uri(), options_.lsp_key) {}
+      log_(transport_->uri(), options_.lsp_key) {
+  nonce_ = options_.start_nonce;
+}
 
 Status LedgerClient::AppendVerified(const Bytes& payload,
                                     const std::vector<std::string>& clues,

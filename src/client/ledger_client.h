@@ -42,6 +42,11 @@ class LedgerClient {
     int fractal_height = 15;
     int mpt_cache_depth = 6;
     RetryPolicy retry;
+    /// First nonce this client instance uses. The server deduplicates on
+    /// (signer, nonce), so a fresh process resuming an identity over a
+    /// remote transport must start past its previously consumed nonces
+    /// (e.g. ledgerdb_cli --remote counts its prior appends).
+    uint64_t start_nonce = 0;
   };
 
   LedgerClient(LedgerTransport* transport, KeyPair identity, Options options);

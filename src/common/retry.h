@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/random.h"
 #include "common/status.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -16,10 +17,24 @@ namespace ledgerdb {
 /// Backoff doubles from `initial_backoff_us` up to `max_backoff_us`; set
 /// `initial_backoff_us` to 0 to retry without sleeping (the default for
 /// in-process fault injection, where sleeping only slows the test down).
+///
+/// With `decorrelated_jitter` on, each sleep is drawn uniformly from
+/// [initial_backoff_us, 3 * previous_sleep] capped at `max_backoff_us`
+/// (the classic decorrelated-jitter scheme), seeded by `jitter_seed` so a
+/// run replays exactly. Deterministic exponential backoff synchronizes
+/// retry storms: every client shed by an overloaded server sleeps the
+/// same schedule and reconverges on it in lockstep; jitter spreads them.
+///
+/// `total_deadline_us` bounds the whole retry span: once sleeping again
+/// would push total backoff past the budget, the loop stops retrying and
+/// reports exhaustion instead of blowing through a caller's deadline.
 struct RetryPolicy {
   int max_attempts = 5;
   uint64_t initial_backoff_us = 0;
   uint64_t max_backoff_us = 10'000;
+  bool decorrelated_jitter = false;
+  uint64_t jitter_seed = 0;
+  uint64_t total_deadline_us = 0;  ///< 0 = unbounded
 };
 
 /// What a RetryTransient call actually consumed — callers log or assert on
@@ -29,6 +44,22 @@ struct RetryStats {
   uint64_t backoff_us = 0;   ///< total time slept between attempts
   bool exhausted = false;    ///< budget ran out with the op still transient
 };
+
+/// One decorrelated-jitter draw: uniform in [initial, 3 * prev], capped at
+/// max (and floored at initial). Exposed as a pure function so the jitter
+/// bounds are testable without sleeping.
+inline uint64_t NextDecorrelatedBackoffUs(uint64_t initial, uint64_t prev,
+                                          uint64_t max, Random* rng) {
+  if (max == 0) return 0;
+  if (initial > max) initial = max;
+  // Ceiling is 3x the previous sleep (>= includes the very first draw, or
+  // the ladder would stick at `initial` forever), saturated at `max`.
+  uint64_t hi = initial;
+  if (prev >= initial) hi = prev > max / 3 ? max : prev * 3;
+  if (hi > max) hi = max;
+  if (hi <= initial) return initial;
+  return rng->Range(initial, hi);
+}
 
 /// Runs `op` (any callable returning Status) until it returns a
 /// non-retriable Status or the attempt budget is exhausted. Exhaustion
@@ -41,6 +72,7 @@ template <typename Op>
 Status RetryTransient(const RetryPolicy& policy, Op&& op,
                       RetryStats* stats = nullptr) {
   uint64_t backoff_us = policy.initial_backoff_us;
+  Random jitter_rng(policy.jitter_seed);
   RetryStats local;
   Status last;
   for (int attempt = 0; attempt < policy.max_attempts; ++attempt) {
@@ -57,11 +89,27 @@ Status RetryTransient(const RetryPolicy& policy, Op&& op,
       if (stats != nullptr) *stats = local;
       return last;
     }
-    if (attempt + 1 < policy.max_attempts && backoff_us > 0) {
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-      local.backoff_us += backoff_us;
-      backoff_us = backoff_us * 2 < policy.max_backoff_us ? backoff_us * 2
-                                                          : policy.max_backoff_us;
+    if (attempt + 1 >= policy.max_attempts) break;
+    if (backoff_us > 0) {
+      uint64_t sleep_us =
+          policy.decorrelated_jitter
+              ? NextDecorrelatedBackoffUs(policy.initial_backoff_us,
+                                          backoff_us, policy.max_backoff_us,
+                                          &jitter_rng)
+              : backoff_us;
+      // Deadline-aware: if this sleep would spend the caller's budget,
+      // stop retrying now — a late retry is worse than a fast failure.
+      if (policy.total_deadline_us > 0 &&
+          local.backoff_us + sleep_us > policy.total_deadline_us) {
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+      local.backoff_us += sleep_us;
+      backoff_us = policy.decorrelated_jitter
+                       ? sleep_us
+                       : (backoff_us * 2 < policy.max_backoff_us
+                              ? backoff_us * 2
+                              : policy.max_backoff_us);
     }
   }
   local.exhausted = true;

@@ -91,6 +91,10 @@ const char* FaultKindName(FaultKind kind) {
 
 FaultKind ByzantineTransport::TakeFault(RpcOp op) {
   ++ops_;
+  // The decorator is transparent to deadlines: whatever budget the caller
+  // set flows through to the inner transport, so honest passthrough calls
+  // time out exactly like un-decorated ones would.
+  inner_->set_request_deadline_us(request_deadline_us_);
   LEDGERDB_OBS_COUNT_LABEL(obs::names::kNetRpcsTotal, "op", RpcOpName(op));
   uint64_t nth = op_counts_[Idx(op)]++;
   auto it = schedule_.find({static_cast<uint8_t>(op), nth});

@@ -1,0 +1,211 @@
+#include "net/socket_transport.h"
+
+#include <unistd.h>
+
+#include "obs/metric_names.h"
+#include "obs/metrics.h"
+
+namespace ledgerdb {
+
+SocketTransport::SocketTransport(std::string address, std::string uri)
+    : SocketTransport(std::move(address), std::move(uri), Options()) {}
+
+SocketTransport::SocketTransport(std::string address, std::string uri,
+                                 Options options)
+    : address_(std::move(address)),
+      uri_(std::move(uri)),
+      options_(options) {
+  address_ok_ = net::ParseAddress(address_, &parsed_);
+}
+
+SocketTransport::~SocketTransport() { CloseConn(); }
+
+void SocketTransport::CloseConn() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  inbuf_.clear();
+}
+
+Status SocketTransport::EnsureConnected(uint64_t deadline_us) {
+  if (fd_ >= 0) return Status::OK();
+  if (!address_ok_) {
+    return Status::InvalidArgument("unparseable transport address: " +
+                                   address_);
+  }
+  uint64_t budget = options_.connect_timeout_us;
+  if (deadline_us != 0) {
+    uint64_t now = obs::NowUs();
+    if (now >= deadline_us) {
+      return Status::DeadlineExceeded("deadline before connect");
+    }
+    if (budget == 0 || deadline_us - now < budget) {
+      budget = deadline_us - now;
+    }
+  }
+  LEDGERDB_RETURN_IF_ERROR(net::ConnectWithTimeout(parsed_, budget, &fd_));
+  Bytes hello = wire::EncodeHello();
+  Status st = net::SendAll(fd_, hello.data(), hello.size(), deadline_us);
+  if (!st.ok()) {
+    CloseConn();
+    return st;
+  }
+  if (connects_ > 0) {
+    LEDGERDB_OBS_COUNT(obs::names::kNetReconnectsTotal);
+  }
+  ++connects_;
+  return Status::OK();
+}
+
+Status SocketTransport::Call(RpcOp op, const Bytes& body, Bytes* resp_body) {
+  uint64_t budget = request_deadline_us_ != 0 ? request_deadline_us_
+                                              : options_.request_deadline_us;
+  uint64_t deadline_us = budget != 0 ? obs::NowUs() + budget : 0;
+  uint64_t t0 = obs::NowUs();
+  Status st = CallOnce(op, body, resp_body, deadline_us);
+  LEDGERDB_OBS_OBSERVE(obs::names::kNetRpcUs, obs::NowUs() - t0);
+  LEDGERDB_OBS_COUNT_LABEL(obs::names::kNetRpcsTotal, "op", RpcOpName(op));
+  if (!st.ok() && (st.IsTransientIO() || st.IsDeadlineExceeded())) {
+    // The exchange died mid-flight: the stream position is unknown, so a
+    // retry on this connection could pair with a stale response. Close;
+    // the next attempt reconnects.
+    CloseConn();
+  }
+  return st;
+}
+
+Status SocketTransport::CallOnce(RpcOp op, const Bytes& body,
+                                 Bytes* resp_body, uint64_t deadline_us) {
+  LEDGERDB_RETURN_IF_ERROR(EnsureConnected(deadline_us));
+
+  wire::RequestFrame req;
+  req.op = op;
+  req.request_id = ++next_request_id_;
+  req.body = body;
+  Bytes frame;
+  wire::AppendFrame(&frame, req.Encode());
+  LEDGERDB_RETURN_IF_ERROR(
+      net::SendAll(fd_, frame.data(), frame.size(), deadline_us));
+
+  uint8_t buf[64 * 1024];
+  while (true) {
+    Bytes payload;
+    size_t consumed = 0;
+    int rc = wire::ExtractFrame(inbuf_.data(), inbuf_.size(),
+                                wire::kDefaultMaxFrameBytes, &payload,
+                                &consumed);
+    if (rc < 0) {
+      return Status::TransientIO("malformed response frame from server");
+    }
+    if (rc > 0) {
+      inbuf_.erase(inbuf_.begin(),
+                   inbuf_.begin() + static_cast<ptrdiff_t>(consumed));
+      wire::ResponseFrame resp;
+      if (!wire::ResponseFrame::Decode(payload, &resp)) {
+        return Status::TransientIO("undecodable response frame from server");
+      }
+      if (resp.op != op || resp.request_id != req.request_id) {
+        return Status::TransientIO("response does not match request");
+      }
+      Status st = resp.ToStatus();
+      if (st.ok() && resp_body != nullptr) *resp_body = std::move(resp.body);
+      return st;
+    }
+    size_t got = 0;
+    LEDGERDB_RETURN_IF_ERROR(
+        net::RecvSome(fd_, buf, sizeof(buf), deadline_us, &got));
+    if (got == 0) {
+      return Status::TransientIO("connection closed by server");
+    }
+    inbuf_.insert(inbuf_.end(), buf, buf + got);
+  }
+}
+
+Status SocketTransport::AppendTx(const ClientTransaction& tx, uint64_t* jsn) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(Call(RpcOp::kAppendTx, tx.Serialize(), &resp));
+  if (!wire::DecodeJsnRequest(resp, jsn)) {
+    return Status::Corruption("append response body undecodable");
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::GetReceipt(uint64_t jsn, Receipt* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kGetReceipt, wire::EncodeJsnRequest(jsn), &resp));
+  return DecodeBody(resp, out, "receipt");
+}
+
+Status SocketTransport::GetJournal(uint64_t jsn, Journal* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kGetJournal, wire::EncodeJsnRequest(jsn), &resp));
+  return DecodeBody(resp, out, "journal");
+}
+
+Status SocketTransport::GetProof(uint64_t jsn, FamProof* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kGetProof, wire::EncodeJsnRequest(jsn), &resp));
+  return DecodeBody(resp, out, "fam proof");
+}
+
+Status SocketTransport::GetClueProof(const std::string& clue, uint64_t begin,
+                                     uint64_t end, ClueProof* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kGetClueProof,
+           wire::EncodeClueWindowRequest(clue, begin, end), &resp));
+  return DecodeBody(resp, out, "clue proof");
+}
+
+Status SocketTransport::ListTx(const std::string& clue,
+                               std::vector<uint64_t>* jsns) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kListTx, wire::EncodeClueRequest(clue), &resp));
+  if (!wire::DecodeJsnList(resp, jsns)) {
+    return Status::Corruption("jsn list response body undecodable");
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::GetCommitment(SignedCommitment* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(Call(RpcOp::kGetCommitment, Bytes(), &resp));
+  return DecodeBody(resp, out, "commitment");
+}
+
+Status SocketTransport::GetDelta(uint64_t from, uint64_t to,
+                                 std::vector<JournalDelta>* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kGetDelta, wire::EncodeRangeRequest(from, to), &resp));
+  if (!wire::DecodeDeltas(resp, out)) {
+    return Status::Corruption("delta response body undecodable");
+  }
+  return Status::OK();
+}
+
+Status SocketTransport::GetProofBatch(const std::vector<uint64_t>& jsns,
+                                      FamBatchProof* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kGetProofBatch, wire::EncodeJsnList(jsns), &resp));
+  return DecodeBody(resp, out, "batch proof");
+}
+
+Status SocketTransport::ProveClueRange(const std::string& clue, Timestamp from,
+                                       Timestamp to, ClueRangeResult* out) {
+  Bytes resp;
+  LEDGERDB_RETURN_IF_ERROR(
+      Call(RpcOp::kProveClueRange,
+           wire::EncodeClueWindowRequest(clue, static_cast<uint64_t>(from),
+                                         static_cast<uint64_t>(to)),
+           &resp));
+  return DecodeBody(resp, out, "clue range");
+}
+
+}  // namespace ledgerdb

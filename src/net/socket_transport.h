@@ -1,0 +1,102 @@
+#ifndef LEDGERDB_NET_SOCKET_TRANSPORT_H_
+#define LEDGERDB_NET_SOCKET_TRANSPORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/socket_util.h"
+#include "net/transport.h"
+#include "net/wire.h"
+
+namespace ledgerdb {
+
+/// LedgerTransport over a socket (see net/wire.h for the frame format and
+/// net/server.h for the host). One transport = one connection = one
+/// outstanding request; not thread-safe — give each client thread its own
+/// transport, exactly like LocalTransport.
+///
+/// Error surface, tuned for RetryTransient:
+///   - connect/send/recv failures and peer resets → TransientIO
+///     (retriable; the next attempt reconnects);
+///   - a request that outlives its deadline → DeadlineExceeded
+///     (retriable; the connection is closed first, because a late
+///     response would desynchronize request/response matching);
+///   - malformed or mismatched response frames → TransientIO after
+///     closing (reconnect re-synchronizes);
+///   - server-reported statuses (Unavailable shed, NotFound, …) pass
+///     through verbatim — a shed fails fast and is NOT retriable.
+///
+/// The per-request deadline comes from the LedgerTransport base option
+/// (set_request_deadline_us), falling back to Options::request_deadline_us.
+class SocketTransport : public LedgerTransport {
+ public:
+  struct Options {
+    uint64_t request_deadline_us = 5'000'000;
+    uint64_t connect_timeout_us = 2'000'000;
+  };
+
+  /// `address` is "unix:<path>" or "tcp:<ipv4>:<port>"; `uri` names the
+  /// ledger for client-side bookkeeping (the server hosts one ledger).
+  SocketTransport(std::string address, std::string uri);
+  SocketTransport(std::string address, std::string uri, Options options);
+  ~SocketTransport() override;
+
+  SocketTransport(const SocketTransport&) = delete;
+  SocketTransport& operator=(const SocketTransport&) = delete;
+
+  Status AppendTx(const ClientTransaction& tx, uint64_t* jsn) override;
+  Status GetReceipt(uint64_t jsn, Receipt* out) override;
+  Status GetJournal(uint64_t jsn, Journal* out) override;
+  Status GetProof(uint64_t jsn, FamProof* out) override;
+  Status GetClueProof(const std::string& clue, uint64_t begin, uint64_t end,
+                      ClueProof* out) override;
+  Status ListTx(const std::string& clue, std::vector<uint64_t>* jsns) override;
+  Status GetCommitment(SignedCommitment* out) override;
+  Status GetDelta(uint64_t from, uint64_t to,
+                  std::vector<JournalDelta>* out) override;
+  Status GetProofBatch(const std::vector<uint64_t>& jsns,
+                       FamBatchProof* out) override;
+  Status ProveClueRange(const std::string& clue, Timestamp from, Timestamp to,
+                        ClueRangeResult* out) override;
+
+  const std::string& uri() const override { return uri_; }
+
+  bool connected() const { return fd_ >= 0; }
+  /// Successful connection establishments (1 = never had to reconnect).
+  uint64_t connects() const { return connects_; }
+
+ private:
+  /// One request/response exchange; closes the connection on any
+  /// transport-level failure so the next call starts clean.
+  Status Call(RpcOp op, const Bytes& body, Bytes* resp_body);
+  Status CallOnce(RpcOp op, const Bytes& body, Bytes* resp_body,
+                  uint64_t deadline_us);
+  Status EnsureConnected(uint64_t deadline_us);
+  void CloseConn();
+
+  /// Deserializes a canonical wire response body, mapping decode failure
+  /// to non-retriable Corruption (the bytes, not the transport, are bad).
+  template <typename T>
+  static Status DecodeBody(const Bytes& body, T* out, const char* what) {
+    if (!T::Deserialize(body, out)) {
+      return Status::Corruption(std::string(what) +
+                                " response body undecodable");
+    }
+    return Status::OK();
+  }
+
+  std::string address_;
+  std::string uri_;
+  Options options_;
+  net::Address parsed_;
+  bool address_ok_ = false;
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 0;
+  uint64_t connects_ = 0;
+  Bytes inbuf_;
+};
+
+}  // namespace ledgerdb
+
+#endif  // LEDGERDB_NET_SOCKET_TRANSPORT_H_

@@ -1,0 +1,259 @@
+#include "net/socket_util.h"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "obs/metrics.h"
+
+namespace ledgerdb::net {
+
+namespace {
+
+/// Remaining poll budget in ms for an absolute microsecond deadline.
+/// Returns -1 (infinite) when no deadline is set, 0 when already expired.
+int PollBudgetMs(uint64_t deadline_us) {
+  if (deadline_us == 0) return -1;
+  uint64_t now = obs::NowUs();
+  if (now >= deadline_us) return 0;
+  uint64_t left_ms = (deadline_us - now + 999) / 1000;
+  return left_ms > 60'000 ? 60'000 : static_cast<int>(left_ms);
+}
+
+}  // namespace
+
+bool ParseAddress(const std::string& address, Address* out) {
+  constexpr std::string_view kUnix = "unix:";
+  constexpr std::string_view kTcp = "tcp:";
+  if (address.rfind(kUnix, 0) == 0) {
+    out->is_unix = true;
+    out->unix_path = address.substr(kUnix.size());
+    // sun_path is a fixed 108-byte array; an overlong path cannot bind.
+    return !out->unix_path.empty() &&
+           out->unix_path.size() < sizeof(sockaddr_un{}.sun_path);
+  }
+  if (address.rfind(kTcp, 0) == 0) {
+    size_t colon = address.rfind(':');
+    if (colon <= kTcp.size()) return false;
+    out->is_unix = false;
+    out->host = address.substr(kTcp.size(), colon - kTcp.size());
+    const std::string port_str = address.substr(colon + 1);
+    if (out->host.empty() || port_str.empty() ||
+        port_str.size() > 5) {
+      return false;
+    }
+    uint32_t port = 0;
+    for (char c : port_str) {
+      if (c < '0' || c > '9') return false;
+      port = port * 10 + static_cast<uint32_t>(c - '0');
+    }
+    if (port > 65535) return false;
+    out->port = static_cast<uint16_t>(port);
+    in_addr parsed{};
+    return inet_pton(AF_INET, out->host.c_str(), &parsed) == 1;
+  }
+  return false;
+}
+
+std::string FormatAddress(const Address& addr) {
+  if (addr.is_unix) return "unix:" + addr.unix_path;
+  return "tcp:" + addr.host + ":" + std::to_string(addr.port);
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError("fcntl(O_NONBLOCK): " +
+                           std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+namespace {
+
+int MakeSocket(const Address& addr) {
+  return socket(addr.is_unix ? AF_UNIX : AF_INET, SOCK_STREAM, 0);
+}
+
+bool FillSockaddr(const Address& addr, sockaddr_storage* ss, socklen_t* len) {
+  std::memset(ss, 0, sizeof(*ss));
+  if (addr.is_unix) {
+    auto* sun = reinterpret_cast<sockaddr_un*>(ss);
+    sun->sun_family = AF_UNIX;
+    if (addr.unix_path.size() >= sizeof(sun->sun_path)) return false;
+    std::memcpy(sun->sun_path, addr.unix_path.c_str(),
+                addr.unix_path.size() + 1);
+    *len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) +
+                                  addr.unix_path.size() + 1);
+    return true;
+  }
+  auto* sin = reinterpret_cast<sockaddr_in*>(ss);
+  sin->sin_family = AF_INET;
+  sin->sin_port = htons(addr.port);
+  if (inet_pton(AF_INET, addr.host.c_str(), &sin->sin_addr) != 1) return false;
+  *len = sizeof(sockaddr_in);
+  return true;
+}
+
+}  // namespace
+
+Status ConnectWithTimeout(const Address& addr, uint64_t timeout_us,
+                          int* fd_out) {
+  sockaddr_storage ss;
+  socklen_t len = 0;
+  if (!FillSockaddr(addr, &ss, &len)) {
+    return Status::InvalidArgument("unparseable endpoint: " +
+                                   FormatAddress(addr));
+  }
+  int fd = MakeSocket(addr);
+  if (fd < 0) {
+    return Status::TransientIO("socket: " + std::string(std::strerror(errno)));
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  uint64_t deadline_us = timeout_us == 0 ? 0 : obs::NowUs() + timeout_us;
+  int rc = connect(fd, reinterpret_cast<sockaddr*>(&ss), len);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    rc = poll(&pfd, 1, PollBudgetMs(deadline_us));
+    if (rc == 0) {
+      close(fd);
+      return Status::DeadlineExceeded("connect timed out: " +
+                                      FormatAddress(addr));
+    }
+    int err = 0;
+    socklen_t err_len = sizeof(err);
+    if (rc < 0 ||
+        getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 ||
+        err != 0) {
+      close(fd);
+      return Status::TransientIO("connect failed: " + FormatAddress(addr) +
+                                 ": " + std::strerror(err != 0 ? err : errno));
+    }
+  } else if (rc != 0) {
+    int saved = errno;
+    close(fd);
+    return Status::TransientIO("connect failed: " + FormatAddress(addr) +
+                               ": " + std::strerror(saved));
+  }
+  if (!addr.is_unix) {
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  *fd_out = fd;
+  return Status::OK();
+}
+
+Status ListenOn(const Address& addr, int backlog, int* fd_out,
+                uint16_t* bound_port) {
+  sockaddr_storage ss;
+  socklen_t len = 0;
+  if (!FillSockaddr(addr, &ss, &len)) {
+    return Status::InvalidArgument("unparseable endpoint: " +
+                                   FormatAddress(addr));
+  }
+  int fd = MakeSocket(addr);
+  if (fd < 0) {
+    return Status::IOError("socket: " + std::string(std::strerror(errno)));
+  }
+  if (addr.is_unix) {
+    unlink(addr.unix_path.c_str());
+  } else {
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&ss), len) != 0 ||
+      listen(fd, backlog) != 0) {
+    int saved = errno;
+    close(fd);
+    return Status::IOError("bind/listen " + FormatAddress(addr) + ": " +
+                           std::strerror(saved));
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  if (bound_port != nullptr) {
+    *bound_port = addr.port;
+    if (!addr.is_unix && addr.port == 0) {
+      sockaddr_in bound{};
+      socklen_t blen = sizeof(bound);
+      if (getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+        *bound_port = ntohs(bound.sin_port);
+      }
+    }
+  }
+  *fd_out = fd;
+  return Status::OK();
+}
+
+Status SendAll(int fd, const uint8_t* data, size_t size,
+               uint64_t deadline_us) {
+  size_t sent = 0;
+  while (sent < size) {
+    ssize_t n = send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int budget = PollBudgetMs(deadline_us);
+      if (budget == 0) {
+        return Status::DeadlineExceeded("send deadline exceeded");
+      }
+      pollfd pfd{fd, POLLOUT, 0};
+      int rc = poll(&pfd, 1, budget);
+      if (rc == 0) return Status::DeadlineExceeded("send deadline exceeded");
+      if (rc < 0 && errno != EINTR) {
+        return Status::TransientIO("poll: " +
+                                   std::string(std::strerror(errno)));
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::TransientIO("send: " + std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+Status RecvSome(int fd, uint8_t* buf, size_t cap, uint64_t deadline_us,
+                size_t* got) {
+  *got = 0;
+  while (true) {
+    ssize_t n = recv(fd, buf, cap, 0);
+    if (n > 0) {
+      *got = static_cast<size_t>(n);
+      return Status::OK();
+    }
+    if (n == 0) return Status::OK();  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      int budget = PollBudgetMs(deadline_us);
+      if (budget == 0) {
+        return Status::DeadlineExceeded("recv deadline exceeded");
+      }
+      pollfd pfd{fd, POLLIN, 0};
+      int rc = poll(&pfd, 1, budget);
+      if (rc == 0) return Status::DeadlineExceeded("recv deadline exceeded");
+      if (rc < 0 && errno != EINTR) {
+        return Status::TransientIO("poll: " +
+                                   std::string(std::strerror(errno)));
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return Status::TransientIO("recv: " + std::string(std::strerror(errno)));
+  }
+}
+
+}  // namespace ledgerdb::net

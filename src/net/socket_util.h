@@ -1,0 +1,52 @@
+#ifndef LEDGERDB_NET_SOCKET_UTIL_H_
+#define LEDGERDB_NET_SOCKET_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace ledgerdb::net {
+
+/// Endpoint spelled "unix:<path>" or "tcp:<ipv4>:<port>". Numeric IPv4
+/// only — the service plane never does DNS, so connect latency is bounded
+/// by the kernel, not a resolver.
+struct Address {
+  bool is_unix = false;
+  std::string unix_path;
+  std::string host;
+  uint16_t port = 0;
+};
+
+bool ParseAddress(const std::string& address, Address* out);
+std::string FormatAddress(const Address& addr);
+
+Status SetNonBlocking(int fd);
+
+/// Non-blocking connect with a poll deadline. On success `*fd_out` is a
+/// connected non-blocking socket. Failure is always TransientIO (the
+/// endpoint may come back) or DeadlineExceeded.
+Status ConnectWithTimeout(const Address& addr, uint64_t timeout_us,
+                          int* fd_out);
+
+/// Binds + listens a non-blocking socket. For tcp with port 0 the kernel
+/// picks an ephemeral port, reported via `bound_port`. A pre-existing
+/// unix socket file at the path is unlinked first (stale from a previous
+/// run; a live server would still hold the listen).
+Status ListenOn(const Address& addr, int backlog, int* fd_out,
+                uint16_t* bound_port);
+
+/// Writes all of [data, data+size) to a non-blocking fd, polling for
+/// writability until `deadline_us` (absolute obs::NowUs() time; 0 = wait
+/// forever). EPIPE/ECONNRESET map to TransientIO, expiry to
+/// DeadlineExceeded.
+Status SendAll(int fd, const uint8_t* data, size_t size, uint64_t deadline_us);
+
+/// Reads at least one byte (up to `cap`) into `buf`, polling until the
+/// deadline. Peer EOF returns OK with `*got == 0`.
+Status RecvSome(int fd, uint8_t* buf, size_t cap, uint64_t deadline_us,
+                size_t* got);
+
+}  // namespace ledgerdb::net
+
+#endif  // LEDGERDB_NET_SOCKET_UTIL_H_

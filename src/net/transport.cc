@@ -34,6 +34,17 @@ LocalTransport::LocalTransport(Ledger* ledger)
 LocalTransport::LocalTransport(LedgerService* service, std::string uri)
     : service_(service), uri_(std::move(uri)) {}
 
+Status LocalTransport::CheckDeadline() const {
+  if (request_deadline_us_ > 0 &&
+      simulated_latency_us_ >= request_deadline_us_) {
+    return Status::DeadlineExceeded(
+        "request deadline exceeded (" +
+        std::to_string(simulated_latency_us_) + " us simulated >= " +
+        std::to_string(request_deadline_us_) + " us budget)");
+  }
+  return Status::OK();
+}
+
 Status LocalTransport::Resolve(Ledger** out) {
   if (ledger_ == nullptr) {
     LEDGERDB_RETURN_IF_ERROR(service_->GetLedger(uri_, &ledger_));
@@ -50,6 +61,7 @@ const PublicKey& LocalTransport::lsp_key() const {
 }
 
 Status LocalTransport::AppendTx(const ClientTransaction& tx, uint64_t* jsn) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   // Request over the wire: the server only ever sees the serialized form.
@@ -61,6 +73,7 @@ Status LocalTransport::AppendTx(const ClientTransaction& tx, uint64_t* jsn) {
 }
 
 Status LocalTransport::GetReceipt(uint64_t jsn, Receipt* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   Receipt r;
@@ -72,6 +85,7 @@ Status LocalTransport::GetReceipt(uint64_t jsn, Receipt* out) {
 }
 
 Status LocalTransport::GetJournal(uint64_t jsn, Journal* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   Journal j;
@@ -83,6 +97,7 @@ Status LocalTransport::GetJournal(uint64_t jsn, Journal* out) {
 }
 
 Status LocalTransport::GetProof(uint64_t jsn, FamProof* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   FamProof proof;
@@ -95,6 +110,7 @@ Status LocalTransport::GetProof(uint64_t jsn, FamProof* out) {
 
 Status LocalTransport::GetClueProof(const std::string& clue, uint64_t begin,
                                     uint64_t end, ClueProof* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   ClueProof proof;
@@ -107,6 +123,7 @@ Status LocalTransport::GetClueProof(const std::string& clue, uint64_t begin,
 
 Status LocalTransport::ListTx(const std::string& clue,
                               std::vector<uint64_t>* jsns) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   std::vector<uint64_t> raw;
@@ -131,6 +148,7 @@ Status LocalTransport::ListTx(const std::string& clue,
 
 Status LocalTransport::GetProofBatch(const std::vector<uint64_t>& jsns,
                                      FamBatchProof* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   FamBatchProof proof;
@@ -143,6 +161,7 @@ Status LocalTransport::GetProofBatch(const std::vector<uint64_t>& jsns,
 
 Status LocalTransport::ProveClueRange(const std::string& clue, Timestamp from,
                                       Timestamp to, ClueRangeResult* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   // The wire variant lets the server serve a repeated range read from its
@@ -156,6 +175,7 @@ Status LocalTransport::ProveClueRange(const std::string& clue, Timestamp from,
 }
 
 Status LocalTransport::GetCommitment(SignedCommitment* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   SignedCommitment c;
@@ -168,6 +188,7 @@ Status LocalTransport::GetCommitment(SignedCommitment* out) {
 
 Status LocalTransport::GetDelta(uint64_t from, uint64_t to,
                                 std::vector<JournalDelta>* out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckDeadline());
   Ledger* ledger = nullptr;
   LEDGERDB_RETURN_IF_ERROR(Resolve(&ledger));
   std::vector<JournalDelta> deltas;

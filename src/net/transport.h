@@ -67,6 +67,17 @@ class LedgerTransport {
                                 Timestamp to, ClueRangeResult* out) = 0;
 
   virtual const std::string& uri() const = 0;
+
+  /// Per-request deadline budget in microseconds (0 = unbounded). Every
+  /// transport maps deadline expiry to Status::DeadlineExceeded — the
+  /// distinct *retriable* timeout status — so retry loops and the
+  /// byzantine matrix exercise timeout paths uniformly across local,
+  /// adversarial and socket transports.
+  void set_request_deadline_us(uint64_t us) { request_deadline_us_ = us; }
+  uint64_t request_deadline_us() const { return request_deadline_us_; }
+
+ protected:
+  uint64_t request_deadline_us_ = 0;
 };
 
 /// Honest in-process transport. Every request and response is serialized
@@ -102,8 +113,19 @@ class LocalTransport : public LedgerTransport {
   /// convenience in tests; a real client configures this out-of-band.
   const PublicKey& lsp_key() const;
 
+  /// Test hook: pretend every op takes this long. In-process calls are
+  /// effectively instant, so this is how the deadline path gets exercised
+  /// without real sleeps — an op whose simulated latency reaches the
+  /// request deadline returns DeadlineExceeded without touching the ledger.
+  void SetSimulatedLatencyUs(uint64_t us) { simulated_latency_us_ = us; }
+
  private:
   Status Resolve(Ledger** out);
+
+  /// DeadlineExceeded if the simulated latency eats the request budget.
+  Status CheckDeadline() const;
+
+  uint64_t simulated_latency_us_ = 0;
 
   Ledger* ledger_ = nullptr;
   LedgerService* service_ = nullptr;

@@ -107,6 +107,24 @@ inline constexpr char kProofCacheResidentBytes[] =
 inline constexpr char kNetRpcsTotal[] = "ledgerdb_net_rpcs_total";  // label: op
 inline constexpr char kNetFaultsInjectedTotal[] =
     "ledgerdb_net_faults_injected_total";  // label: kind
+inline constexpr char kNetReconnectsTotal[] =
+    "ledgerdb_net_reconnects_total";
+inline constexpr char kNetRpcUs[] = "ledgerdb_net_rpc_us";
+
+// --- server: socket service plane ----------------------------------------
+inline constexpr char kServerRequestsTotal[] =
+    "ledgerdb_server_requests_total";  // label: op
+inline constexpr char kServerRequestUs[] =
+    "ledgerdb_server_request_us";  // label: op
+inline constexpr char kServerShedTotal[] = "ledgerdb_server_shed_total";
+inline constexpr char kServerFrameErrorsTotal[] =
+    "ledgerdb_server_frame_errors_total";
+inline constexpr char kServerDeadlineExpiredTotal[] =
+    "ledgerdb_server_deadline_expired_total";
+inline constexpr char kServerQueueDepthCount[] =
+    "ledgerdb_server_queue_depth_count";
+inline constexpr char kServerConnectionsCount[] =
+    "ledgerdb_server_connections_count";
 
 // --- client: verified SDK -------------------------------------------------
 inline constexpr char kClientAppendsTotal[] = "ledgerdb_client_appends_total";
@@ -174,6 +192,15 @@ inline constexpr const char* kAll[] = {
     kProofCacheResidentBytes,
     kNetRpcsTotal,
     kNetFaultsInjectedTotal,
+    kNetReconnectsTotal,
+    kNetRpcUs,
+    kServerRequestsTotal,
+    kServerRequestUs,
+    kServerShedTotal,
+    kServerFrameErrorsTotal,
+    kServerDeadlineExpiredTotal,
+    kServerQueueDepthCount,
+    kServerConnectionsCount,
     kClientAppendsTotal,
     kClientRefreshesTotal,
     kClientRefreshUs,

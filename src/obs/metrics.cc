@@ -263,6 +263,29 @@ Counter* MetricsRegistry::GetCounter(std::string_view name,
   return GetCounter(series);
 }
 
+namespace {
+
+std::string LabeledSeries(std::string_view name, std::string_view label_key,
+                          std::string_view label_value) {
+  std::string series;
+  series.reserve(name.size() + label_key.size() + label_value.size() + 5);
+  series.append(name);
+  series.push_back('{');
+  series.append(label_key);
+  series.append("=\"");
+  series.append(label_value);
+  series.append("\"}");
+  return series;
+}
+
+}  // namespace
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view label_key,
+                                         std::string_view label_value) {
+  return GetHistogram(LabeledSeries(name, label_key, label_value));
+}
+
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
   std::lock_guard<std::mutex> lock(impl_->mu);
   Impl::Entry* e = impl_->Find(name, Impl::Kind::kGauge);

@@ -254,6 +254,8 @@ class MetricsRegistry {
   /// the naming lint validates; label values must be short identifiers.
   Counter* GetCounter(std::string_view name, std::string_view label_key,
                       std::string_view label_value);
+  Histogram* GetHistogram(std::string_view name, std::string_view label_key,
+                          std::string_view label_value);
 
   /// A name requested as two different kinds (e.g. counter then histogram)
   /// is a bug; the registry serves a detached dummy so callers never
@@ -317,6 +319,9 @@ class ScopedTimerUs {
 #define LEDGERDB_OBS_OBSERVE(name, v) \
   do {                                \
   } while (0)
+#define LEDGERDB_OBS_OBSERVE_LABEL(name, key, value, v) \
+  do {                                                  \
+  } while (0)
 #define LEDGERDB_OBS_TIMER(var, name) int var##_obs_off_unused [[maybe_unused]] = 0
 
 #else  // !LEDGERDB_OBS_OFF
@@ -368,6 +373,18 @@ class ScopedTimerUs {
           ::ledgerdb::obs::MetricsRegistry::Default().GetHistogram(name);  \
       _obs_h->Observe(v);                                                  \
     }                                                                      \
+  } while (0)
+
+// Labeled histograms resolve through the registry map on every hit: use
+// only where a map lookup is noise against the measured work (per-RPC
+// service latency behind a socket round trip).
+#define LEDGERDB_OBS_OBSERVE_LABEL(name, key, value, v)                     \
+  do {                                                                      \
+    if (::ledgerdb::obs::Enabled()) {                                       \
+      ::ledgerdb::obs::MetricsRegistry::Default()                           \
+          .GetHistogram(name, key, value)                                   \
+          ->Observe(v);                                                     \
+    }                                                                       \
   } while (0)
 
 // RAII scope timer: LEDGERDB_OBS_TIMER(t, names::kLedgerSealUs);

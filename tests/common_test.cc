@@ -197,5 +197,112 @@ TEST(RetryTest, NonRetriableErrorPassesThroughImmediately) {
   EXPECT_TRUE(s.IsCorruption());
 }
 
+TEST(RetryTest, UnavailableIsNotRetriable) {
+  // Load-shedding must fail fast: a shed server said "go away", and
+  // hammering it with retries is exactly the wrong response.
+  EXPECT_FALSE(Status::Unavailable("admission queue full").IsRetriable());
+  RetryPolicy policy;
+  int calls = 0;
+  Status s = RetryTransient(policy, [&] {
+    ++calls;
+    return Status::Unavailable("shed");
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_TRUE(s.IsUnavailable());
+}
+
+TEST(RetryTest, DecorrelatedJitterStaysInBounds) {
+  // Every draw must satisfy initial <= sleep <= min(3 * prev, max), for
+  // any prior sleep — the AWS "decorrelated jitter" contract.
+  const uint64_t initial = 1'000;
+  const uint64_t max = 64'000;
+  Random rng(42);
+  uint64_t prev = initial;
+  for (int i = 0; i < 10'000; ++i) {
+    uint64_t sleep = NextDecorrelatedBackoffUs(initial, prev, max, &rng);
+    EXPECT_GE(sleep, initial);
+    EXPECT_LE(sleep, max);
+    uint64_t ceiling = prev >= initial ? prev * 3 : initial;
+    EXPECT_LE(sleep, std::min(ceiling, max));
+    prev = sleep;
+  }
+}
+
+TEST(RetryTest, DecorrelatedJitterActuallySpreads) {
+  // The draws must not collapse onto the doubling ladder: from the same
+  // prev, different RNG states give different sleeps.
+  const uint64_t initial = 1'000;
+  const uint64_t max = 1'000'000;
+  std::set<uint64_t> distinct;
+  Random rng(7);
+  for (int i = 0; i < 64; ++i) {
+    distinct.insert(NextDecorrelatedBackoffUs(initial, 100'000, max, &rng));
+  }
+  EXPECT_GT(distinct.size(), 16u);
+}
+
+TEST(RetryTest, JitterSeedIsDeterministic) {
+  // Same seed -> same sleep sequence (fault replays stay reproducible);
+  // different seeds -> different sequences (no cross-client lockstep).
+  auto draw_sequence = [](uint64_t seed) {
+    Random rng(seed);
+    std::vector<uint64_t> seq;
+    uint64_t prev = 500;
+    for (int i = 0; i < 16; ++i) {
+      prev = NextDecorrelatedBackoffUs(500, prev, 100'000, &rng);
+      seq.push_back(prev);
+    }
+    return seq;
+  };
+  EXPECT_EQ(draw_sequence(1), draw_sequence(1));
+  EXPECT_NE(draw_sequence(1), draw_sequence(2));
+}
+
+TEST(RetryTest, JitteredRetryKeepsStatsAccurate) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  policy.initial_backoff_us = 50;
+  policy.max_backoff_us = 400;
+  policy.decorrelated_jitter = true;
+  policy.jitter_seed = 99;
+  int calls = 0;
+  RetryStats stats;
+  Status s = RetryTransient(policy,
+                            [&] {
+                              ++calls;
+                              return calls < 4 ? Status::TransientIO("flaky")
+                                               : Status::OK();
+                            },
+                            &stats);
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(stats.attempts, 4);
+  EXPECT_FALSE(stats.exhausted);
+  // Three sleeps happened, each at least the initial backoff.
+  EXPECT_GE(stats.backoff_us, 3u * policy.initial_backoff_us);
+}
+
+TEST(RetryTest, TotalDeadlineBoundsCumulativeBackoff) {
+  // With a total deadline smaller than the next sleep, the retry loop
+  // must stop early (deadline-aware backoff) instead of sleeping past
+  // the caller's budget. The op always fails, so this exhausts.
+  RetryPolicy policy;
+  policy.max_attempts = 50;
+  policy.initial_backoff_us = 2'000;
+  policy.max_backoff_us = 2'000;
+  policy.total_deadline_us = 5'000;  // room for at most 2 full sleeps
+  int calls = 0;
+  RetryStats stats;
+  Status s = RetryTransient(policy,
+                            [&] {
+                              ++calls;
+                              return Status::TransientIO("down");
+                            },
+                            &stats);
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_TRUE(stats.exhausted);
+  EXPECT_LE(stats.backoff_us, policy.total_deadline_us);
+  EXPECT_LE(calls, 4);  // 50 attempts were authorized; the deadline won
+}
+
 }  // namespace
 }  // namespace ledgerdb

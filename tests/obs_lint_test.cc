@@ -19,6 +19,8 @@
 #include "client/ledger_client.h"
 #include "common/retry.h"
 #include "net/byzantine_transport.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
 #include "net/transport.h"
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
@@ -153,6 +155,33 @@ void ExerciseProofCacheObs() {
   EXPECT_GT(ledger.ProofCacheStats().hits, 0u);
 }
 
+/// Drives the socket service plane: a real LedgerServer and SocketTransport
+/// exchange RPCs over a unix socket, registering the ledgerdb_server_*
+/// gauges/counters/labeled histograms and the socket-side ledgerdb_net_*
+/// series.
+void ExerciseServerObs() {
+  SimulatedClock clock(0);
+  CertificateAuthority ca(KeyPair::FromSeedString("lint-srv-ca"));
+  MemberRegistry registry(&ca);
+  KeyPair lsp = KeyPair::FromSeedString("lint-srv-lsp");
+  registry.Register(ca.Certify("lsp", lsp.public_key(), Role::kLsp));
+  LedgerOptions options;
+  options.fractal_height = 2;
+  options.block_capacity = 4;
+  Ledger ledger("lg://lint-srv", options, &clock, lsp, &registry);
+
+  LedgerServer::Options sopts;
+  sopts.unix_path = ::testing::TempDir() + "/lds_lint.sock";
+  LedgerServer server(&ledger, sopts);
+  ASSERT_TRUE(server.Start().ok());
+  SocketTransport transport(server.address(), "lg://lint-srv");
+  SignedCommitment commitment;
+  EXPECT_TRUE(transport.GetCommitment(&commitment).ok());
+  Journal journal;
+  EXPECT_TRUE(transport.GetJournal(10'000, &journal).IsNotFound());
+  server.Stop();
+}
+
 /// Drives RetryTransient through its three terminal shapes so every
 /// ledgerdb_retry_* series registers.
 void ExerciseRetryObs() {
@@ -190,6 +219,7 @@ TEST(MetricNameLint, ExercisedSeriesPassLintAndRegisterOnce) {
 #endif
   ExerciseStorageObs();
   ExerciseNetObs();
+  ExerciseServerObs();
   ExerciseRetryObs();
   ExerciseProofCacheObs();
 
@@ -219,6 +249,7 @@ TEST(MetricNameLint, ExercisedSeriesPassLintAndRegisterOnce) {
   };
   EXPECT_TRUE(has_prefix("ledgerdb_storage_"));
   EXPECT_TRUE(has_prefix("ledgerdb_net_"));
+  EXPECT_TRUE(has_prefix("ledgerdb_server_"));
   EXPECT_TRUE(has_prefix("ledgerdb_retry_"));
   EXPECT_TRUE(has_prefix("ledgerdb_proofcache_"));
   EXPECT_TRUE(has_prefix("ledgerdb_client_"));

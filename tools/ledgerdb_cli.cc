@@ -21,6 +21,18 @@
 //   ledgerdb_cli stats  <dir> [--format json|prom] [--exercise]
 //                       [--watch <secs>] [--ticks <n>]
 //                                                observability snapshot
+//   ledgerdb_cli serve  <dir> [--unix <path>|--port <n>] [--workers <n>]
+//                       [--queue-depth <n>] [--request-timeout-us <n>]
+//                       [--drain-deadline-us <n>] [--ticks <n>]
+//                                                host the ledger over a socket
+//
+// Remote mode: `append`, `get`, `verify`, `lineage` and `status` accept
+// `--remote <addr>` ("unix:<path>" or "tcp:<ipv4>:<port>") and then talk
+// to a running `serve` process through SocketTransport + LedgerClient
+// instead of reopening the streams — <dir> supplies only the seed-derived
+// identities and uri. Verification still happens client-side: remote
+// `verify`/`lineage` pin trusted roots via an audited refresh and check
+// the proofs locally, trusting nothing the server sends.
 //
 // `stats` opens the ledger through the instrumented recovery path and
 // prints the process-wide metrics registry (counters, gauges, histogram
@@ -36,6 +48,7 @@
 // journals to the ledger.
 
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -48,6 +61,8 @@
 #include "client/ledger_client.h"
 #include "ledger/ledger.h"
 #include "net/byzantine_transport.h"
+#include "net/server.h"
+#include "net/socket_transport.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -134,6 +149,192 @@ int OpenLedger(CliContext* ctx, const std::string& dir) {
   if (!s.ok()) return FailStatus("recover (ledger may be tampered)", s);
   ctx->ledger->AttachDirectTsa(ctx->tsa.get());
   return 0;
+}
+
+/// Remote-mode context: reads seed + uri and derives identities but does
+/// NOT recover the ledger — the `serve` process owns the streams, and a
+/// second recovery against live files would race it.
+int OpenRemoteContext(CliContext* ctx, const std::string& dir) {
+  ctx->dir = dir;
+  std::string seed;
+  if (!ReadFileString(dir + "/seed", &seed) ||
+      !ReadFileString(dir + "/uri", &ctx->uri)) {
+    return Fail("not a ledger directory (run `init` first): " + dir);
+  }
+  ctx->seed = seed;
+  DeriveIdentities(ctx, seed);
+  return 0;
+}
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+/// Hosts the recovered ledger behind the socket wire protocol until
+/// SIGINT/SIGTERM, then drains gracefully. `--ticks <n>` (tests) exits on
+/// its own after n seconds instead of waiting for a signal.
+int CmdServe(CliContext* ctx, const std::vector<std::string>& args) {
+  LedgerServer::Options opts;
+  opts.unix_path = ctx->dir + "/ledgerdb.sock";
+  int ticks = 0;
+  for (size_t i = 0; i < args.size(); ++i) {
+    if (args[i] == "--unix" && i + 1 < args.size()) {
+      opts.unix_path = args[++i];
+    } else if (args[i] == "--port" && i + 1 < args.size()) {
+      opts.unix_path.clear();
+      opts.tcp_port = static_cast<uint16_t>(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--workers" && i + 1 < args.size()) {
+      opts.num_workers = std::atoi(args[++i].c_str());
+    } else if (args[i] == "--queue-depth" && i + 1 < args.size()) {
+      opts.queue_depth = static_cast<size_t>(std::atoi(args[++i].c_str()));
+    } else if (args[i] == "--request-timeout-us" && i + 1 < args.size()) {
+      opts.request_timeout_us = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--drain-deadline-us" && i + 1 < args.size()) {
+      opts.drain_deadline_us = std::strtoull(args[++i].c_str(), nullptr, 10);
+    } else if (args[i] == "--ticks" && i + 1 < args.size()) {
+      ticks = std::atoi(args[++i].c_str());
+    } else {
+      return Fail("unknown serve option: " + args[i]);
+    }
+  }
+  LedgerServer server(ctx->ledger.get(), opts);
+  Status s = server.Start();
+  if (!s.ok()) return FailStatus("serve", s);
+  std::printf("serving %s at %s (%d workers, queue depth %zu)\n",
+              ctx->uri.c_str(), server.address().c_str(), opts.num_workers,
+              opts.queue_depth);
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  int elapsed = 0;
+  while (!g_serve_stop && (ticks == 0 || elapsed < ticks)) {
+    std::this_thread::sleep_for(std::chrono::seconds(1));
+    ++elapsed;
+  }
+  std::printf("draining...\n");
+  server.Stop();
+  const LedgerServer::Stats& st = server.stats();
+  std::printf("served: %llu completed, %llu shed, %llu frame errors, "
+              "%llu deadline-expired, %llu drain-failed\n",
+              (unsigned long long)st.completed.load(),
+              (unsigned long long)st.shed.load(),
+              (unsigned long long)st.frame_errors.load(),
+              (unsigned long long)st.deadline_expired.load(),
+              (unsigned long long)st.drain_failed.load());
+  return 0;
+}
+
+/// Builds the remote verified client: socket transport plus a LedgerClient
+/// whose nonce space starts past the server's current journal count (the
+/// same nonce scheme local `append` uses, resumed across processes).
+int MakeRemoteClient(CliContext* ctx, const std::string& addr,
+                     std::unique_ptr<SocketTransport>* transport,
+                     std::unique_ptr<LedgerClient>* client) {
+  *transport = std::make_unique<SocketTransport>(addr, ctx->uri);
+  SignedCommitment commitment;
+  Status s = (*transport)->GetCommitment(&commitment);
+  if (!s.ok()) return FailStatus("connect " + addr, s);
+  if (!commitment.Verify(ctx->lsp.public_key())) {
+    return Fail("server commitment does not verify under this ledger's "
+                "LSP key — wrong directory or impostor server");
+  }
+  LedgerClient::Options copts;
+  copts.lsp_key = ctx->lsp.public_key();
+  copts.fractal_height = 10;  // must match OpenLedger's LedgerOptions
+  copts.start_nonce = commitment.journal_count;
+  copts.retry.max_attempts = 4;
+  copts.retry.decorrelated_jitter = true;
+  *client = std::make_unique<LedgerClient>(transport->get(), ctx->user, copts);
+  return 0;
+}
+
+int CmdRemoteAppend(CliContext* ctx, const std::string& addr,
+                    const std::string& payload,
+                    const std::vector<std::string>& clues) {
+  std::unique_ptr<SocketTransport> transport;
+  std::unique_ptr<LedgerClient> client;
+  int rc = MakeRemoteClient(ctx, addr, &transport, &client);
+  if (rc != 0) return rc;
+  uint64_t jsn = 0;
+  Receipt receipt;
+  Status s = client->AppendVerified(StringToBytes(payload), clues, &jsn,
+                                    &receipt);
+  if (!s.ok()) return FailStatus("remote append", s);
+  std::printf("jsn:        %llu\n", (unsigned long long)jsn);
+  std::printf("tx-hash:    %s\n", receipt.tx_hash.ToHex().c_str());
+  std::printf("block-hash: %s\n", receipt.block_hash.ToHex().c_str());
+  std::printf("receipt:    %s\n", ToHex(receipt.Serialize()).c_str());
+  return 0;
+}
+
+int CmdRemoteGet(CliContext* ctx, const std::string& addr, uint64_t jsn) {
+  SocketTransport transport(addr, ctx->uri);
+  Journal journal;
+  Status s = transport.GetJournal(jsn, &journal);
+  if (!s.ok()) return FailStatus("remote get", s);
+  std::printf("jsn:      %llu\n", (unsigned long long)jsn);
+  std::printf("payload:  %s\n",
+              journal.occulted
+                  ? "<erased>"
+                  : std::string(journal.payload.begin(), journal.payload.end())
+                        .c_str());
+  std::printf("digest:   %s\n", journal.payload_digest.ToHex().c_str());
+  for (const std::string& clue : journal.clues) {
+    std::printf("clue:     %s\n", clue.c_str());
+  }
+  return 0;
+}
+
+int CmdRemoteVerify(CliContext* ctx, const std::string& addr, uint64_t jsn) {
+  std::unique_ptr<SocketTransport> transport;
+  std::unique_ptr<LedgerClient> client;
+  int rc = MakeRemoteClient(ctx, addr, &transport, &client);
+  if (rc != 0) return rc;
+  Status s = client->RefreshTrustedRoots();
+  if (!s.ok()) return FailStatus("refresh trusted roots", s);
+  Journal journal;
+  s = client->FetchAndVerifyJournal(jsn, &journal);
+  std::printf("fam root:  %s\n", client->trusted_fam_root().ToHex().c_str());
+  std::printf("result:    %s\n", s.ok() ? "VALID" : "INVALID");
+  if (!s.ok()) std::printf("reason:    %s\n", s.ToString().c_str());
+  return s.ok() ? 0 : 1;
+}
+
+int CmdRemoteLineage(CliContext* ctx, const std::string& addr,
+                     const std::string& clue) {
+  std::unique_ptr<SocketTransport> transport;
+  std::unique_ptr<LedgerClient> client;
+  int rc = MakeRemoteClient(ctx, addr, &transport, &client);
+  if (rc != 0) return rc;
+  Status s = client->RefreshTrustedRoots();
+  if (!s.ok()) return FailStatus("refresh trusted roots", s);
+  std::vector<Journal> journals;
+  s = client->FetchAndVerifyLineage(clue, &journals);
+  if (!s.ok()) return FailStatus("remote lineage", s);
+  for (const Journal& journal : journals) {
+    std::printf("jsn %-8llu %s\n", (unsigned long long)journal.jsn,
+                journal.occulted
+                    ? "<erased>"
+                    : std::string(journal.payload.begin(), journal.payload.end())
+                          .c_str());
+  }
+  std::printf("%zu records; lineage VALID\n", journals.size());
+  return 0;
+}
+
+int CmdRemoteStatus(CliContext* ctx, const std::string& addr) {
+  SocketTransport transport(addr, ctx->uri);
+  SignedCommitment commitment;
+  Status s = transport.GetCommitment(&commitment);
+  if (!s.ok()) return FailStatus("remote status", s);
+  bool signature_ok = commitment.Verify(ctx->lsp.public_key());
+  std::printf("uri:        %s\n", commitment.ledger_uri.c_str());
+  std::printf("journals:   %llu\n",
+              (unsigned long long)commitment.journal_count);
+  std::printf("fam root:   %s\n", commitment.fam_root.ToHex().c_str());
+  std::printf("clue root:  %s\n", commitment.clue_root.ToHex().c_str());
+  std::printf("state root: %s\n", commitment.state_root.ToHex().c_str());
+  std::printf("lsp sig:    %s\n", signature_ok ? "VALID" : "INVALID");
+  return signature_ok ? 0 : 1;
 }
 
 int CmdInit(const std::string& dir, const std::string& uri) {
@@ -530,8 +731,10 @@ int CmdStats(CliContext* ctx, const std::string& seed,
 int Usage() {
   std::fprintf(stderr,
                "usage: ledgerdb_cli <init|append|get|verify|lineage|anchor|"
-               "occult|purge|audit|status|stats|fsck|receipt|verify-receipt> "
-               "<dir> [args...]\n");
+               "occult|purge|audit|status|stats|fsck|receipt|verify-receipt|"
+               "serve> <dir> [args...]\n"
+               "       append/get/verify/lineage/status also accept "
+               "--remote <unix:path|tcp:host:port>\n");
   return 2;
 }
 
@@ -542,16 +745,52 @@ int main(int argc, char** argv) {
   std::string command = argv[1];
   std::string dir = argv[2];
 
+  // Strip a global `--remote <addr>` pair anywhere after <dir>; when
+  // present, the supporting commands go over the socket instead of
+  // reopening the ledger streams.
+  std::string remote;
+  std::vector<std::string> rest;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--remote") == 0 && i + 1 < argc) {
+      remote = argv[++i];
+    } else {
+      rest.emplace_back(argv[i]);
+    }
+  }
+
   if (command == "init") {
-    if (argc != 4) return Usage();
-    return CmdInit(dir, argv[3]);
+    if (rest.size() != 1) return Usage();
+    return CmdInit(dir, rest[0]);
   }
   if (command == "fsck") return CmdFsck(dir);
 
   CliContext ctx;
+  if (!remote.empty()) {
+    int rc = OpenRemoteContext(&ctx, dir);
+    if (rc != 0) return rc;
+    if (command == "append" && !rest.empty()) {
+      return CmdRemoteAppend(&ctx, remote, rest[0],
+                             {rest.begin() + 1, rest.end()});
+    }
+    if (command == "get" && rest.size() == 1) {
+      return CmdRemoteGet(&ctx, remote,
+                          std::strtoull(rest[0].c_str(), nullptr, 10));
+    }
+    if (command == "verify" && rest.size() == 1) {
+      return CmdRemoteVerify(&ctx, remote,
+                             std::strtoull(rest[0].c_str(), nullptr, 10));
+    }
+    if (command == "lineage" && rest.size() == 1) {
+      return CmdRemoteLineage(&ctx, remote, rest[0]);
+    }
+    if (command == "status") return CmdRemoteStatus(&ctx, remote);
+    return Usage();
+  }
+
   int rc = OpenLedger(&ctx, dir);
   if (rc != 0) return rc;
 
+  if (command == "serve") return CmdServe(&ctx, rest);
   if (command == "append") {
     if (argc < 4) return Usage();
     std::vector<std::string> clues(argv + 4, argv + argc);
