@@ -1,9 +1,10 @@
 // Crash-recovery path benchmarks: how fast a file-backed ledger comes
-// back after a restart. Three stages are timed separately so regressions
+// back after a restart. Stages are timed separately so regressions
 // localize — the frame-by-frame reopen scan (FileStreamStore::Open), the
-// full state replay (Ledger::Recover), and the offline integrity pass
-// (Fsck). Population rate is reported too since the append path pays for
-// the durability features (per-frame CRCs + watermark sidecar) that make
+// full state replay (Ledger::Recover), the checkpoint write, tail replay
+// through a verified checkpoint, and the offline integrity pass (Fsck).
+// Population rate is reported too since the append path pays for the
+// durability features (per-frame CRCs + watermark sidecar) that make
 // recovery possible.
 //
 //   ./bench_recover [--json BENCH_recover.json]
@@ -14,6 +15,7 @@
 
 #include "bench/bench_util.h"
 #include "ledger/ledger.h"
+#include "storage/checkpoint.h"
 #include "storage/stream_store.h"
 
 namespace ledgerdb {
@@ -28,12 +30,20 @@ using bench::VolumeLabel;
 
 constexpr char kJournalPath[] = "bench_recover_journals.log";
 constexpr char kBlockPath[] = "bench_recover_blocks.log";
+constexpr char kCkptBase[] = "bench_recover_ckpt";
 constexpr size_t kPayloadBytes = 256;
 
 void RemoveStream(const std::string& path) {
   std::remove(path.c_str());
   std::remove((path + ".wm").c_str());
   std::remove((path + ".quarantine").c_str());
+}
+
+void RemoveCheckpoints(const std::string& base) {
+  for (const char* suffix :
+       {".ckpt.0", ".ckpt.1", ".snap.0", ".snap.1", ".ckpt.tmp", ".snap.tmp"}) {
+    std::remove((base + suffix).c_str());
+  }
 }
 
 std::unique_ptr<FileStreamStore> MustOpen(const std::string& path) {
@@ -54,6 +64,7 @@ int Run(int argc, char** argv) {
   journals = shift >= 0 ? journals << shift : journals >> -shift;
   json.SetMeta("journals", static_cast<double>(journals));
   json.SetMeta("payload_bytes", static_cast<double>(kPayloadBytes));
+  json.SetMeta("clue_lineages", 4096.0);
 
   SimulatedClock clock(1000 * kMicrosPerSecond);
   CertificateAuthority ca(KeyPair::FromSeedString("br-ca"));
@@ -92,7 +103,9 @@ int Run(int argc, char** argv) {
       for (uint64_t i = 0; i < journals; ++i) {
         ClientTransaction tx;
         tx.ledger_uri = "lg://bench-recover";
-        tx.clues = {"acct-" + std::to_string(i % 16)};
+        // Clue-rich regime: many distinct lineages, the realistic worst
+        // case for replay (every journal grows some clue accumulator).
+        tx.clues = {"acct-" + std::to_string(i % 4096)};
         tx.payload = StringToBytes(payload);
         tx.nonce = nonce++;
         tx.client_ts = clock.Now();
@@ -142,6 +155,7 @@ int Run(int argc, char** argv) {
   // ---- Stage 2: full recovery. Streams are opened outside the timer so
   // this row isolates Ledger::Recover — journal replay through the fam
   // tree / CM-Tree / world state plus block-header cross-checks.
+  double full_replay_p50_us = 0;
   {
     LatencySampler lat;
     uint64_t recovered_journals = 0;
@@ -162,14 +176,110 @@ int Run(int argc, char** argv) {
       }
       recovered_journals = recovered->NumJournals();
     }
-    double secs = lat.PercentileUs(50.0) / 1e6;
+    full_replay_p50_us = lat.PercentileUs(50.0);
+    double secs = full_replay_p50_us / 1e6;
     double jps = static_cast<double>(recovered_journals) / secs;
     std::printf("%-28s %12.0f journals/s (p50 %.1fms)\n",
-                "Ledger::Recover (replay)", jps, lat.PercentileUs(50.0) / 1e3);
+                "Ledger::Recover (replay)", jps, full_replay_p50_us / 1e3);
     json.Add("ledger_recover_replay", jps, lat);
   }
 
-  // ---- Stage 3: offline integrity sweep (what `ledgerdb_cli fsck` runs).
+  // ---- Stage 3: checkpoint write — serialize the verified state
+  // (journals, fam tree, CM-Tree, world state) into the two-slot store
+  // with persist-before-publish, then a small tail of post-checkpoint
+  // appends so the recovery row below replays a realistic tail.
+  RemoveCheckpoints(kCkptBase);
+  uint64_t tail = journals / 100 < 16 ? 16 : journals / 100;
+  {
+    auto journal_stream = MustOpen(kJournalPath);
+    auto block_stream = MustOpen(kBlockPath);
+    CheckpointStore ckpt(Env::Default(), kCkptBase);
+    std::unique_ptr<Ledger> ledger;
+    Status s = Ledger::Recover(
+        "lg://bench-recover", options, &clock, lsp, &registry,
+        LedgerStorage{journal_stream.get(), block_stream.get(), &ckpt},
+        &ledger);
+    if (!s.ok()) {
+      std::fprintf(stderr, "recover for checkpoint: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    LatencySampler lat;
+    for (int i = 0; i < kIters; ++i) {
+      lat.Time([&] {
+        Status ws = ledger->WriteCheckpoint(nullptr);
+        if (!ws.ok()) {
+          std::fprintf(stderr, "checkpoint: %s\n", ws.ToString().c_str());
+          std::exit(1);
+        }
+      });
+    }
+    double secs = lat.PercentileUs(50.0) / 1e6;
+    double jps = static_cast<double>(ledger->NumJournals()) / secs;
+    std::printf("%-28s %12.0f journals/s (p50 %.1fms)\n", "checkpoint write",
+                jps, lat.PercentileUs(50.0) / 1e3);
+    json.Add("checkpoint_write", jps, lat);
+
+    std::string payload(kPayloadBytes, 'x');
+    for (uint64_t i = 0; i < tail; ++i) {
+      ClientTransaction tx;
+      tx.ledger_uri = "lg://bench-recover";
+      tx.clues = {"acct-" + std::to_string(i % 4096)};
+      tx.payload = StringToBytes(payload);
+      tx.nonce = journals + i;
+      tx.client_ts = clock.Now();
+      tx.Sign(alice);
+      Status as = ledger->Append(tx, nullptr);
+      if (!as.ok()) {
+        std::fprintf(stderr, "tail append: %s\n", as.ToString().c_str());
+        return 1;
+      }
+      clock.Advance(1000);
+    }
+  }
+  json.SetMeta("tail_journals", static_cast<double>(tail));
+
+  // ---- Stage 4: tail replay. Recovery adopts the newest verified
+  // checkpoint (commitment-bound, SHA-256-pinned snapshot) and replays
+  // only the journals past its watermark — the headline restart-latency
+  // win over full replay.
+  {
+    LatencySampler lat;
+    uint64_t recovered_journals = 0;
+    bool used_checkpoint = true;
+    for (int i = 0; i < kIters; ++i) {
+      auto journal_stream = MustOpen(kJournalPath);
+      auto block_stream = MustOpen(kBlockPath);
+      CheckpointStore ckpt(Env::Default(), kCkptBase);
+      std::unique_ptr<Ledger> recovered;
+      RecoveryInfo info;
+      Status s;
+      lat.Time([&] {
+        s = Ledger::Recover(
+            "lg://bench-recover", options, &clock, lsp, &registry,
+            LedgerStorage{journal_stream.get(), block_stream.get(), &ckpt},
+            &recovered, &info);
+      });
+      if (!s.ok()) {
+        std::fprintf(stderr, "tail recover: %s\n", s.ToString().c_str());
+        return 1;
+      }
+      used_checkpoint &= info.used_checkpoint;
+      recovered_journals = recovered->NumJournals();
+    }
+    if (!used_checkpoint) {
+      std::fprintf(stderr, "tail recover fell back to full replay\n");
+      return 1;
+    }
+    double p50_us = lat.PercentileUs(50.0);
+    double jps = static_cast<double>(recovered_journals) / (p50_us / 1e6);
+    double speedup = full_replay_p50_us / p50_us;
+    std::printf("%-28s %12.0f journals/s (p50 %.1fms, %.1fx vs full replay)\n",
+                "checkpoint + tail replay", jps, p50_us / 1e3, speedup);
+    json.Add("checkpoint_tail_replay", jps, lat);
+    json.SetMeta("tail_replay_speedup", speedup);
+  }
+
+  // ---- Stage 5: offline integrity sweep (what `ledgerdb_cli fsck` runs).
   {
     auto store = MustOpen(kJournalPath);
     uint64_t frames = store->Count();
@@ -192,6 +302,7 @@ int Run(int argc, char** argv) {
 
   RemoveStream(kJournalPath);
   RemoveStream(kBlockPath);
+  RemoveCheckpoints(kCkptBase);
   return 0;
 }
 

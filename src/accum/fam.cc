@@ -116,6 +116,92 @@ uint64_t FamAccumulator::Append(const Digest& journal_digest) {
   return jsn;
 }
 
+void FamAccumulator::SerializeTo(Bytes* out) const {
+  PutU32(out, static_cast<uint32_t>(fractal_height_));
+  PutU64(out, num_journals_);
+  current_.SerializeTo(out);
+  PutU32(out, static_cast<uint32_t>(sealed_roots_.size()));
+  for (size_t e = 0; e < sealed_roots_.size(); ++e) {
+    out->insert(out->end(), sealed_roots_[e].bytes.begin(),
+                sealed_roots_[e].bytes.end());
+    const bool retained = sealed_trees_[e] != nullptr;
+    out->push_back(retained ? 1 : 0);
+    if (retained) sealed_trees_[e]->SerializeTo(out);
+  }
+  PutU32(out, static_cast<uint32_t>(pruned_links_.size()));
+  for (const MembershipProof& link : pruned_links_) {
+    PutLengthPrefixed(out, link.Serialize());
+  }
+}
+
+bool FamAccumulator::DeserializeFrom(const Bytes& raw, size_t* pos,
+                                     FamAccumulator* out) {
+  auto get_digest = [&raw](size_t* p, Digest* d) {
+    if (*p + 32 > raw.size()) return false;
+    std::copy(raw.begin() + static_cast<long>(*p),
+              raw.begin() + static_cast<long>(*p) + 32, d->bytes.begin());
+    *p += 32;
+    return true;
+  };
+  uint32_t height = 0;
+  uint64_t num_journals = 0;
+  if (!GetU32(raw, pos, &height)) return false;
+  if (static_cast<int>(height) != out->fractal_height_) return false;
+  if (!GetU64(raw, pos, &num_journals)) return false;
+  if (!ShrubsAccumulator::DeserializeFrom(raw, pos, &out->current_)) {
+    return false;
+  }
+  uint32_t sealed = 0;
+  if (!GetU32(raw, pos, &sealed) || sealed > (1u << 26)) return false;
+  out->sealed_roots_.assign(sealed, Digest());
+  out->sealed_trees_.clear();
+  out->sealed_trees_.resize(sealed);
+  for (uint32_t e = 0; e < sealed; ++e) {
+    if (!get_digest(pos, &out->sealed_roots_[e])) return false;
+    if (*pos >= raw.size() || raw[*pos] > 1) return false;
+    bool retained = raw[(*pos)++] == 1;
+    if (retained) {
+      auto tree = std::make_unique<ShrubsAccumulator>();
+      if (!ShrubsAccumulator::DeserializeFrom(raw, pos, tree.get())) {
+        return false;
+      }
+      if (tree->size() != out->epoch_capacity_) return false;
+      if (tree->Root() != out->sealed_roots_[e]) return false;
+      out->sealed_trees_[e] = std::move(tree);
+    }
+  }
+  uint32_t links = 0;
+  if (!GetU32(raw, pos, &links) || links > sealed) return false;
+  out->pruned_links_.assign(links, MembershipProof());
+  Bytes block;
+  for (uint32_t i = 0; i < links; ++i) {
+    if (!GetLengthPrefixed(raw, pos, &block)) return false;
+    if (!MembershipProof::Deserialize(block, &out->pruned_links_[i])) {
+      return false;
+    }
+  }
+  // Shape invariants: the live tree seals (and resets) the instant it hits
+  // epoch capacity, and with sealed epochs present its first cell must be
+  // the merged root of the last sealed epoch.
+  const uint64_t cap = out->epoch_capacity_;
+  if (out->current_.size() >= cap) return false;
+  uint64_t expected = 0;
+  if (sealed == 0) {
+    expected = out->current_.size();
+  } else {
+    if (out->current_.empty()) return false;
+    if (out->current_.LeafNode(0) !=
+        HashMerkleLeaf(out->sealed_roots_[sealed - 1])) {
+      return false;
+    }
+    expected = cap + static_cast<uint64_t>(sealed - 1) * (cap - 1) +
+               (out->current_.size() - 1);
+  }
+  if (expected != num_journals) return false;
+  out->num_journals_ = num_journals;
+  return true;
+}
+
 FamAccumulator::JournalLocation FamAccumulator::Locate(uint64_t jsn) const {
   if (jsn < epoch_capacity_) return {0, jsn};
   uint64_t j = jsn - epoch_capacity_;

@@ -208,6 +208,17 @@ class FamAccumulator {
     return e < sealed_trees_.size() && sealed_trees_[e] == nullptr;
   }
 
+  /// Checkpoint (de)serialization of the full fractal structure: live
+  /// epoch tree, sealed roots, retained sealed trees (pruned epochs stay
+  /// pruned) and pruned-epoch link proofs. DeserializeFrom enforces the
+  /// structural invariants (epoch sizes, journal count, retained-tree
+  /// roots matching the sealed roots, the live tree's merged first cell);
+  /// digest contents are trusted pending the caller's commitment-chain
+  /// cross-check (RootAtJournalCount against signed block headers).
+  void SerializeTo(Bytes* out) const;
+  static bool DeserializeFrom(const Bytes& raw, size_t* pos,
+                              FamAccumulator* out);
+
  private:
   struct JournalLocation {
     uint64_t epoch;

@@ -105,6 +105,40 @@ bool BatchProof::Deserialize(const Bytes& raw, BatchProof* out) {
   return pos == raw.size();
 }
 
+void ShrubsAccumulator::SerializeTo(Bytes* out) const {
+  PutU64(out, num_leaves_);
+  PutU64(out, hash_count_);
+  PutU32(out, static_cast<uint32_t>(levels_.size()));
+  for (const auto& level : levels_) {
+    for (const Digest& node : level) PutDigest(out, node);
+  }
+}
+
+bool ShrubsAccumulator::DeserializeFrom(const Bytes& raw, size_t* pos,
+                                        ShrubsAccumulator* out) {
+  uint64_t num_leaves = 0, hash_count = 0;
+  uint32_t num_levels = 0;
+  if (!GetU64(raw, pos, &num_leaves)) return false;
+  if (!GetU64(raw, pos, &hash_count)) return false;
+  if (!GetU32(raw, pos, &num_levels) || num_levels > 64) return false;
+  // Append's cascade invariant pins the whole shape: level h holds exactly
+  // num_leaves >> h nodes and the top level is the first empty one.
+  uint32_t expected_levels = 0;
+  for (uint64_t n = num_leaves; n > 0; n >>= 1) ++expected_levels;
+  if (num_levels != expected_levels) return false;
+  out->num_leaves_ = num_leaves;
+  out->hash_count_ = hash_count;
+  out->levels_.assign(num_levels, {});
+  for (uint32_t h = 0; h < num_levels; ++h) {
+    uint64_t count = num_leaves >> h;
+    out->levels_[h].assign(count, Digest());
+    for (uint64_t i = 0; i < count; ++i) {
+      if (!GetDigest(raw, pos, &out->levels_[h][i])) return false;
+    }
+  }
+  return true;
+}
+
 uint64_t ShrubsAccumulator::Append(const Digest& digest) {
   if (levels_.empty()) levels_.emplace_back();
   uint64_t index = num_leaves_;

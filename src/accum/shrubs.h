@@ -160,6 +160,15 @@ class ShrubsAccumulator {
   /// metric for the Shrubs-vs-eager ablation).
   uint64_t HashCount() const { return hash_count_; }
 
+  /// Checkpoint (de)serialization: the full retained node set, so a
+  /// restored accumulator serves the same historical proofs as the
+  /// original. DeserializeFrom validates the structural invariant (level h
+  /// holds exactly size() >> h nodes) but trusts digest contents; callers
+  /// must cross-check Root() against an authenticated commitment.
+  void SerializeTo(Bytes* out) const;
+  static bool DeserializeFrom(const Bytes& raw, size_t* pos,
+                              ShrubsAccumulator* out);
+
  private:
   uint64_t num_leaves_ = 0;
   uint64_t hash_count_ = 0;

@@ -86,6 +86,19 @@ class CmTree {
   /// number of nodes reclaimed.
   Status Compact(size_t* reclaimed);
 
+  /// Checkpoint serialization: every per-clue accumulator (CM-Tree2) plus
+  /// the CM-Tree1 root and its reachable node set (historical snapshot
+  /// garbage is not carried — the restored store matches a post-Compact
+  /// image).
+  Status SerializeTo(Bytes* out) const;
+
+  /// Restores from SerializeTo output. Re-derives each node's content
+  /// address before insertion and verifies CM-Tree1 maps every restored
+  /// clue to exactly its restored accumulator's (count, root) commitment,
+  /// so only a coherent tree can load. The caller must still cross-check
+  /// Root() against an authenticated commitment.
+  Status RestoreFrom(const Bytes& raw, size_t* pos);
+
  private:
   /// MPT leaf value: [u64 entry_count][32-byte accumulator root].
   static Bytes EncodeClueValue(uint64_t count, const Digest& accum_root);

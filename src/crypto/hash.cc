@@ -2,6 +2,17 @@
 
 #include <cstring>
 
+// Runtime-dispatched SHA-NI compression: recovery replay, proof building
+// and checkpoint verification are all SHA-256-bound, and the x86 SHA
+// extensions compress a block roughly 4× faster than the scalar rounds.
+// Detection happens once (cpuid); output is bit-identical either way.
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__)) && \
+    !defined(LEDGERDB_NO_SHA_NI)
+#define LEDGERDB_SHA256_NI 1
+#include <cpuid.h>
+#include <immintrin.h>
+#endif
+
 namespace ledgerdb {
 
 bool Digest::FromBytes(const Bytes& raw, Digest* out) {
@@ -31,6 +42,135 @@ constexpr uint32_t kSha256K[64] = {
 
 inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
 
+#ifdef LEDGERDB_SHA256_NI
+
+bool ShaNiAvailable() {
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return false;
+  if ((ecx & (1u << 19)) == 0) return false;  // SSE4.1 (blend, alignr)
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return false;
+  return (ebx & (1u << 29)) != 0;  // SHA extensions
+}
+
+// One scheduled 4-round group for rounds 12..51: consume M0, fold the
+// cross-lane carry into M1 (msg2) and start M3's schedule (msg1).
+#define LEDGERDB_SHA_ROUNDS4(M0, M1, M3, K)                                  \
+  do {                                                                       \
+    MSG = _mm_add_epi32(                                                     \
+        M0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[K]))); \
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);                     \
+    TMP = _mm_alignr_epi8(M0, M3, 4);                                        \
+    M1 = _mm_add_epi32(M1, TMP);                                             \
+    M1 = _mm_sha256msg2_epu32(M1, M0);                                       \
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);                                      \
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);                     \
+    M3 = _mm_sha256msg1_epu32(M3, M0);                                       \
+  } while (0)
+
+// Same, minus the msg1 kick — rounds 52..59 no longer feed the schedule.
+#define LEDGERDB_SHA_ROUNDS4_TAIL(M0, M1, M3, K)                             \
+  do {                                                                       \
+    MSG = _mm_add_epi32(                                                     \
+        M0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[K]))); \
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);                     \
+    TMP = _mm_alignr_epi8(M0, M3, 4);                                        \
+    M1 = _mm_add_epi32(M1, TMP);                                             \
+    M1 = _mm_sha256msg2_epu32(M1, M0);                                       \
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);                                      \
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);                     \
+  } while (0)
+
+__attribute__((target("sha,sse4.1"))) void Sha256CompressShaNi(
+    uint32_t* state, const uint8_t* data, size_t blocks) {
+  __m128i STATE0, STATE1, MSG, TMP;
+  __m128i MSG0, MSG1, MSG2, MSG3;
+
+  // Repack {a..h} into the ABEF/CDGH lane order sha256rnds2 expects.
+  TMP = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[0]));
+  STATE1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(&state[4]));
+  TMP = _mm_shuffle_epi32(TMP, 0xB1);
+  STATE1 = _mm_shuffle_epi32(STATE1, 0x1B);
+  STATE0 = _mm_alignr_epi8(TMP, STATE1, 8);     // ABEF
+  STATE1 = _mm_blend_epi16(STATE1, TMP, 0xF0);  // CDGH
+
+  const __m128i MASK =
+      _mm_set_epi64x(0x0c0d0e0f08090a0bULL, 0x0405060700010203ULL);
+
+  while (blocks > 0) {
+    const __m128i ABEF_SAVE = STATE0;
+    const __m128i CDGH_SAVE = STATE1;
+
+    // Rounds 0-3.
+    MSG = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 0));
+    MSG0 = _mm_shuffle_epi8(MSG, MASK);
+    MSG = _mm_add_epi32(
+        MSG0, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[0])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+
+    // Rounds 4-7.
+    MSG = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 16));
+    MSG1 = _mm_shuffle_epi8(MSG, MASK);
+    MSG = _mm_add_epi32(
+        MSG1, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[4])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+    MSG0 = _mm_sha256msg1_epu32(MSG0, MSG1);
+
+    // Rounds 8-11.
+    MSG = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 32));
+    MSG2 = _mm_shuffle_epi8(MSG, MASK);
+    MSG = _mm_add_epi32(
+        MSG2, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[8])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+    MSG1 = _mm_sha256msg1_epu32(MSG1, MSG2);
+
+    // Rounds 12-15 enter the steady-state schedule.
+    MSG = _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + 48));
+    MSG3 = _mm_shuffle_epi8(MSG, MASK);
+    LEDGERDB_SHA_ROUNDS4(MSG3, MSG0, MSG2, 12);
+    LEDGERDB_SHA_ROUNDS4(MSG0, MSG1, MSG3, 16);
+    LEDGERDB_SHA_ROUNDS4(MSG1, MSG2, MSG0, 20);
+    LEDGERDB_SHA_ROUNDS4(MSG2, MSG3, MSG1, 24);
+    LEDGERDB_SHA_ROUNDS4(MSG3, MSG0, MSG2, 28);
+    LEDGERDB_SHA_ROUNDS4(MSG0, MSG1, MSG3, 32);
+    LEDGERDB_SHA_ROUNDS4(MSG1, MSG2, MSG0, 36);
+    LEDGERDB_SHA_ROUNDS4(MSG2, MSG3, MSG1, 40);
+    LEDGERDB_SHA_ROUNDS4(MSG3, MSG0, MSG2, 44);
+    LEDGERDB_SHA_ROUNDS4(MSG0, MSG1, MSG3, 48);
+    LEDGERDB_SHA_ROUNDS4_TAIL(MSG1, MSG2, MSG0, 52);
+    LEDGERDB_SHA_ROUNDS4_TAIL(MSG2, MSG3, MSG1, 56);
+
+    // Rounds 60-63.
+    MSG = _mm_add_epi32(
+        MSG3, _mm_loadu_si128(reinterpret_cast<const __m128i*>(&kSha256K[60])));
+    STATE1 = _mm_sha256rnds2_epu32(STATE1, STATE0, MSG);
+    MSG = _mm_shuffle_epi32(MSG, 0x0E);
+    STATE0 = _mm_sha256rnds2_epu32(STATE0, STATE1, MSG);
+
+    STATE0 = _mm_add_epi32(STATE0, ABEF_SAVE);
+    STATE1 = _mm_add_epi32(STATE1, CDGH_SAVE);
+    data += 64;
+    --blocks;
+  }
+
+  TMP = _mm_shuffle_epi32(STATE0, 0x1B);
+  STATE1 = _mm_shuffle_epi32(STATE1, 0xB1);
+  STATE0 = _mm_blend_epi16(TMP, STATE1, 0xF0);  // DCBA
+  STATE1 = _mm_alignr_epi8(STATE1, TMP, 8);     // HGFE
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[0]), STATE0);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(&state[4]), STATE1);
+}
+
+#undef LEDGERDB_SHA_ROUNDS4
+#undef LEDGERDB_SHA_ROUNDS4_TAIL
+
+#endif  // LEDGERDB_SHA256_NI
+
 }  // namespace
 
 Sha256::Sha256() {
@@ -42,6 +182,17 @@ Sha256::Sha256() {
   state_[5] = 0x9b05688c;
   state_[6] = 0x1f83d9ab;
   state_[7] = 0x5be0cd19;
+}
+
+void Sha256::ProcessBlocks(const uint8_t* data, size_t blocks) {
+#ifdef LEDGERDB_SHA256_NI
+  static const bool have_sha_ni = ShaNiAvailable();
+  if (have_sha_ni) {
+    Sha256CompressShaNi(state_, data, blocks);
+    return;
+  }
+#endif
+  for (size_t i = 0; i < blocks; ++i) ProcessBlock(data + 64 * i);
 }
 
 void Sha256::ProcessBlock(const uint8_t* block) {
@@ -97,14 +248,15 @@ void Sha256::Update(const uint8_t* data, size_t size) {
     data += take;
     size -= take;
     if (buffered_ == sizeof(buffer_)) {
-      ProcessBlock(buffer_);
+      ProcessBlocks(buffer_, 1);
       buffered_ = 0;
     }
   }
-  while (size >= 64) {
-    ProcessBlock(data);
-    data += 64;
-    size -= 64;
+  if (size >= 64) {
+    size_t blocks = size / 64;
+    ProcessBlocks(data, blocks);
+    data += blocks * 64;
+    size -= blocks * 64;
   }
   if (size > 0) {
     std::memcpy(buffer_, data, size);

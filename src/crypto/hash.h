@@ -62,6 +62,9 @@ class Sha256 {
 
  private:
   void ProcessBlock(const uint8_t* block);
+  /// Compresses `blocks` consecutive 64-byte blocks, dispatching to the
+  /// SHA-NI implementation when the CPU has it (bit-identical output).
+  void ProcessBlocks(const uint8_t* data, size_t blocks);
 
   uint32_t state_[8];
   uint64_t length_ = 0;  // total bytes absorbed

@@ -1287,111 +1287,192 @@ void Ledger::ApplyJournalEffects(const Journal& journal) {
   }
 }
 
-Status Ledger::Recover(std::string uri, const LedgerOptions& options,
-                       Clock* clock, KeyPair lsp_key,
-                       const MemberRegistry* members, LedgerStorage storage,
-                       std::unique_ptr<Ledger>* out) {
-  if (!storage.enabled()) {
-    return Status::InvalidArgument("recovery requires journal+block streams");
-  }
-  LEDGERDB_OBS_TIMER(recover_timer, obs::names::kLedgerRecoverUs);
-  std::unique_ptr<Ledger> ledger(new Ledger(RecoveryTag{}, std::move(uri),
-                                            options, clock, std::move(lsp_key),
-                                            members, storage));
-
-  // Phase 1: replay the journal stream through the accumulators.
-  const uint64_t n = storage.journals->Count();
-  if (n == 0) {
-    return Status::Corruption(
-        "journal stream is empty: missing stream file or lost genesis");
-  }
-  for (uint64_t i = 0; i < n; ++i) {
-    Bytes raw;
-    LEDGERDB_RETURN_IF_ERROR(storage.journals->Read(i, &raw));
+Status Ledger::ReplayRecord(uint64_t index, const Bytes& raw) {
+  if (IsTombstoneFrame(raw)) {
     Tombstone tombstone;
-    if (IsTombstoneFrame(raw)) {
-      if (!DecodeTombstone(raw, &tombstone)) {
-        return Status::Corruption("undecodable purge tombstone");
-      }
-      // Digest-only replay of a purged journal.
-      ledger->fam_.Append(tombstone.tx_hash);
-      for (const std::string& clue : tombstone.clues) {
-        ledger->cmtree_.Append(clue, tombstone.tx_hash, nullptr);
-        ledger->clue_index_.Append(clue, i);
-        ledger->world_state_.Put(clue, tombstone.payload_digest.ToBytes());
-      }
-      ledger->delta_log_.push_back(
-          {tombstone.tx_hash, tombstone.payload_digest, tombstone.clues});
-      ledger->journals_.push_back(std::nullopt);
-      ledger->occult_bitmap_.Resize(i + 1);
-      ledger->jsn_to_block_.push_back(kUnsealedBlock);
-      continue;
+    if (!DecodeTombstone(raw, &tombstone)) {
+      return Status::Corruption("undecodable purge tombstone");
     }
-    Journal journal;
-    if (!Journal::Deserialize(raw, &journal)) {
-      return Status::Corruption("undecodable journal record at index " +
-                                std::to_string(i));
+    // Digest-only replay of a purged journal.
+    fam_.Append(tombstone.tx_hash);
+    for (const std::string& clue : tombstone.clues) {
+      cmtree_.Append(clue, tombstone.tx_hash, nullptr);
+      clue_index_.Append(clue, index);
+      world_state_.Put(clue, tombstone.payload_digest.ToBytes());
     }
-    if (journal.jsn != i) {
-      return Status::Corruption("journal stream out of order");
+    delta_log_.push_back(
+        {tombstone.tx_hash, tombstone.payload_digest, tombstone.clues});
+    journals_.push_back(std::nullopt);
+    occult_bitmap_.Resize(index + 1);
+    jsn_to_block_.push_back(kUnsealedBlock);
+    return Status::OK();
+  }
+  Journal journal;
+  if (!Journal::Deserialize(raw, &journal)) {
+    return Status::Corruption("undecodable journal record at index " +
+                              std::to_string(index));
+  }
+  if (journal.jsn != index) {
+    return Status::Corruption("journal stream out of order");
+  }
+  if (index == 0 && journal.type != JournalType::kGenesis) {
+    // Position 0 is either the genesis journal or (after a full purge)
+    // its tombstone — anything else means the stream head was replaced.
+    return Status::Corruption("journal stream does not begin with genesis");
+  }
+  // A present payload must still match its retained digest (occulted
+  // journals carry an empty payload and are exempt: the digest IS the
+  // record, per Protocol 2).
+  if (!journal.payload.empty() &&
+      !(Sha256::Hash(journal.payload) == journal.payload_digest)) {
+    return Status::Corruption("journal payload digest mismatch at jsn " +
+                              std::to_string(index));
+  }
+  uint64_t assigned = 0;
+  LEDGERDB_RETURN_IF_ERROR(
+      CommitJournal(journal, &assigned, /*persist=*/false));
+  // Restore the occult bit from the rewritten record's flag (covers both
+  // the single-journal and by-clue occult forms).
+  if (journals_[assigned]->occulted) {
+    occult_bitmap_.Set(assigned);
+  }
+  ApplyJournalEffects(*journals_[assigned]);
+  return Status::OK();
+}
+
+Status Ledger::RestoreIndexedRecord(
+    uint64_t index, const Bytes& raw, const Digest& tx_hash,
+    std::vector<std::pair<PublicKey, std::string>>* key_ids, bool trusted) {
+  if (IsTombstoneFrame(raw)) {
+    Tombstone tombstone;
+    if (!DecodeTombstone(raw, &tombstone)) {
+      return Status::Corruption("undecodable purge tombstone");
     }
-    if (i == 0 && journal.type != JournalType::kGenesis) {
-      // Position 0 is either the genesis journal or (after a full purge)
-      // its tombstone — anything else means the stream head was replaced.
-      return Status::Corruption("journal stream does not begin with genesis");
+    if (tombstone.tx_hash != tx_hash) {
+      return Status::Corruption(
+          "checkpoint: tombstone tx-hash diverges from snapshot at jsn " +
+          std::to_string(index));
     }
-    // A present payload must still match its retained digest (occulted
-    // journals carry an empty payload and are exempt: the digest IS the
-    // record, per Protocol 2).
+    for (const std::string& clue : tombstone.clues) {
+      clue_index_.Append(clue, index);
+    }
+    delta_log_.push_back(
+        {tombstone.tx_hash, tombstone.payload_digest, tombstone.clues});
+    journals_.push_back(std::nullopt);
+    occult_bitmap_.Resize(index + 1);
+    jsn_to_block_.push_back(kUnsealedBlock);
+    return Status::OK();
+  }
+  Journal journal;
+  if (!Journal::Deserialize(raw, &journal)) {
+    return Status::Corruption("undecodable journal record at index " +
+                              std::to_string(index));
+  }
+  if (journal.jsn != index) {
+    return Status::Corruption("journal stream out of order");
+  }
+  if (index == 0 && journal.type != JournalType::kGenesis) {
+    return Status::Corruption("journal stream does not begin with genesis");
+  }
+  if (!trusted) {
+    // The stream bytes diverge from the snapshot — legitimate only for
+    // post-checkpoint occult rewrites and purge tombstones, which never
+    // change a record's tx-hash. Re-validate at full replay strength and
+    // require the recomputed tx-hash to equal the snapshot's: anything
+    // else is tampering and rejects the checkpoint.
     if (!journal.payload.empty() &&
         !(Sha256::Hash(journal.payload) == journal.payload_digest)) {
       return Status::Corruption("journal payload digest mismatch at jsn " +
-                                std::to_string(i));
+                                std::to_string(index));
     }
-    uint64_t assigned = 0;
-    LEDGERDB_RETURN_IF_ERROR(
-        ledger->CommitJournal(journal, &assigned, /*persist=*/false));
-    // Restore the occult bit from the rewritten record's flag (covers both
-    // the single-journal and by-clue occult forms).
-    if (ledger->journals_[assigned]->occulted) {
-      ledger->occult_bitmap_.Set(assigned);
+    if (journal.TxHash() != tx_hash) {
+      return Status::Corruption(
+          "checkpoint: stream tx-hash diverges from snapshot at jsn " +
+          std::to_string(index));
     }
-    ledger->ApplyJournalEffects(*ledger->journals_[assigned]);
   }
+  for (const std::string& clue : journal.clues) {
+    clue_index_.Append(clue, index);
+  }
+  delta_log_.push_back({tx_hash, journal.payload_digest, journal.clues});
+  if (journal.client_key.valid()) {
+    // Client-id derivation (SHA-256 + hex) dominates this loop for busy
+    // clients; distinct clients are bounded by the member registry, so a
+    // linear scan over seen keys beats hashing every record.
+    std::string* id_hex = nullptr;
+    for (auto& seen : *key_ids) {
+      if (seen.first == journal.client_key) {
+        id_hex = &seen.second;
+        break;
+      }
+    }
+    if (id_hex == nullptr) {
+      key_ids->emplace_back(journal.client_key,
+                            journal.client_key.Id().ToHex());
+      id_hex = &key_ids->back().second;
+    }
+    dedup_[*id_hex][journal.nonce] = {index, journal.request_hash};
+  }
+  last_server_ts_ = std::max(last_server_ts_, journal.server_ts);
+  journals_.push_back(std::move(journal));
+  occult_bitmap_.Resize(index + 1);
+  jsn_to_block_.push_back(kUnsealedBlock);
+  if (journals_[index]->occulted) {
+    occult_bitmap_.Set(index);
+  }
+  ApplyJournalEffects(*journals_[index]);
+  return Status::OK();
+}
 
+Status Ledger::FinishRecovery(uint64_t n) {
   // Self-heal interrupted mutations now that the replayed purge boundary
   // and occult bits are known.
   //
   // (a) A crash between the purge journal's append and the tombstone loop
   //     leaves journals below the boundary untombstoned: finish the job.
-  for (uint64_t jsn = 0; jsn < ledger->purged_boundary_; ++jsn) {
-    if (!ledger->journals_[jsn].has_value()) continue;
-    LEDGERDB_RETURN_IF_ERROR(
-        ledger->PersistTombstone(jsn, *ledger->journals_[jsn]));
-    ledger->journals_[jsn].reset();
+  for (uint64_t jsn = 0; jsn < purged_boundary_; ++jsn) {
+    if (!journals_[jsn].has_value()) continue;
+    LEDGERDB_RETURN_IF_ERROR(PersistTombstone(jsn, *journals_[jsn]));
+    // Drop the nonce bookkeeping with the record, exactly as replaying
+    // the tombstone would have: a purged journal must not pin its
+    // client's nonce (the dedup horizon ends at the purge boundary).
+    if (journals_[jsn]->client_key.valid()) {
+      auto it = dedup_.find(journals_[jsn]->client_key.Id().ToHex());
+      if (it != dedup_.end()) {
+        auto nit = it->second.find(journals_[jsn]->nonce);
+        if (nit != it->second.end() && nit->second.jsn == jsn) {
+          it->second.erase(nit);
+          if (it->second.empty()) dedup_.erase(it);
+        }
+      }
+    }
+    journals_[jsn].reset();
   }
   // (b) An occulted journal whose payload is still on disk was cut off
   //     before its physical erasure: erase now (synchronous mode) or
   //     re-queue it for the reorganization utility.
-  for (uint64_t jsn = ledger->purged_boundary_; jsn < n; ++jsn) {
-    if (!ledger->journals_[jsn].has_value()) continue;
-    if (!ledger->occult_bitmap_.Get(jsn)) continue;
-    if (ledger->journals_[jsn]->payload.empty()) continue;
-    if (options.sync_occult_erasure) {
-      LEDGERDB_RETURN_IF_ERROR(ledger->ErasePayload(jsn));
+  for (uint64_t jsn = purged_boundary_; jsn < n; ++jsn) {
+    if (!journals_[jsn].has_value()) continue;
+    if (!occult_bitmap_.Get(jsn)) continue;
+    if (journals_[jsn]->payload.empty()) continue;
+    if (options_.sync_occult_erasure) {
+      LEDGERDB_RETURN_IF_ERROR(ErasePayload(jsn));
     } else {
-      ledger->pending_occult_.push_back(jsn);
+      pending_occult_.push_back(jsn);
     }
   }
 
-  // Phase 2: restore sealed blocks and cross-check them against the
-  // recovered accumulator state.
-  const uint64_t nb = storage.blocks->Count();
+  // Restore sealed blocks and cross-check them against the recovered
+  // accumulator state. Checking fam_.RootAtJournalCount at EVERY block
+  // boundary also binds a checkpoint-adopted fam tree to the commitment
+  // chain journal by journal — a snapshot that replays to different
+  // per-block roots cannot pass.
+  const uint64_t nb = storage_.blocks->Count();
   uint64_t covered = 0;
   Digest prev_hash;
   for (uint64_t h = 0; h < nb; ++h) {
     Bytes raw;
-    LEDGERDB_RETURN_IF_ERROR(storage.blocks->Read(h, &raw));
+    LEDGERDB_RETURN_IF_ERROR(storage_.blocks->Read(h, &raw));
     BlockHeader header;
     if (!BlockHeader::Deserialize(raw, &header)) {
       return Status::Corruption("undecodable block header");
@@ -1404,7 +1485,7 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
       return Status::Corruption("block covers unknown journals");
     }
     Digest fam_at_block;
-    LEDGERDB_RETURN_IF_ERROR(ledger->fam_.RootAtJournalCount(
+    LEDGERDB_RETURN_IF_ERROR(fam_.RootAtJournalCount(
         header.first_jsn + header.journal_count, &fam_at_block));
     if (!(fam_at_block == header.fam_root)) {
       return Status::Corruption("recovered fam root mismatch at block " +
@@ -1412,28 +1493,400 @@ Status Ledger::Recover(std::string uri, const LedgerOptions& options,
     }
     for (uint64_t jsn = header.first_jsn;
          jsn < header.first_jsn + header.journal_count; ++jsn) {
-      ledger->jsn_to_block_[jsn] = h;
+      jsn_to_block_[jsn] = h;
     }
     covered = header.first_jsn + header.journal_count;
     prev_hash = header.Hash();
-    ledger->blocks_.push_back(header);
+    blocks_.push_back(header);
   }
   for (uint64_t jsn = covered; jsn < n; ++jsn) {
-    ledger->pending_block_.push_back(jsn);
+    pending_block_.push_back(jsn);
   }
 
-  ledger->recovering_ = false;
+  recovering_ = false;
 
   // A crash can land between a block boundary and its (asynchronous)
   // seal completing: the journals are durable but their block header
   // never reached disk. Re-seal any full boundary now so crash behavior
   // matches the synchronous path — partial boundaries stay pending, as
   // they always have.
-  if (ledger->pending_block_.size() >= options.block_capacity) {
-    LEDGERDB_RETURN_IF_ERROR(ledger->SealBlock());
+  if (pending_block_.size() >= options_.block_capacity) {
+    LEDGERDB_RETURN_IF_ERROR(SealBlock());
   }
+  return Status::OK();
+}
+
+Status Ledger::RecoverFromCheckpoint(const CheckpointManifest& manifest,
+                                     uint32_t slot, RecoveryInfo* info) {
+  // (1) Manifest gate: format, identity, options fingerprint, signature.
+  // The signature check makes everything the manifest asserts — including
+  // the snapshot SHA below — as trustworthy as a SignedCommitment.
+  if (manifest.format_version != kCheckpointFormatVersion) {
+    return Status::Corruption("checkpoint: unsupported format version");
+  }
+  if (manifest.ledger_uri != uri_) {
+    return Status::Corruption("checkpoint: ledger uri mismatch");
+  }
+  if (manifest.fractal_height !=
+          static_cast<uint32_t>(options_.fractal_height) ||
+      manifest.block_capacity != options_.block_capacity) {
+    return Status::Corruption("checkpoint: options fingerprint mismatch");
+  }
+  if (!manifest.Verify(lsp_key_.public_key())) {
+    return Status::Corruption("checkpoint: LSP signature invalid");
+  }
+  const uint64_t n = storage_.journals->Count();
+  if (manifest.watermark == 0 || manifest.watermark > n ||
+      manifest.block_height == 0 ||
+      manifest.block_height > storage_.blocks->Count()) {
+    return Status::Corruption("checkpoint: watermark beyond streams");
+  }
+
+  // (2) Snapshot bytes, bound by the signed size + SHA-256: a snapshot
+  // with any tampered byte is rejected here, before anything is parsed.
+  Bytes snapshot;
+  LEDGERDB_RETURN_IF_ERROR(
+      storage_.checkpoints->ReadSnapshot(manifest, slot, &snapshot));
+  std::map<uint32_t, Bytes> sections;
+  // Section CRCs exist for offline tooling that inspects a snapshot
+  // without the manifest; here every byte was just pinned by the signed
+  // SHA-256, so re-checking ~the whole file against CRC32 buys nothing.
+  LEDGERDB_RETURN_IF_ERROR(
+      CheckpointParseSections(snapshot, &sections, /*verify_crc=*/false));
+  for (uint32_t tag :
+       {kCkptSectionMeta, kCkptSectionJournals, kCkptSectionTxHashes,
+        kCkptSectionFam, kCkptSectionCmTree, kCkptSectionWorldState}) {
+    if (sections.find(tag) == sections.end()) {
+      return Status::Corruption("checkpoint: missing section " +
+                                std::to_string(tag));
+    }
+  }
+
+  // (3) META must agree with the manifest — the snapshot's own view of
+  // what it covers, bound beyond the SHA.
+  uint64_t meta_purged_boundary = 0;
+  {
+    const Bytes& meta = sections[kCkptSectionMeta];
+    size_t pos = 0;
+    Bytes uri_bytes;
+    uint64_t w = 0, h = 0, cap = 0;
+    uint32_t fh = 0;
+    if (!GetLengthPrefixed(meta, &pos, &uri_bytes) ||
+        !GetU64(meta, &pos, &w) || !GetU64(meta, &pos, &h) ||
+        !GetU32(meta, &pos, &fh) || !GetU64(meta, &pos, &cap) ||
+        !GetU64(meta, &pos, &meta_purged_boundary) || pos != meta.size()) {
+      return Status::Corruption("checkpoint: undecodable META section");
+    }
+    if (std::string(uri_bytes.begin(), uri_bytes.end()) !=
+            manifest.ledger_uri ||
+        w != manifest.watermark || h != manifest.block_height ||
+        fh != manifest.fractal_height || cap != manifest.block_capacity) {
+      return Status::Corruption("checkpoint: META/manifest mismatch");
+    }
+  }
+
+  // (4) Adopt the hash structures. Every DeserializeFrom/RestoreFrom
+  // validates shape invariants, re-derives MPT content addresses and
+  // cross-checks leaf coherence, so only an internally consistent image
+  // can load at all.
+  {
+    const Bytes& raw = sections[kCkptSectionFam];
+    size_t pos = 0;
+    if (!FamAccumulator::DeserializeFrom(raw, &pos, &fam_) ||
+        pos != raw.size()) {
+      return Status::Corruption("checkpoint: fam section invalid");
+    }
+    if (fam_.size() != manifest.watermark) {
+      return Status::Corruption(
+          "checkpoint: fam journal count != watermark");
+    }
+  }
+  {
+    const Bytes& raw = sections[kCkptSectionCmTree];
+    size_t pos = 0;
+    LEDGERDB_RETURN_IF_ERROR(cmtree_.RestoreFrom(raw, &pos));
+    if (pos != raw.size()) {
+      return Status::Corruption("checkpoint: cmtree trailing bytes");
+    }
+  }
+  {
+    const Bytes& raw = sections[kCkptSectionWorldState];
+    size_t pos = 0;
+    LEDGERDB_RETURN_IF_ERROR(world_state_.RestoreFrom(raw, &pos));
+    if (pos != raw.size()) {
+      return Status::Corruption("checkpoint: world-state trailing bytes");
+    }
+  }
+  // (5) The restored roots must equal the signed commitment — the check
+  // that makes adopting serialized hash structures as safe as recomputing
+  // them: a structure that doesn't re-derive to the committed roots is
+  // rejected wholesale.
+  if (fam_.Root() != manifest.fam_root ||
+      cmtree_.Root() != manifest.clue_root ||
+      world_state_.Root() != manifest.state_root ||
+      world_state_.CurrentRoot() != manifest.state_current_root) {
+    return Status::Corruption("checkpoint: restored roots != manifest roots");
+  }
+
+  // (6) Reconcile every covered journal record against the live stream
+  // without reading it: the stream's per-frame CRC (validated against the
+  // actual bytes when the stream opened, held in memory since) is compared
+  // to the CRC the checkpoint recorded at write time. Equal CRCs mean the
+  // frame was not rewritten, and the snapshot's copy — pinned by the
+  // manifest's signed SHA-256 — is adopted without touching disk; this is
+  // where tail replay's speed comes from (full replay pays a read +
+  // deserialize + hash per record, this loop pays a u32 compare + the
+  // deserialize). A CRC mismatch marks a post-checkpoint in-place rewrite
+  // (occult erasure, purge tombstone, or a half-applied one a crash left
+  // behind): only those rare records are read from the stream and
+  // re-validated at full replay strength, and the stream's version wins —
+  // exactly what full replay would adopt.
+  const Bytes& jraw = sections[kCkptSectionJournals];
+  const Bytes& traw = sections[kCkptSectionTxHashes];
+  size_t jpos = 0, tpos = 0;
+  uint64_t jcount = 0, tcount = 0;
+  if (!GetU64(jraw, &jpos, &jcount) || jcount != manifest.watermark ||
+      !GetU64(traw, &tpos, &tcount) || tcount != manifest.watermark) {
+    return Status::Corruption("checkpoint: journal table count mismatch");
+  }
+  uint64_t reconciled = 0;
+  journals_.reserve(n);
+  jsn_to_block_.reserve(n);
+  delta_log_.reserve(n);
+  Bytes snapshot_record, stream_record;
+  std::vector<std::pair<PublicKey, std::string>> key_ids;
+  for (uint64_t i = 0; i < manifest.watermark; ++i) {
+    uint32_t snapshot_crc = 0;
+    if (!GetLengthPrefixed(jraw, &jpos, &snapshot_record) ||
+        !GetU32(jraw, &jpos, &snapshot_crc)) {
+      return Status::Corruption("checkpoint: torn journal table");
+    }
+    Digest tx_hash;
+    if (tpos + 32 > traw.size()) {
+      return Status::Corruption("checkpoint: torn tx-hash table");
+    }
+    std::copy(traw.begin() + static_cast<long>(tpos),
+              traw.begin() + static_cast<long>(tpos) + 32,
+              tx_hash.bytes.begin());
+    tpos += 32;
+    uint32_t stream_crc = 0;
+    LEDGERDB_RETURN_IF_ERROR(storage_.journals->RecordCrc(i, &stream_crc));
+    if (stream_crc == snapshot_crc) {
+      LEDGERDB_RETURN_IF_ERROR(RestoreIndexedRecord(
+          i, snapshot_record, tx_hash, &key_ids, /*trusted=*/true));
+    } else {
+      ++reconciled;
+      LEDGERDB_RETURN_IF_ERROR(storage_.journals->Read(i, &stream_record));
+      LEDGERDB_RETURN_IF_ERROR(RestoreIndexedRecord(
+          i, stream_record, tx_hash, &key_ids, /*trusted=*/false));
+    }
+  }
+  if (jpos != jraw.size() || tpos != traw.size()) {
+    return Status::Corruption("checkpoint: trailing table bytes");
+  }
+  // Replaying [0, W) can only see purge journals the checkpoint saw, so
+  // the rebuilt boundary can never exceed the recorded one (it may be
+  // lower if a post-checkpoint purge tombstoned an older purge journal —
+  // the tail replay then re-raises it, exactly as full replay would).
+  if (purged_boundary_ > meta_purged_boundary) {
+    return Status::Corruption("checkpoint: purge boundary regression");
+  }
+
+  // (7) Tail replay: only the journals past the watermark pay full
+  // validation + accumulator appends.
+  for (uint64_t i = manifest.watermark; i < n; ++i) {
+    Bytes raw;
+    LEDGERDB_RETURN_IF_ERROR(storage_.journals->Read(i, &raw));
+    LEDGERDB_RETURN_IF_ERROR(ReplayRecord(i, raw));
+  }
+
+
+  // (8) Shared tail: self-heal + block chain restore, which cross-checks
+  // the (adopted) fam against every block header.
+  LEDGERDB_RETURN_IF_ERROR(FinishRecovery(n));
+  if (manifest.block_height > blocks_.size() ||
+      blocks_[manifest.block_height - 1].Hash() !=
+          manifest.boundary_block_hash) {
+    return Status::Corruption("checkpoint: boundary block hash mismatch");
+  }
+
+  info->used_checkpoint = true;
+  info->checkpoint_watermark = manifest.watermark;
+  info->tail_journals = n - manifest.watermark;
+  info->reconciled_records = reconciled;
+  return Status::OK();
+}
+
+Status Ledger::Recover(std::string uri, const LedgerOptions& options,
+                       Clock* clock, KeyPair lsp_key,
+                       const MemberRegistry* members, LedgerStorage storage,
+                       std::unique_ptr<Ledger>* out, RecoveryInfo* info) {
+  if (!storage.enabled()) {
+    return Status::InvalidArgument("recovery requires journal+block streams");
+  }
+  LEDGERDB_OBS_TIMER(recover_timer, obs::names::kLedgerRecoverUs);
+  const uint64_t n = storage.journals->Count();
+  if (n == 0) {
+    return Status::Corruption(
+        "journal stream is empty: missing stream file or lost genesis");
+  }
+  RecoveryInfo local;
+
+  // Snapshot-first: try checkpoints newest-first. Every verdict a failed
+  // candidate could mask is re-derived by the fallback, so a damaged
+  // checkpoint only costs speed, never changes the recovery outcome.
+  if (storage.checkpoints != nullptr) {
+    std::vector<CheckpointEntry> entries;
+    std::vector<const CheckpointEntry*> candidates;
+    if (storage.checkpoints->List(&entries).ok()) {
+      for (const CheckpointEntry& entry : entries) {
+        if (entry.status.ok()) candidates.push_back(&entry);
+      }
+      std::sort(candidates.begin(), candidates.end(),
+                [](const CheckpointEntry* a, const CheckpointEntry* b) {
+                  return a->manifest.watermark > b->manifest.watermark;
+                });
+    }
+    for (const CheckpointEntry* candidate : candidates) {
+      ++local.candidates_tried;
+      std::unique_ptr<Ledger> ledger(new Ledger(
+          RecoveryTag{}, uri, options, clock, lsp_key, members, storage));
+      Status attempt = ledger->RecoverFromCheckpoint(candidate->manifest,
+                                                     candidate->slot, &local);
+      if (attempt.ok()) {
+        LEDGERDB_OBS_COUNT(obs::names::kCkptLoadsTotal);
+        LEDGERDB_OBS_COUNT_N(obs::names::kCkptTailJournalsTotal,
+                             local.tail_journals);
+        LEDGERDB_OBS_COUNT_N(obs::names::kLedgerRecoveredJournalsTotal, n);
+        if (info != nullptr) *info = local;
+        *out = std::move(ledger);
+        return Status::OK();
+      }
+      ++local.candidates_rejected;
+      LEDGERDB_OBS_COUNT(obs::names::kCkptFallbacksTotal);
+    }
+  }
+
+  // Full replay: every record through the accumulators.
+  std::unique_ptr<Ledger> ledger(new Ledger(RecoveryTag{}, std::move(uri),
+                                            options, clock, std::move(lsp_key),
+                                            members, storage));
+  for (uint64_t i = 0; i < n; ++i) {
+    Bytes raw;
+    LEDGERDB_RETURN_IF_ERROR(storage.journals->Read(i, &raw));
+    LEDGERDB_RETURN_IF_ERROR(ledger->ReplayRecord(i, raw));
+  }
+  LEDGERDB_RETURN_IF_ERROR(ledger->FinishRecovery(n));
   LEDGERDB_OBS_COUNT_N(obs::names::kLedgerRecoveredJournalsTotal, n);
+  if (info != nullptr) *info = local;
   *out = std::move(ledger);
+  return Status::OK();
+}
+
+Status Ledger::WriteCheckpoint(uint32_t* slot_out) {
+  if (!storage_.enabled() || storage_.checkpoints == nullptr) {
+    return Status::InvalidArgument(
+        "checkpointing requires journal+block streams and a checkpoint store");
+  }
+  // Quiesce sealing so blocks_ and the roots form one consistent cut; the
+  // caller must hold off commits (shards route this through the committer
+  // lane's maintenance queue).
+  LEDGERDB_RETURN_IF_ERROR(WaitForSeals());
+  if (blocks_.empty()) {
+    return Status::InvalidArgument(
+        "nothing sealed yet: a checkpoint needs at least one block");
+  }
+  LEDGERDB_OBS_TIMER(ckpt_timer, obs::names::kCkptWriteUs);
+  const uint64_t watermark = journals_.size();
+  const uint64_t height = blocks_.size();
+
+  Bytes snapshot;
+  CheckpointSnapshotInit(&snapshot);
+  {
+    Bytes meta;
+    PutLengthPrefixed(&meta, StringToBytes(uri_));
+    PutU64(&meta, watermark);
+    PutU64(&meta, height);
+    PutU32(&meta, static_cast<uint32_t>(options_.fractal_height));
+    PutU64(&meta, options_.block_capacity);
+    PutU64(&meta, purged_boundary_);
+    CheckpointAppendSection(&snapshot, kCkptSectionMeta, meta);
+  }
+  {
+    // Raw records exactly as the stream holds them, each followed by its
+    // CRC32: the loader compares that against the stream's own per-frame
+    // checksum (held in memory by FileStreamStore) to spot post-checkpoint
+    // in-place rewrites without reading a single sub-watermark record.
+    Bytes journals;
+    PutU64(&journals, watermark);
+    Bytes raw;
+    for (uint64_t i = 0; i < watermark; ++i) {
+      Status read = storage_.journals->Read(i, &raw);
+      if (!read.ok()) {
+        LEDGERDB_OBS_COUNT(obs::names::kCkptWriteFailuresTotal);
+        return read;
+      }
+      PutLengthPrefixed(&journals, raw);
+      PutU32(&journals, Crc32(raw.data(), raw.size()));
+    }
+    CheckpointAppendSection(&snapshot, kCkptSectionJournals, journals);
+  }
+  {
+    Bytes hashes;
+    PutU64(&hashes, watermark);
+    for (uint64_t i = 0; i < watermark; ++i) {
+      const Digest& d = delta_log_[i].tx_hash;
+      hashes.insert(hashes.end(), d.bytes.begin(), d.bytes.end());
+    }
+    CheckpointAppendSection(&snapshot, kCkptSectionTxHashes, hashes);
+  }
+  {
+    Bytes fam;
+    fam_.SerializeTo(&fam);
+    CheckpointAppendSection(&snapshot, kCkptSectionFam, fam);
+  }
+  {
+    Bytes cm;
+    Status serialize = cmtree_.SerializeTo(&cm);
+    if (!serialize.ok()) {
+      LEDGERDB_OBS_COUNT(obs::names::kCkptWriteFailuresTotal);
+      return serialize;
+    }
+    CheckpointAppendSection(&snapshot, kCkptSectionCmTree, cm);
+  }
+  {
+    Bytes ws;
+    Status serialize = world_state_.SerializeTo(&ws);
+    if (!serialize.ok()) {
+      LEDGERDB_OBS_COUNT(obs::names::kCkptWriteFailuresTotal);
+      return serialize;
+    }
+    CheckpointAppendSection(&snapshot, kCkptSectionWorldState, ws);
+  }
+
+  CheckpointManifest manifest;
+  manifest.ledger_uri = uri_;
+  manifest.watermark = watermark;
+  manifest.block_height = height;
+  manifest.boundary_block_hash = blocks_.back().Hash();
+  manifest.fam_root = fam_.Root();
+  manifest.clue_root = cmtree_.Root();
+  manifest.state_root = world_state_.Root();
+  manifest.state_current_root = world_state_.CurrentRoot();
+  manifest.fractal_height = static_cast<uint32_t>(options_.fractal_height);
+  manifest.block_capacity = options_.block_capacity;
+  manifest.timestamp = clock_->Now();
+  manifest.snapshot_size = snapshot.size();
+  manifest.snapshot_sha = Sha256::Hash(snapshot);
+  manifest.lsp_sig = lsp_key_.Sign(manifest.MessageHash());
+
+  Status publish = storage_.checkpoints->Write(manifest, snapshot, slot_out);
+  if (!publish.ok()) {
+    LEDGERDB_OBS_COUNT(obs::names::kCkptWriteFailuresTotal);
+    return publish;
+  }
+  LEDGERDB_OBS_COUNT(obs::names::kCkptWritesTotal);
+  LEDGERDB_OBS_COUNT_N(obs::names::kCkptSnapshotBytes, snapshot.size());
   return Status::OK();
 }
 

@@ -22,6 +22,7 @@
 #include "ledger/receipt.h"
 #include "ledger/world_state.h"
 #include "storage/bitmap_index.h"
+#include "storage/checkpoint.h"
 #include "storage/clue_skiplist.h"
 #include "storage/node_store.h"
 #include "storage/stream_store.h"
@@ -96,8 +97,27 @@ struct TimeJournalInfo {
 struct LedgerStorage {
   StreamStore* journals = nullptr;
   StreamStore* blocks = nullptr;
+  /// Optional checkpoint store. When present, WriteCheckpoint publishes
+  /// audited snapshots here and Recover tries snapshot + tail replay
+  /// before falling back to full stream replay.
+  CheckpointStore* checkpoints = nullptr;
 
   bool enabled() const { return journals != nullptr && blocks != nullptr; }
+};
+
+/// How a Recover call actually rebuilt the ledger — callers log or assert
+/// on this to confirm the tail-replay fast path engaged (or why it fell
+/// back).
+struct RecoveryInfo {
+  bool used_checkpoint = false;
+  uint64_t checkpoint_watermark = 0;  ///< journals adopted from the snapshot
+  uint64_t tail_journals = 0;         ///< journals replayed past the watermark
+  /// Below-watermark records whose stream bytes differed from the snapshot
+  /// (legitimate post-checkpoint occult rewrites / purge tombstones that
+  /// were re-validated at full replay strength and adopted from the stream).
+  uint64_t reconciled_records = 0;
+  uint32_t candidates_tried = 0;     ///< checkpoints considered, newest first
+  uint32_t candidates_rejected = 0;  ///< candidates that failed verification
 };
 
 /// Everything a client needs to batch-audit one clue-range read (§IV-C
@@ -151,10 +171,31 @@ class Ledger {
   /// boundary that were never tombstoned are tombstoned now, and occulted
   /// journals whose physical erasure was cut short are erased (or
   /// re-queued for ReorganizeOcculted, per LedgerOptions).
+  /// When `storage.checkpoints` is set, recovery is snapshot-first: the
+  /// newest valid checkpoint whose manifest passes the LSP signature and
+  /// SHA binding is loaded, every adopted journal record is byte-compared
+  /// against the stream (divergent records — post-checkpoint occult/purge
+  /// rewrites — are re-validated at full replay strength), the restored
+  /// accumulators are cross-checked against the manifest roots and every
+  /// block header, and only the journals past the watermark are replayed.
+  /// Any check failing falls back to the next-older checkpoint and finally
+  /// to full replay, so a damaged checkpoint can never change the outcome
+  /// — only the speed. `info` (optional) reports which path ran.
   static Status Recover(std::string uri, const LedgerOptions& options,
                         Clock* clock, KeyPair lsp_key,
                         const MemberRegistry* members, LedgerStorage storage,
-                        std::unique_ptr<Ledger>* out);
+                        std::unique_ptr<Ledger>* out,
+                        RecoveryInfo* info = nullptr);
+
+  /// Serializes the full sealed + pending state into an audited snapshot
+  /// and publishes it through `storage.checkpoints` (two-slot rotation,
+  /// persist-before-publish). The manifest records the covered journal
+  /// watermark, the boundary block hash and the three commitment roots,
+  /// binds the snapshot bytes by size + SHA-256, and is LSP-signed: a
+  /// tampered snapshot or manifest is rejected at load, never trusted.
+  /// Drains in-flight asynchronous seals first; requires at least one
+  /// sealed block. `slot_out` (optional) receives the slot written.
+  Status WriteCheckpoint(uint32_t* slot_out = nullptr);
 
   const std::string& uri() const { return uri_; }
   const PublicKey& lsp_key() const { return lsp_key_.public_key(); }
@@ -528,6 +569,37 @@ class Ledger {
   /// boundaries, occult bits, time evidence). Used by both the live
   /// mutation paths and recovery replay.
   void ApplyJournalEffects(const Journal& journal);
+
+  /// Full-validation replay of one stream record during recovery: decodes
+  /// journal or tombstone, checks payload digest and ordering, and threads
+  /// it through the accumulators.
+  Status ReplayRecord(uint64_t index, const Bytes& raw);
+
+  /// Index-only restore of one below-watermark record during checkpoint
+  /// recovery: rebuilds journals_/delta_log_/clue index/dedup/occult state
+  /// WITHOUT touching the accumulators (those were adopted from the
+  /// snapshot, which already includes this record). `tx_hash` comes from
+  /// the snapshot's tx-hash table. `trusted` is true when `raw` is the
+  /// snapshot's own copy (pinned by the manifest's signed SHA-256 — no
+  /// per-record re-hashing needed) of an unrewritten frame; it is false
+  /// when the stream's frame CRC diverged from the checkpoint's and `raw`
+  /// is the stream's version, which is re-validated at full replay
+  /// strength here. `key_ids` memoizes client-key -> hex id across the
+  /// restore loop.
+  Status RestoreIndexedRecord(
+      uint64_t index, const Bytes& raw, const Digest& tx_hash,
+      std::vector<std::pair<PublicKey, std::string>>* key_ids, bool trusted);
+
+  /// Shared recovery tail: self-heals interrupted mutations, restores and
+  /// cross-checks sealed blocks, queues the unsealed suffix and re-seals
+  /// any full boundary. `n` is the journal stream count.
+  Status FinishRecovery(uint64_t n);
+
+  /// Attempts recovery from one checkpoint candidate onto this (fresh,
+  /// RecoveryTag-constructed) ledger. Any non-OK return means the caller
+  /// falls back — this ledger instance must then be discarded.
+  Status RecoverFromCheckpoint(const CheckpointManifest& manifest,
+                               uint32_t slot, RecoveryInfo* info);
 
   /// Writes the purge tombstone / occult rewrite for `jsn` to the journal
   /// stream (no-op without storage).

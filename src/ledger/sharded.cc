@@ -28,6 +28,7 @@ ShardedLedgerGroup::ShardedLedgerGroup(const std::string& uri,
   if (shard_count == 0) shard_count = 1;
   shards_.reserve(shard_count);
   shard_health_.assign(shard_count, Status::OK());
+  ckpt_auto_ok_.assign(shard_count, 1);
   for (size_t i = 0; i < shard_count; ++i) {
     LedgerStorage storage =
         i < shard_storage.size() ? shard_storage[i] : LedgerStorage{};
@@ -53,11 +54,13 @@ Status ShardedLedgerGroup::Recover(const std::string& uri, size_t shard_count,
   auto group = std::unique_ptr<ShardedLedgerGroup>(new ShardedLedgerGroup());
   group->shards_.resize(shard_count);
   group->shard_health_.assign(shard_count, Status::OK());
+  group->ckpt_auto_ok_.assign(shard_count, 1);
+  std::vector<RecoveryInfo> shard_info(shard_count);
   size_t recovered = 0;
   for (size_t i = 0; i < shard_count; ++i) {
     std::unique_ptr<Ledger> shard;
     Status s = Ledger::Recover(uri, options, clock, lsp_key, members,
-                               shard_storage[i], &shard);
+                               shard_storage[i], &shard, &shard_info[i]);
     if (s.ok()) {
       group->shards_[i] = std::move(shard);
       ++recovered;
@@ -70,6 +73,7 @@ Status ShardedLedgerGroup::Recover(const std::string& uri, size_t shard_count,
     outcome->recovered = recovered;
     outcome->quarantined = shard_count - recovered;
     outcome->shard_status = group->shard_health_;
+    outcome->shard_info = std::move(shard_info);
   }
   LEDGERDB_OBS_GAUGE_SET(obs::names::kShardQuarantinedCount,
                          static_cast<int64_t>(shard_count - recovered));
@@ -81,7 +85,12 @@ Status ShardedLedgerGroup::Recover(const std::string& uri, size_t shard_count,
   return Status::OK();
 }
 
-ShardedLedgerGroup::~ShardedLedgerGroup() { StopParallelAppend(); }
+ShardedLedgerGroup::~ShardedLedgerGroup() {
+  // The checkpoint lane routes work through the committer lanes — stop it
+  // before the pipeline so no ticket lands on a draining lane.
+  StopCheckpointing();
+  StopParallelAppend();
+}
 
 size_t ShardedLedgerGroup::QuarantinedCount() const {
   size_t n = 0;
@@ -277,17 +286,31 @@ void ShardedLedgerGroup::CommitterLoop(CommitterLane* lane, Ledger* ledger,
   const auto max_delay =
       std::chrono::microseconds(pipeline_options_.max_group_delay_us);
   for (;;) {
-    // Head of the group: wait for a ticket (or the stop signal — the lane
-    // drains its whole queue before exiting).
+    // Head of the group: wait for a ticket, a maintenance task, or the
+    // stop signal (the lane drains its whole queue before exiting).
     std::vector<std::shared_ptr<PendingAppend>> group;
+    std::deque<std::function<void()>> maintenance;
     {
       std::unique_lock<std::mutex> lock(lane->mu);
-      lane->cv.wait(lock,
-                    [&] { return !lane->queue.empty() || lane->stopping; });
-      if (lane->queue.empty()) return;
+      lane->cv.wait(lock, [&] {
+        return !lane->queue.empty() || !lane->maintenance.empty() ||
+               lane->stopping;
+      });
+      maintenance.swap(lane->maintenance);
+      if (lane->queue.empty()) {
+        const bool stopping = lane->stopping;
+        lock.unlock();
+        // Maintenance runs between commit groups on this thread — the
+        // shard sees no concurrent mutation — and is honored even on the
+        // way out so no caller blocks on an abandoned ticket.
+        for (auto& task : maintenance) task();
+        if (stopping) return;
+        continue;
+      }
       group.push_back(std::move(lane->queue.front()));
       lane->queue.pop_front();
     }
+    for (auto& task : maintenance) task();
     lane->space_cv.notify_all();
     LEDGERDB_OBS_GAUGE_ADD(obs::names::kShardLaneDepthCount, -1);
 
@@ -539,6 +562,113 @@ uint64_t ShardedLedgerGroup::TotalJournals() const {
     if (shard != nullptr) total += shard->NumJournals();
   }
   return total;
+}
+
+// ---------------------------------------------------------------------------
+// Verified checkpoints
+// ---------------------------------------------------------------------------
+
+Status ShardedLedgerGroup::CheckpointShard(size_t shard, uint32_t* slot_out) {
+  LEDGERDB_RETURN_IF_ERROR(CheckShard(shard));
+  Ledger* ledger = shards_[shard].get();
+  CommitterLane* lane = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(engine_mu_);
+    if (shard < lanes_.size() && lanes_[shard] != nullptr &&
+        lanes_[shard]->thread.joinable()) {
+      lane = lanes_[shard].get();
+    }
+  }
+
+  Status result;
+  bool ran = false;
+  if (lane != nullptr) {
+    // Pipeline running: the checkpoint must not interleave with commits,
+    // so it rides the shard's committer lane as a maintenance ticket and
+    // executes between commit groups on the lane thread.
+    std::promise<Status> done;
+    std::future<Status> future = done.get_future();
+    bool enqueued = false;
+    {
+      std::lock_guard<std::mutex> lock(lane->mu);
+      if (!lane->stopping) {
+        lane->maintenance.push_back(
+            [&done, ledger, slot_out] { done.set_value(ledger->WriteCheckpoint(slot_out)); });
+        enqueued = true;
+      }
+    }
+    if (enqueued) {
+      lane->cv.notify_all();
+      result = future.get();
+      ran = true;
+    }
+  }
+  if (!ran) {
+    // No live lane: the caller owns the shard (serial mode), write inline.
+    result = ledger->WriteCheckpoint(slot_out);
+  }
+
+  {
+    // "Nothing sealed yet" is not a health failure — it only means the
+    // shard has no block to cover; keep the background lane trying.
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    ckpt_auto_ok_[shard] = (result.ok() || result.IsInvalidArgument()) ? 1 : 0;
+  }
+  return result;
+}
+
+Status ShardedLedgerGroup::CheckpointAll(std::vector<Status>* per_shard) {
+  if (per_shard != nullptr) per_shard->assign(shards_.size(), Status::OK());
+  Status first_error = Status::OK();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    Status s = CheckpointShard(i);
+    if (per_shard != nullptr) (*per_shard)[i] = s;
+    if (first_error.ok() && !s.ok()) first_error = s;
+  }
+  return first_error;
+}
+
+void ShardedLedgerGroup::StartCheckpointing(uint64_t cadence_ms) {
+  if (cadence_ms == 0) cadence_ms = 1;
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  ckpt_cadence_ms_ = cadence_ms;
+  if (ckpt_thread_.joinable()) return;  // cadence updated, lane already up
+  ckpt_stopping_ = false;
+  ckpt_thread_ = std::thread([this] { CheckpointLoop(); });
+}
+
+void ShardedLedgerGroup::StopCheckpointing() {
+  std::thread thread;
+  {
+    std::lock_guard<std::mutex> lock(ckpt_mu_);
+    if (!ckpt_thread_.joinable()) return;
+    ckpt_stopping_ = true;
+    thread = std::move(ckpt_thread_);
+  }
+  ckpt_cv_.notify_all();
+  thread.join();
+}
+
+bool ShardedLedgerGroup::AutoCheckpointEnabled(size_t shard) const {
+  std::lock_guard<std::mutex> lock(ckpt_mu_);
+  return shard < ckpt_auto_ok_.size() && ckpt_auto_ok_[shard] != 0;
+}
+
+void ShardedLedgerGroup::CheckpointLoop() {
+  std::unique_lock<std::mutex> lock(ckpt_mu_);
+  for (;;) {
+    ckpt_cv_.wait_for(lock, std::chrono::milliseconds(ckpt_cadence_ms_),
+                      [&] { return ckpt_stopping_; });
+    if (ckpt_stopping_) return;
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (ckpt_auto_ok_[i] == 0) continue;  // paused until a manual success
+      lock.unlock();
+      Status s = IsQuarantined(i) ? Status::OK() : CheckpointShard(i);
+      (void)s;  // CheckpointShard records per-shard health itself
+      lock.lock();
+      if (ckpt_stopping_) return;
+    }
+  }
 }
 
 }  // namespace ledgerdb

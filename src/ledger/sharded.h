@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -86,6 +87,9 @@ class ShardedLedgerGroup {
     size_t recovered = 0;
     size_t quarantined = 0;
     std::vector<Status> shard_status;  // OK or the shard's recovery failure
+    /// Indexed like shard_status: how each healthy shard came back
+    /// (checkpoint watermark, tail length, reconciled records).
+    std::vector<RecoveryInfo> shard_info;
   };
 
   /// Rebuilds a group from per-shard streams (`shard_storage` must cover
@@ -207,6 +211,38 @@ class ShardedLedgerGroup {
   /// Total journals across shards (including per-shard genesis entries).
   uint64_t TotalJournals() const;
 
+  // -------------------------------------------------------------------
+  // Verified checkpoints
+  // -------------------------------------------------------------------
+
+  /// Writes one verified checkpoint for `shard` (Ledger::WriteCheckpoint).
+  /// Safe concurrently with pipelined appends: when the shard's committer
+  /// lane is running, the checkpoint executes on that lane between commit
+  /// groups, so the single-writer invariant holds without stopping the
+  /// pipeline. Do not call concurrently with StopParallelAppend. Also
+  /// records the shard's auto-checkpoint health: an IO/corruption failure
+  /// pauses the background lane for this shard until a manual call
+  /// succeeds.
+  Status CheckpointShard(size_t shard, uint32_t* slot_out = nullptr);
+
+  /// Checkpoints every shard; quarantined shards are recorded as
+  /// Unavailable. Per-shard outcomes land in `per_shard` (indexed like
+  /// shards) when non-null; returns the first failure, if any.
+  Status CheckpointAll(std::vector<Status>* per_shard = nullptr);
+
+  /// Starts the background checkpoint lane: every `cadence_ms` it
+  /// checkpoints each healthy shard whose auto-checkpoint health is good.
+  /// Shards that have sealed nothing yet are skipped, not failed.
+  /// Idempotent (restarting just updates the cadence).
+  void StartCheckpointing(uint64_t cadence_ms);
+
+  /// Stops the background checkpoint lane (no-op when not running).
+  void StopCheckpointing();
+
+  /// False when a background checkpoint of `shard` failed and no manual
+  /// CheckpointShard has succeeded since (or the shard is out of range).
+  bool AutoCheckpointEnabled(size_t shard) const;
+
  private:
   /// One append travelling through the pipeline. `tx` points at the
   /// caller's span element (AppendBatch, which outlives the batch) or at
@@ -248,6 +284,9 @@ class ShardedLedgerGroup {
     std::condition_variable cv;        // queue activity / stop signal
     std::condition_variable space_cv;  // backpressure for producers
     std::deque<std::shared_ptr<PendingAppend>> queue;
+    /// Shard-exclusive work (checkpoints) the lane runs between commit
+    /// groups — the pipeline's seam for maintenance without stopping it.
+    std::deque<std::function<void()>> maintenance;
     bool stopping = false;
     std::thread thread;
   };
@@ -267,6 +306,9 @@ class ShardedLedgerGroup {
   /// Body of a committer lane thread.
   void CommitterLoop(CommitterLane* lane, Ledger* ledger, size_t shard);
 
+  /// Body of the background checkpoint lane.
+  void CheckpointLoop();
+
   std::vector<std::unique_ptr<Ledger>> shards_;
   std::vector<Status> shard_health_;  // indexed like shards_; OK if healthy
 
@@ -275,6 +317,13 @@ class ShardedLedgerGroup {
   std::unique_ptr<ThreadPool> prevalidate_pool_;
   std::vector<std::unique_ptr<CommitterLane>> lanes_;    // one per shard
   std::vector<std::unique_ptr<ThreadPool>> sealers_;     // one per shard
+
+  mutable std::mutex ckpt_mu_;
+  std::condition_variable ckpt_cv_;
+  bool ckpt_stopping_ = false;
+  uint64_t ckpt_cadence_ms_ = 0;
+  std::vector<char> ckpt_auto_ok_;  // indexed like shards_
+  std::thread ckpt_thread_;
 };
 
 }  // namespace ledgerdb

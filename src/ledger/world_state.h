@@ -66,6 +66,18 @@ class WorldState {
                             const Bytes& value, const MptProof& proof,
                             const Digest& trusted_current_root);
 
+  /// Checkpoint serialization: the transition accumulator, the latest-value
+  /// map, and the state MPT root with its reachable node set (historical
+  /// copy-on-write garbage is not carried).
+  Status SerializeTo(Bytes* out) const;
+
+  /// Restores from SerializeTo output. Re-derives node content addresses
+  /// and verifies the restored MPT maps every key to exactly its restored
+  /// (version, value) entry, so only a coherent image can load. The caller
+  /// must still cross-check Root()/CurrentRoot() against an authenticated
+  /// commitment.
+  Status RestoreFrom(const Bytes& raw, size_t* pos);
+
  private:
   struct Entry {
     Bytes value;

@@ -93,6 +93,17 @@ inline constexpr char kStorageGroupCommitSizeCount[] =
 inline constexpr char kStorageGroupCommitFlushUs[] =
     "ledgerdb_storage_group_commit_flush_us";
 
+// --- ckpt: verified checkpoints + tail replay ----------------------------
+inline constexpr char kCkptWritesTotal[] = "ledgerdb_ckpt_writes_total";
+inline constexpr char kCkptWriteFailuresTotal[] =
+    "ledgerdb_ckpt_write_failures_total";
+inline constexpr char kCkptWriteUs[] = "ledgerdb_ckpt_write_us";
+inline constexpr char kCkptSnapshotBytes[] = "ledgerdb_ckpt_snapshot_bytes";
+inline constexpr char kCkptLoadsTotal[] = "ledgerdb_ckpt_loads_total";
+inline constexpr char kCkptFallbacksTotal[] = "ledgerdb_ckpt_fallbacks_total";
+inline constexpr char kCkptTailJournalsTotal[] =
+    "ledgerdb_ckpt_tail_journals_total";
+
 // --- proofcache: memoized proof plane ------------------------------------
 inline constexpr char kProofCacheHitsTotal[] =
     "ledgerdb_proofcache_hits_total";
@@ -186,6 +197,13 @@ inline constexpr const char* kAll[] = {
     kStorageFaultsInjectedTotal,
     kStorageGroupCommitSizeCount,
     kStorageGroupCommitFlushUs,
+    kCkptWritesTotal,
+    kCkptWriteFailuresTotal,
+    kCkptWriteUs,
+    kCkptSnapshotBytes,
+    kCkptLoadsTotal,
+    kCkptFallbacksTotal,
+    kCkptTailJournalsTotal,
     kProofCacheHitsTotal,
     kProofCacheMissesTotal,
     kProofCacheEvictionsTotal,

@@ -1,6 +1,8 @@
 #include "storage/env.h"
 
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <sys/stat.h>
 
 #ifdef _WIN32
@@ -10,6 +12,27 @@
 #endif
 
 namespace ledgerdb {
+
+Status StatusFromErrno(int err, const std::string& what) {
+  std::string detail = what;
+  if (err != 0) {
+    detail += ": ";
+    detail += std::strerror(err);
+  }
+  switch (err) {
+    case EINTR:   // interrupted call — retry is exactly right
+    case EAGAIN:  // momentarily unavailable resource
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:    // file/device momentarily busy (e.g. concurrent rename)
+    case ENOMEM:   // kernel allocation pressure, often transient
+    case ENOBUFS:  // buffer-space exhaustion
+      return Status::TransientIO(detail);
+    default:
+      return Status::IOError(detail);
+  }
+}
 
 namespace {
 
@@ -39,31 +62,40 @@ class StdioFile : public File {
 
   Status Write(uint64_t offset, Slice data) override {
     if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-      return Status::IOError("seek failed");
+      return StatusFromErrno(errno, "seek failed");
     }
+    errno = 0;
     if (std::fwrite(data.data(), 1, data.size(), file_) != data.size()) {
-      return Status::IOError("short write");
+      return StatusFromErrno(errno, "short write");
     }
     return Status::OK();
   }
 
   Status Sync() override {
-    if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+    errno = 0;
+    if (std::fflush(file_) != 0) {
+      return StatusFromErrno(errno, "fflush failed");
+    }
 #ifndef _WIN32
-    if (::fsync(::fileno(file_)) != 0) return Status::IOError("fsync failed");
+    if (::fsync(::fileno(file_)) != 0) {
+      return StatusFromErrno(errno, "fsync failed");
+    }
 #endif
     return Status::OK();
   }
 
   Status Truncate(uint64_t size) override {
-    if (std::fflush(file_) != 0) return Status::IOError("fflush failed");
+    errno = 0;
+    if (std::fflush(file_) != 0) {
+      return StatusFromErrno(errno, "fflush failed");
+    }
 #ifdef _WIN32
     if (::_chsize_s(::_fileno(file_), static_cast<long long>(size)) != 0) {
       return Status::IOError("truncate failed");
     }
 #else
     if (::ftruncate(::fileno(file_), static_cast<off_t>(size)) != 0) {
-      return Status::IOError("ftruncate failed");
+      return StatusFromErrno(errno, "ftruncate failed");
     }
 #endif
     return Status::OK();
@@ -103,6 +135,14 @@ class StdioEnv : public Env {
   Status DeleteFile(const std::string& path) override {
     if (std::remove(path.c_str()) != 0) {
       return Status::IOError("cannot delete " + path);
+    }
+    return Status::OK();
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    errno = 0;
+    if (std::rename(from.c_str(), to.c_str()) != 0) {
+      return StatusFromErrno(errno, "cannot rename " + from + " -> " + to);
     }
     return Status::OK();
   }
@@ -181,6 +221,19 @@ Status MemEnv::DeleteFile(const std::string& path) {
   if (files_.erase(path) == 0) {
     return Status::IOError("cannot delete " + path);
   }
+  return Status::OK();
+}
+
+Status MemEnv::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = files_.find(from);
+  if (it == files_.end()) {
+    return Status::IOError("cannot rename " + from + ": no such file");
+  }
+  // POSIX replace semantics: an existing destination is displaced; handles
+  // already open on it keep their (now unlinked) backing data.
+  files_[to] = std::move(it->second);
+  files_.erase(it);
   return Status::OK();
 }
 

@@ -52,9 +52,22 @@ class Env {
 
   virtual Status DeleteFile(const std::string& path) = 0;
 
+  /// Atomically replaces `to` with `from` (rename(2) semantics): after a
+  /// successful return, `to` has `from`'s contents and `from` is gone; a
+  /// crash leaves either the old or the new `to`, never a mix. The
+  /// persist-before-publish primitive checkpoint publication builds on.
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
   /// Process-wide stdio-backed environment.
   static Env* Default();
 };
+
+/// Maps an errno from a failed filesystem call to the retry taxonomy:
+/// interruptions and momentary resource exhaustion (EINTR, EAGAIN, EBUSY,
+/// ENOMEM, ENOSPC-free transients) come back as TransientIO so
+/// RetryTransient absorbs them — the same contract stream appends already
+/// get — while everything else stays a terminal IOError.
+Status StatusFromErrno(int err, const std::string& what);
 
 /// Backing storage for one MemEnv file, shared by every open handle on the
 /// same path so close/reopen observes previously written bytes.
@@ -72,6 +85,7 @@ class MemEnv : public Env {
                   std::unique_ptr<File>* out) override;
   bool FileExists(const std::string& path) const override;
   Status DeleteFile(const std::string& path) override;
+  Status Rename(const std::string& from, const std::string& to) override;
 
  private:
   mutable std::mutex mu_;

@@ -87,6 +87,38 @@ Status FaultEnv::DeleteFile(const std::string& path) {
   return base_->DeleteFile(path);
 }
 
+Status FaultEnv::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (crashed_) return Status::IOError(kCrashMsg);
+  FaultKind kind;
+  if (NextFault(&kind)) {
+    switch (kind) {
+      case FaultKind::kTransientError:
+        return Status::TransientIO("injected transient rename error");
+      default:
+        // Power cut before the metadata op lands: the old name survives
+        // untouched and the source's unsynced bytes roll back as usual.
+        CrashLocked();
+        return Status::IOError(kCrashMsg);
+    }
+  }
+  Status s = base_->Rename(from, to);
+  if (s.ok()) {
+    // Re-key undo state so crash rollback still reaches the (still open)
+    // base handle under its new name. A displaced destination's old state
+    // becomes unreachable, matching POSIX unlink-while-open semantics.
+    auto it = files_.find(from);
+    if (it != files_.end()) {
+      auto state = std::move(it->second);
+      files_.erase(it);
+      files_[to] = std::move(state);
+    } else {
+      files_.erase(to);
+    }
+  }
+  return s;
+}
+
 namespace {
 
 const char* StorageFaultName(FaultKind kind) {

@@ -75,6 +75,15 @@ class FaultEnv : public Env {
   bool FileExists(const std::string& path) const override;
   Status DeleteFile(const std::string& path) override;
 
+  /// Rename is a counted fault point like Write/Sync/Truncate. A crash
+  /// scheduled here strikes *before* the rename takes effect (rename(2) is
+  /// atomic, so the only crash outcomes are old-name or new-name — the
+  /// undo model keeps the old name and rolls back the source's unsynced
+  /// writes). A successful rename is treated as immediately durable, the
+  /// common journaling-filesystem behaviour checkpoint publication
+  /// assumes.
+  Status Rename(const std::string& from, const std::string& to) override;
+
  private:
   friend class FaultFile;
 

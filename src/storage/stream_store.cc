@@ -56,6 +56,13 @@ uint32_t Crc32(const uint8_t* data, size_t size) {
   return crc ^ 0xffffffffu;
 }
 
+Status StreamStore::RecordCrc(uint64_t index, uint32_t* crc) const {
+  Bytes record;
+  LEDGERDB_RETURN_IF_ERROR(Read(index, &record));
+  *crc = Crc32(record.data(), record.size());
+  return Status::OK();
+}
+
 Status StreamStore::AppendBatch(const std::vector<Slice>& records,
                                 uint64_t* first_index) {
   *first_index = Count();
@@ -190,6 +197,7 @@ Status FileStreamStore::Open(Env* env, const std::string& path,
     store->offsets_.push_back(offset);
     store->lengths_.push_back(length);
     store->capacities_.push_back(capacity);
+    store->crcs_.push_back(payload_crc);
     offset += kFrameHeaderSize + capacity;
   }
 
@@ -267,6 +275,7 @@ Status FileStreamStore::Append(Slice record, uint64_t* index) {
   offsets_.push_back(offset);
   lengths_.push_back(length);
   capacities_.push_back(length);
+  crcs_.push_back(payload_crc);
   end_offset_ = offset + frame.size();
   watermark_ = end_offset_;
   LEDGERDB_RETURN_IF_ERROR(PersistWatermark());
@@ -294,10 +303,13 @@ Status FileStreamStore::AppendBatch(const std::vector<Slice>& records,
   Bytes group(total);
   uint32_t seq = static_cast<uint32_t>(offsets_.size());
   size_t pos = 0;
+  std::vector<uint32_t> group_crcs;
+  group_crcs.reserve(records.size());
   for (const Slice& record : records) {
     uint32_t length = static_cast<uint32_t>(record.size());
+    group_crcs.push_back(Crc32(record.data(), record.size()));
     EncodeFrameHeader(group.data() + pos, /*capacity=*/length, length,
-                      seq++, Crc32(record.data(), record.size()));
+                      seq++, group_crcs.back());
     if (length > 0) {
       std::memcpy(group.data() + pos + kFrameHeaderSize, record.data(),
                   record.size());
@@ -317,11 +329,12 @@ Status FileStreamStore::AppendBatch(const std::vector<Slice>& records,
     return file_->Sync();
   }));
   *first_index = offsets_.size();
-  for (const Slice& record : records) {
-    uint32_t length = static_cast<uint32_t>(record.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    uint32_t length = static_cast<uint32_t>(records[i].size());
     offsets_.push_back(offset);
     lengths_.push_back(length);
     capacities_.push_back(length);
+    crcs_.push_back(group_crcs[i]);
     offset += kFrameHeaderSize + length;
   }
   end_offset_ = offset;
@@ -381,6 +394,15 @@ Status FileStreamStore::Overwrite(uint64_t index, Slice record) {
     return file_->Sync();
   }));
   lengths_[index] = length;
+  crcs_[index] = payload_crc;
+  return Status::OK();
+}
+
+Status FileStreamStore::RecordCrc(uint64_t index, uint32_t* crc) const {
+  if (index >= crcs_.size()) {
+    return Status::NotFound("stream index out of range");
+  }
+  *crc = crcs_[index];
   return Status::OK();
 }
 

@@ -45,6 +45,13 @@ class StreamStore {
   /// Number of records appended so far.
   virtual uint64_t Count() const = 0;
 
+  /// CRC32 of record `index`'s current bytes. The base implementation
+  /// reads the record and hashes it; stores that already keep per-record
+  /// checksums (FileStreamStore frames) answer from memory without I/O —
+  /// checkpoint recovery leans on that to detect in-place rewrites below
+  /// the watermark in O(1) per record.
+  virtual Status RecordCrc(uint64_t index, uint32_t* crc) const;
+
   /// Eager full-scan integrity check: validates every frame's checksums
   /// and sequencing so corruption surfaces now instead of at some future
   /// Read. Stores with no durable framing have nothing to verify.
@@ -128,6 +135,7 @@ class FileStreamStore : public StreamStore {
   Status Read(uint64_t index, Bytes* out) const override;
   Status Overwrite(uint64_t index, Slice record) override;
   uint64_t Count() const override { return offsets_.size(); }
+  Status RecordCrc(uint64_t index, uint32_t* crc) const override;
 
   /// Re-validates every frame on disk (header crc, sequence number,
   /// payload crc) without touching the in-memory index.
@@ -155,6 +163,7 @@ class FileStreamStore : public StreamStore {
   std::vector<uint64_t> offsets_;    // byte offset of each frame
   std::vector<uint32_t> lengths_;    // live payload length of each frame
   std::vector<uint32_t> capacities_; // fixed payload capacity of each frame
+  std::vector<uint32_t> crcs_;       // payload crc of each frame
 };
 
 /// CRC32 (IEEE) over a byte range; frame checksum for FileStreamStore.

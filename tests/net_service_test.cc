@@ -33,6 +33,7 @@
 #include "net/socket_util.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "storage/checkpoint.h"
 
 namespace ledgerdb {
 namespace {
@@ -679,6 +680,108 @@ TEST_F(NetServiceTest, GracefulDrainUnderLoadAndBitIdenticalRecovery) {
     Journal journal;
     EXPECT_TRUE(recovered->GetJournal(jsn, &journal).ok()) << "jsn " << jsn;
   }
+}
+
+TEST_F(NetServiceTest, DrainThenCheckpointedRestartRecoversBitIdentically) {
+  // Full service lifecycle: serve over a socket, drain gracefully, write a
+  // verified checkpoint, restart — the restarted server must come back via
+  // the checkpoint (not full replay), bit-identical, and keep serving.
+  std::string dir = ::testing::TempDir();
+  std::string jpath = dir + "/ckre_journals.log";
+  std::string bpath = dir + "/ckre_blocks.log";
+  std::string cbase = dir + "/ckre_ckpt";
+  for (const std::string& p : {jpath, bpath}) {
+    std::remove(p.c_str());
+    std::remove((p + ".wm").c_str());
+    std::remove((p + ".quarantine").c_str());
+  }
+  for (const std::string& p : {cbase + ".ckpt.0", cbase + ".snap.0",
+                               cbase + ".ckpt.1", cbase + ".snap.1"}) {
+    std::remove(p.c_str());
+  }
+
+  Digest fam_root, clue_root, state_root;
+  uint64_t journal_count = 0, watermark = 0;
+  Bytes last_receipt;
+  {
+    std::unique_ptr<FileStreamStore> jfile, bfile;
+    ASSERT_TRUE(FileStreamStore::Open(jpath, &jfile).ok());
+    ASSERT_TRUE(FileStreamStore::Open(bpath, &bfile).ok());
+    CheckpointStore ckpt(Env::Default(), cbase);
+    Ledger ledger("lg://ckre", options_, &clock_, lsp_, &registry_,
+                  {jfile.get(), bfile.get(), &ckpt});
+
+    LedgerServer server(&ledger, {.unix_path = SockPath("ckre")});
+    ASSERT_TRUE(server.Start().ok());
+    SocketTransport remote(server.address(), "lg://ckre");
+    KeyPair user = RegisterUser("ckre-user");
+    for (int i = 0; i < 9; ++i) {
+      ClientTransaction tx;
+      tx.ledger_uri = "lg://ckre";
+      tx.clues = {"trail-" + std::to_string(i % 2)};
+      tx.payload = StringToBytes("ckre-" + std::to_string(i));
+      tx.nonce = static_cast<uint64_t>(i);
+      tx.client_ts = clock_.Now();
+      tx.Sign(user);
+      uint64_t jsn = 0;
+      ASSERT_TRUE(remote.AppendTx(tx, &jsn).ok());
+    }
+    server.Stop();  // graceful drain: no requests in flight afterwards
+    ASSERT_TRUE(ledger.WriteCheckpoint(nullptr).ok());
+    ledger.SealBlock();
+    fam_root = ledger.FamRoot();
+    clue_root = ledger.ClueRoot();
+    state_root = ledger.StateRoot();
+    journal_count = ledger.NumJournals();
+    Receipt receipt;
+    ASSERT_TRUE(ledger.GetReceipt(journal_count - 1, &receipt).ok());
+    last_receipt = receipt.Serialize();
+  }
+
+  // Restart: recovery must ride the checkpoint and land bit-identical.
+  std::unique_ptr<FileStreamStore> jfile, bfile;
+  ASSERT_TRUE(FileStreamStore::Open(jpath, &jfile).ok());
+  ASSERT_TRUE(FileStreamStore::Open(bpath, &bfile).ok());
+  CheckpointStore ckpt(Env::Default(), cbase);
+  std::unique_ptr<Ledger> recovered;
+  RecoveryInfo info;
+  ASSERT_TRUE(Ledger::Recover("lg://ckre", options_, &clock_, lsp_,
+                              &registry_, {jfile.get(), bfile.get(), &ckpt},
+                              &recovered, &info)
+                  .ok());
+  EXPECT_TRUE(info.used_checkpoint);
+  watermark = info.checkpoint_watermark;
+  EXPECT_GT(watermark, 0u);
+  EXPECT_EQ(recovered->NumJournals(), journal_count);
+  EXPECT_EQ(recovered->FamRoot(), fam_root);
+  EXPECT_EQ(recovered->ClueRoot(), clue_root);
+  EXPECT_EQ(recovered->StateRoot(), state_root);
+
+  // The restarted server answers from the recovered state: same receipt
+  // for pre-restart journals, and new appends still commit.
+  LedgerServer server2(recovered.get(), {.unix_path = SockPath("ckre2")});
+  ASSERT_TRUE(server2.Start().ok());
+  SocketTransport remote2(server2.address(), "lg://ckre");
+  Receipt receipt;
+  ASSERT_TRUE(remote2.GetReceipt(journal_count - 1, &receipt).ok());
+  EXPECT_EQ(receipt.Serialize(), last_receipt);
+  FamProof proof;
+  Journal journal;
+  ASSERT_TRUE(remote2.GetProof(1, &proof).ok());
+  ASSERT_TRUE(remote2.GetJournal(1, &journal).ok());
+  EXPECT_TRUE(Ledger::VerifyJournalProof(journal, proof, recovered->FamRoot()));
+  KeyPair user = KeyPair::FromSeedString("net-ckre-user");
+  ClientTransaction tx;
+  tx.ledger_uri = "lg://ckre";
+  tx.clues = {"trail-0"};
+  tx.payload = StringToBytes("post-restart");
+  tx.nonce = 100;
+  tx.client_ts = clock_.Now();
+  tx.Sign(user);
+  uint64_t jsn = 0;
+  ASSERT_TRUE(remote2.AppendTx(tx, &jsn).ok());
+  EXPECT_EQ(jsn, journal_count);
+  server2.Stop();
 }
 
 TEST_F(NetServiceTest, RequestsDuringDrainAreShedNotHung) {

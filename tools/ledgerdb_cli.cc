@@ -14,7 +14,9 @@
 //   ledgerdb_cli purge  <dir> <before_jsn>       purge history
 //   ledgerdb_cli audit  <dir>                    full Dasein-complete audit
 //   ledgerdb_cli status <dir>                    roots & counters
-//   ledgerdb_cli fsck   <dir>                    stream-level integrity check
+//   ledgerdb_cli checkpoint <dir>                write an audited checkpoint
+//   ledgerdb_cli fsck   <dir> [--json]           stream + checkpoint integrity
+//                                                check
 //   ledgerdb_cli receipt <dir> <jsn> <file>      export a receipt (hex)
 //   ledgerdb_cli verify-receipt <dir> <file>     offline receipt check
 //                                                (exit 0 valid, 2 forged)
@@ -80,7 +82,9 @@ struct CliContext {
   KeyPair lsp, user, dba, regulator, tsa_key;
   std::unique_ptr<TsaService> tsa;
   std::unique_ptr<FileStreamStore> journal_stream, block_stream;
+  std::unique_ptr<CheckpointStore> ckpt_store;
   std::unique_ptr<Ledger> ledger;
+  RecoveryInfo recovery;
 };
 
 int Fail(const std::string& message) {
@@ -140,12 +144,16 @@ int OpenLedger(CliContext* ctx, const std::string& dir) {
   if (!s.ok()) return FailStatus("open journals", s);
   s = FileStreamStore::Open(dir + "/blocks.log", &ctx->block_stream);
   if (!s.ok()) return FailStatus("open blocks", s);
-  LedgerStorage storage{ctx->journal_stream.get(), ctx->block_stream.get()};
+  ctx->ckpt_store =
+      std::make_unique<CheckpointStore>(Env::Default(), dir + "/ckpt");
+  LedgerStorage storage{ctx->journal_stream.get(), ctx->block_stream.get(),
+                        ctx->ckpt_store.get()};
   LedgerOptions options;
   options.fractal_height = 10;
   options.block_capacity = 16;
   s = Ledger::Recover(ctx->uri, options, &ctx->clock, ctx->lsp,
-                      ctx->registry.get(), storage, &ctx->ledger);
+                      ctx->registry.get(), storage, &ctx->ledger,
+                      &ctx->recovery);
   if (!s.ok()) return FailStatus("recover (ledger may be tampered)", s);
   ctx->ledger->AttachDirectTsa(ctx->tsa.get());
   return 0;
@@ -523,6 +531,34 @@ int CmdStatus(CliContext* ctx) {
   std::printf("fam root:        %s\n", ctx->ledger->FamRoot().ToHex().c_str());
   std::printf("clue root:       %s\n", ctx->ledger->ClueRoot().ToHex().c_str());
   std::printf("state root:      %s\n", ctx->ledger->StateRoot().ToHex().c_str());
+  if (ctx->recovery.used_checkpoint) {
+    std::printf("recovered via:   checkpoint (watermark %llu, tail %llu, "
+                "%llu reconciled)\n",
+                (unsigned long long)ctx->recovery.checkpoint_watermark,
+                (unsigned long long)ctx->recovery.tail_journals,
+                (unsigned long long)ctx->recovery.reconciled_records);
+  } else {
+    std::printf("recovered via:   full replay (%u checkpoint candidates "
+                "rejected)\n",
+                ctx->recovery.candidates_rejected);
+  }
+  return 0;
+}
+
+/// Writes one audited checkpoint covering the ledger's current state.
+/// The next `Recover` of this directory loads it and tail-replays only
+/// the journals appended afterwards.
+int CmdCheckpoint(CliContext* ctx) {
+  uint32_t slot = 0;
+  Status s = ctx->ledger->WriteCheckpoint(&slot);
+  if (!s.ok()) return FailStatus("checkpoint", s);
+  std::printf("slot:       %u\n", slot);
+  std::printf("watermark:  %llu\n",
+              (unsigned long long)ctx->ledger->NumJournals());
+  std::printf("blocks:     %zu\n", ctx->ledger->blocks().size());
+  std::printf("fam root:   %s\n", ctx->ledger->FamRoot().ToHex().c_str());
+  std::printf("checkpoint written to %s/ckpt.{ckpt,snap}.%u\n",
+              ctx->dir.c_str(), slot);
   return 0;
 }
 
@@ -572,47 +608,151 @@ int CmdVerifyReceipt(CliContext* ctx, const std::string& receipt_path) {
   return 0;
 }
 
-/// Stream-level integrity check. Unlike every other command this does NOT
-/// go through OpenLedger/Recover — it must keep working (and stay
-/// informative) on images the ledger itself refuses to load.
-int CmdFsck(const std::string& dir) {
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// Stream-level integrity check plus the checkpoint inventory. Unlike
+/// every other command this does NOT go through OpenLedger/Recover — it
+/// must keep working (and stay informative) on images the ledger itself
+/// refuses to load. Checkpoints are redundant state (recovery falls back
+/// to full replay), so a damaged checkpoint is reported but does not make
+/// the directory DAMAGED.
+int CmdFsck(const std::string& dir, const std::vector<std::string>& args) {
+  bool json = false;
+  for (const std::string& arg : args) {
+    if (arg == "--json") {
+      json = true;
+    } else {
+      return Fail("unknown fsck option: " + arg);
+    }
+  }
+
   bool healthy = true;
   bool repaired = false;
+  std::string stream_json;
   for (const char* name : {"journals.log", "blocks.log"}) {
     std::string path = dir + "/" + name;
-    std::printf("%s:\n", name);
+    if (!json) std::printf("%s:\n", name);
     std::unique_ptr<FileStreamStore> stream;
     Status s = FileStreamStore::Open(path, &stream);
     if (!s.ok()) {
-      std::printf("  open:        %s\n", s.ToString().c_str());
+      if (json) {
+        if (!stream_json.empty()) stream_json += ",";
+        stream_json += "{\"name\":\"" + std::string(name) + "\",\"open\":\"" +
+                       JsonEscape(s.ToString()) + "\"}";
+      } else {
+        std::printf("  open:        %s\n", s.ToString().c_str());
+      }
       healthy = false;
       continue;
     }
     const FileStreamStore::RecoveryReport& report = stream->recovery_report();
-    std::printf("  frames:      %llu\n", (unsigned long long)report.frames);
-    std::printf("  watermark:   %llu%s\n",
-                (unsigned long long)stream->DurableWatermark(),
-                report.watermark_missing ? " (sidecar was missing)" : "");
-    if (report.tail_quarantined) {
-      std::printf("  torn tail:   %llu bytes quarantined to %s.quarantine\n",
-                  (unsigned long long)report.quarantined_bytes, path.c_str());
-      repaired = true;
+    Status fsck = stream->Fsck();
+    if (report.tail_quarantined) repaired = true;
+    if (!fsck.ok()) healthy = false;
+    if (json) {
+      if (!stream_json.empty()) stream_json += ",";
+      stream_json +=
+          "{\"name\":\"" + std::string(name) +
+          "\",\"frames\":" + std::to_string(report.frames) +
+          ",\"watermark\":" + std::to_string(stream->DurableWatermark()) +
+          ",\"torn_tail\":" + (report.tail_quarantined ? "true" : "false") +
+          ",\"fsck\":\"" + JsonEscape(fsck.ToString()) + "\"}";
+    } else {
+      std::printf("  frames:      %llu\n", (unsigned long long)report.frames);
+      std::printf("  watermark:   %llu%s\n",
+                  (unsigned long long)stream->DurableWatermark(),
+                  report.watermark_missing ? " (sidecar was missing)" : "");
+      if (report.tail_quarantined) {
+        std::printf("  torn tail:   %llu bytes quarantined to %s.quarantine\n",
+                    (unsigned long long)report.quarantined_bytes, path.c_str());
+      }
+      std::printf("  fsck:        %s\n", fsck.ToString().c_str());
     }
-    s = stream->Fsck();
-    std::printf("  fsck:        %s\n", s.ToString().c_str());
-    if (!s.ok()) healthy = false;
   }
+
+  // Checkpoint inventory: frame + SHA binding always; the LSP signature
+  // too when the seed file is readable (it derives the public key).
+  std::string seed;
+  bool have_seed = ReadFileString(dir + "/seed", &seed);
+  KeyPair lsp;
+  if (have_seed) lsp = KeyPair::FromSeedString(seed + ":lsp");
+  CheckpointStore ckpt_store(Env::Default(), dir + "/ckpt");
+  std::vector<CheckpointEntry> entries;
+  Status list = ckpt_store.List(&entries);
+  std::string ckpt_json;
+  size_t ckpt_valid = 0;
+  if (!json && (!entries.empty() || !list.ok())) {
+    std::printf("checkpoints:\n");
+  }
+  for (const CheckpointEntry& entry : entries) {
+    std::string verdict;
+    uint64_t watermark = 0, height = 0;
+    if (!entry.status.ok()) {
+      verdict = entry.status.ToString();
+    } else {
+      watermark = entry.manifest.watermark;
+      height = entry.manifest.block_height;
+      Bytes snapshot;
+      Status s = ckpt_store.ReadSnapshot(entry.manifest, entry.slot, &snapshot);
+      if (!s.ok()) {
+        verdict = s.ToString();
+      } else if (have_seed && !entry.manifest.Verify(lsp.public_key())) {
+        verdict = "Corruption: LSP signature invalid";
+      } else {
+        verdict = "OK";
+        ++ckpt_valid;
+      }
+    }
+    if (json) {
+      if (!ckpt_json.empty()) ckpt_json += ",";
+      ckpt_json += "{\"slot\":" + std::to_string(entry.slot) +
+                   ",\"watermark\":" + std::to_string(watermark) +
+                   ",\"block_height\":" + std::to_string(height) +
+                   ",\"status\":\"" + JsonEscape(verdict) + "\"}";
+    } else {
+      std::printf("  slot %u:      watermark %llu, blocks %llu — %s\n",
+                  entry.slot, (unsigned long long)watermark,
+                  (unsigned long long)height, verdict.c_str());
+    }
+  }
+
   // Classic fsck exit codes: 0 clean, 1 errors corrected, 2 uncorrected.
-  if (!healthy) {
+  // A damaged checkpoint slot is "corrected" (recovery falls back past
+  // it, the next WriteCheckpoint overwrites it) — never CLEAN: operators
+  // must see that the fast-recovery path lost a rung.
+  const bool ckpt_damaged = ckpt_valid < entries.size();
+  std::string result = !healthy      ? "DAMAGED"
+                       : repaired    ? "REPAIRED"
+                       : ckpt_damaged ? "CHECKPOINT-DAMAGED"
+                                      : "CLEAN";
+  if (json) {
+    std::printf("{\"streams\":[%s],\"checkpoints\":[%s],"
+                "\"checkpoints_valid\":%zu,\"result\":\"%s\"}\n",
+                stream_json.c_str(), ckpt_json.c_str(), ckpt_valid,
+                result.c_str());
+  } else if (!healthy) {
     std::printf("fsck: DAMAGED\n");
-    return 2;
-  }
-  if (repaired) {
+  } else if (repaired) {
     std::printf("fsck: REPAIRED (torn tail quarantined)\n");
-    return 1;
+  } else if (ckpt_damaged) {
+    std::printf("fsck: CHECKPOINT-DAMAGED (recovery falls back)\n");
+  } else {
+    std::printf("fsck: CLEAN\n");
   }
-  std::printf("fsck: CLEAN\n");
-  return 0;
+  return !healthy ? 2 : (repaired || ckpt_damaged) ? 1 : 0;
 }
 
 /// Drives one instrumented workload round against the recovered ledger:
@@ -731,8 +871,8 @@ int CmdStats(CliContext* ctx, const std::string& seed,
 int Usage() {
   std::fprintf(stderr,
                "usage: ledgerdb_cli <init|append|get|verify|lineage|anchor|"
-               "occult|purge|audit|status|stats|fsck|receipt|verify-receipt|"
-               "serve> <dir> [args...]\n"
+               "occult|purge|audit|status|checkpoint|stats|fsck|receipt|"
+               "verify-receipt|serve> <dir> [args...]\n"
                "       append/get/verify/lineage/status also accept "
                "--remote <unix:path|tcp:host:port>\n");
   return 2;
@@ -762,7 +902,7 @@ int main(int argc, char** argv) {
     if (rest.size() != 1) return Usage();
     return CmdInit(dir, rest[0]);
   }
-  if (command == "fsck") return CmdFsck(dir);
+  if (command == "fsck") return CmdFsck(dir, rest);
 
   CliContext ctx;
   if (!remote.empty()) {
@@ -804,6 +944,7 @@ int main(int argc, char** argv) {
   if (command == "purge" && argc == 4) return CmdPurge(&ctx, std::strtoull(argv[3], nullptr, 10));
   if (command == "audit") return CmdAudit(&ctx);
   if (command == "status") return CmdStatus(&ctx);
+  if (command == "checkpoint") return CmdCheckpoint(&ctx);
   if (command == "stats") {
     std::vector<std::string> args(argv + 3, argv + argc);
     return CmdStats(&ctx, ctx.seed, args);
