@@ -10,6 +10,7 @@
 #include <functional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/metrics.h"
@@ -94,6 +95,13 @@ class LatencySampler {
 
   size_t count() const { return samples_.size(); }
 
+  /// Folds another sampler's samples into this one (per-thread collection
+  /// merging into a shared distribution).
+  void Merge(const LatencySampler& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+  }
+
  private:
   std::vector<double> samples_;
 };
@@ -167,13 +175,24 @@ class JsonReporter {
 
   void Add(const std::string& name, double ops_per_sec, double p50_us = 0.0,
            double p99_us = 0.0) {
-    entries_.push_back({name, ops_per_sec, p50_us, p99_us});
+    entries_.push_back({name, ops_per_sec, p50_us, p99_us, {}});
   }
 
   void Add(const std::string& name, double ops_per_sec,
            const LatencySampler& sampler) {
     Add(name, ops_per_sec, sampler.PercentileUs(50.0),
         sampler.PercentileUs(99.0));
+  }
+
+  /// Row with additive per-row keys beyond the schema-2 core (e.g.
+  /// "p999_us", "shed_rate", "offered_per_sec"). Extras append to the row
+  /// object, so schema-2 consumers that only read the core keys are
+  /// unaffected.
+  void AddWithExtras(
+      const std::string& name, double ops_per_sec, double p50_us,
+      double p99_us,
+      const std::vector<std::pair<std::string, double>>& extras) {
+    entries_.push_back({name, ops_per_sec, p50_us, p99_us, extras});
   }
 
   void Flush() {
@@ -202,9 +221,12 @@ class JsonReporter {
       const Entry& e = entries_[i];
       std::fprintf(f,
                    "    {\"name\": \"%s\", \"ops_per_sec\": %.2f, "
-                   "\"p50_us\": %.3f, \"p99_us\": %.3f}%s\n",
-                   e.name.c_str(), e.ops_per_sec, e.p50_us, e.p99_us,
-                   i + 1 < entries_.size() ? "," : "");
+                   "\"p50_us\": %.3f, \"p99_us\": %.3f",
+                   e.name.c_str(), e.ops_per_sec, e.p50_us, e.p99_us);
+      for (const auto& [key, value] : e.extras) {
+        std::fprintf(f, ", \"%s\": %.3f", key.c_str(), value);
+      }
+      std::fprintf(f, "}%s\n", i + 1 < entries_.size() ? "," : "");
     }
     std::fprintf(f, "  ]");
     if (metrics_) {
@@ -224,6 +246,7 @@ class JsonReporter {
     double ops_per_sec;
     double p50_us;
     double p99_us;
+    std::vector<std::pair<std::string, double>> extras;
   };
   struct Meta {
     std::string key;

@@ -1,5 +1,8 @@
 #include "common/random.h"
 
+#include <algorithm>
+#include <cmath>
+
 namespace ledgerdb {
 
 namespace {
@@ -64,6 +67,33 @@ std::string Random::NextString(size_t size) {
     out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
   }
   return out;
+}
+
+double Random::NextDouble() {
+  // 53 high bits → the standard uniform-in-[0,1) construction.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Random::NextExponential(double mean) {
+  // Inverse-CDF; 1 - NextDouble() keeps the log argument in (0, 1].
+  return -mean * std::log(1.0 - NextDouble());
+}
+
+ZipfSampler::ZipfSampler(uint64_t n, double s) {
+  cdf_.resize(n > 0 ? n : 1);
+  double sum = 0.0;
+  for (uint64_t k = 0; k < cdf_.size(); ++k) {
+    sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = sum;
+  }
+  for (double& v : cdf_) v /= sum;
+}
+
+uint64_t ZipfSampler::Next(Random* rng) const {
+  double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<uint64_t>(it - cdf_.begin());
 }
 
 }  // namespace ledgerdb

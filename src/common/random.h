@@ -2,6 +2,7 @@
 #define LEDGERDB_COMMON_RANDOM_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "common/bytes.h"
 
@@ -29,8 +30,34 @@ class Random {
   /// Random printable ASCII string of length `size`.
   std::string NextString(size_t size);
 
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Exponentially distributed value with the given mean (> 0) — the
+  /// inter-arrival distribution of a Poisson process, used by open-loop
+  /// load generators to build arrival schedules.
+  double NextExponential(double mean);
+
  private:
   uint64_t s_[4];
+};
+
+/// Zipf-distributed sampler over [0, n): rank k is drawn with probability
+/// proportional to 1 / (k+1)^s. Precomputes the CDF once (O(n) memory) and
+/// samples by binary search, so draws are O(log n) and fully deterministic
+/// given the Random stream. The default skew s = 0.99 matches the YCSB
+/// convention for hot-key workloads.
+class ZipfSampler {
+ public:
+  ZipfSampler(uint64_t n, double s = 0.99);
+
+  /// Draws a rank in [0, n); rank 0 is the hottest.
+  uint64_t Next(Random* rng) const;
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
 };
 
 }  // namespace ledgerdb

@@ -11,6 +11,7 @@
 
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ledgerdb {
 
@@ -33,11 +34,22 @@ struct LedgerServer::Conn {
   Bytes inbuf;
   uint64_t last_read_us = 0;
 
+  /// A traced response waiting to clear the outbox: when out_off passes
+  /// `target_off` the response is fully on the wire and the server_flush
+  /// span closes. Guarded by out_mu, like the outbox it mirrors.
+  struct PendingFlush {
+    uint64_t trace_id = 0;
+    uint64_t parent_span = 0;
+    uint64_t enqueue_us = 0;
+    size_t target_off = 0;
+  };
+
   std::mutex out_mu;
   bool closed = false;       ///< guarded by out_mu; set once, never cleared
   Bytes outbuf;              ///< pending response bytes
   size_t out_off = 0;        ///< flushed prefix of outbuf
   uint64_t last_write_us = 0;
+  std::vector<PendingFlush> pending_flush;
 };
 
 LedgerServer::LedgerServer(Ledger* ledger, Options options)
@@ -80,6 +92,7 @@ Status LedgerServer::Start() {
   address_ = net::FormatAddress(addr);
 
   started_ = true;
+  obs::RequestLog::Default().SetSlowThresholdUs(options_.slow_request_us);
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     auto worker = std::make_unique<Worker>();
@@ -317,9 +330,19 @@ bool LedgerServer::ParseBuffered(const ConnPtr& conn) {
 }
 
 void LedgerServer::Admit(const ConnPtr& conn, wire::RequestFrame frame) {
+  auto record_shed = [&](const wire::RequestFrame& f) {
+    obs::RequestRecord rec;
+    rec.op = RpcOpName(f.op);
+    rec.trace_id = f.trace_id;
+    rec.start_us = obs::NowUs();
+    rec.status = static_cast<uint8_t>(Status::Code::kUnavailable);
+    rec.shed = true;
+    obs::RequestLog::Default().Record(rec);
+  };
   if (draining_.load(std::memory_order_acquire)) {
     stats_.shed.fetch_add(1, std::memory_order_relaxed);
     LEDGERDB_OBS_COUNT(obs::names::kServerShedTotal);
+    record_shed(frame);
     Respond(conn, wire::ResponseFrame::From(
                       frame.op, frame.request_id,
                       Status::Unavailable("draining: server shutting down")));
@@ -331,6 +354,7 @@ void LedgerServer::Admit(const ConnPtr& conn, wire::RequestFrame frame) {
     if (worker->queue.size() >= options_.queue_depth) {
       stats_.shed.fetch_add(1, std::memory_order_relaxed);
       LEDGERDB_OBS_COUNT(obs::names::kServerShedTotal);
+      record_shed(frame);
       Respond(conn, wire::ResponseFrame::From(
                         frame.op, frame.request_id,
                         Status::Unavailable("admission queue full")));
@@ -339,8 +363,9 @@ void LedgerServer::Admit(const ConnPtr& conn, wire::RequestFrame frame) {
     Request req;
     req.conn = conn;
     req.frame = std::move(frame);
+    req.admit_us = obs::NowUs();
     if (options_.request_timeout_us > 0) {
-      req.deadline_us = obs::NowUs() + options_.request_timeout_us;
+      req.deadline_us = req.admit_us + options_.request_timeout_us;
     }
     worker->queue.push_back(std::move(req));
   }
@@ -370,8 +395,18 @@ void LedgerServer::WorkerLoop(Worker* worker) {
 
     const RpcOp op = req.frame.op;
     const uint64_t id = req.frame.request_id;
+    const uint64_t trace_id = req.frame.trace_id;
+    const uint64_t parent_span = req.frame.parent_span;
     wire::ResponseFrame resp;
     uint64_t now = obs::NowUs();
+    const uint64_t queue_us = now > req.admit_us ? now - req.admit_us : 0;
+
+    obs::RequestRecord rec;
+    rec.op = RpcOpName(op);
+    rec.trace_id = trace_id;
+    rec.start_us = req.admit_us;
+    rec.queue_us = queue_us;
+
     if (drain_fail_.load(std::memory_order_acquire)) {
       // Drain deadline passed with this request still queued: fail it
       // explicitly rather than racing the shutdown.
@@ -381,6 +416,7 @@ void LedgerServer::WorkerLoop(Worker* worker) {
     } else if (req.deadline_us != 0 && now > req.deadline_us) {
       stats_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
       LEDGERDB_OBS_COUNT(obs::names::kServerDeadlineExpiredTotal);
+      rec.deadline_expired = true;
       resp = wire::ResponseFrame::From(
           op, id,
           Status::DeadlineExceeded("request expired in admission queue"));
@@ -394,13 +430,30 @@ void LedgerServer::WorkerLoop(Worker* worker) {
         }
         resp = Execute(req.frame);
       }
+      uint64_t exec_us = obs::NowUs() - t0;
+      rec.exec_us = exec_us;
       LEDGERDB_OBS_COUNT_LABEL(obs::names::kServerRequestsTotal, "op",
                                RpcOpName(op));
       LEDGERDB_OBS_OBSERVE_LABEL(obs::names::kServerRequestUs, "op",
-                                 RpcOpName(op), obs::NowUs() - t0);
+                                 RpcOpName(op), exec_us);
+      LEDGERDB_OBS_OBSERVE(obs::names::kServerQueueWaitUs, queue_us);
+      LEDGERDB_OBS_OBSERVE(obs::names::kServerExecuteUs, exec_us);
+      if (trace_id != 0) {
+        obs::SpanTracer& tracer = obs::SpanTracer::Default();
+        tracer.RecordTraced(obs::stages::kServerQueue.name, trace_id,
+                            parent_span, req.admit_us, queue_us);
+        tracer.RecordTraced(obs::stages::kServerExecute.name, trace_id,
+                            parent_span, t0, exec_us);
+      }
       stats_.completed.fetch_add(1, std::memory_order_relaxed);
     }
-    Respond(req.conn, resp);
+    rec.status = resp.code;
+    if (options_.slow_request_us != 0 &&
+        rec.queue_us + rec.exec_us >= options_.slow_request_us) {
+      LEDGERDB_OBS_COUNT(obs::names::kServerSlowRequestsTotal);
+    }
+    obs::RequestLog::Default().Record(rec);
+    Respond(req.conn, resp, trace_id, parent_span);
     req.conn.reset();
     inflight_.fetch_sub(1, std::memory_order_acq_rel);
   }
@@ -532,13 +585,18 @@ wire::ResponseFrame LedgerServer::Execute(const wire::RequestFrame& frame) {
 }
 
 void LedgerServer::Respond(const ConnPtr& conn,
-                           const wire::ResponseFrame& resp) {
+                           const wire::ResponseFrame& resp, uint64_t trace_id,
+                           uint64_t parent_span) {
   Bytes payload = resp.Encode();
   {
     std::lock_guard<std::mutex> lock(conn->out_mu);
     if (conn->closed) return;
     wire::AppendFrame(&conn->outbuf, payload);
     conn->last_write_us = obs::NowUs();
+    if (trace_id != 0) {
+      conn->pending_flush.push_back(Conn::PendingFlush{
+          trace_id, parent_span, conn->last_write_us, conn->outbuf.size()});
+    }
     pending_out_bytes_.fetch_add(payload.size() + 4,
                                  std::memory_order_acq_rel);
   }
@@ -561,11 +619,36 @@ bool LedgerServer::FlushWritable(const ConnPtr& conn) {
     if (n < 0 && errno == EINTR) continue;
     return false;
   }
+  if (!conn->pending_flush.empty()) {
+    // Close the server_flush span of every traced response now fully on
+    // the wire. The histogram observation stays a macro (compiled out
+    // under LEDGERDB_OBS_OFF); the span record is direct API like the
+    // worker's queue/execute spans.
+    uint64_t now = obs::NowUs();
+    size_t kept = 0;
+    for (const Conn::PendingFlush& pf : conn->pending_flush) {
+      if (pf.target_off <= conn->out_off) {
+        uint64_t dur = now > pf.enqueue_us ? now - pf.enqueue_us : 0;
+        LEDGERDB_OBS_OBSERVE(obs::names::kServerFlushUs, dur);
+        obs::SpanTracer::Default().RecordTraced(obs::stages::kServerFlush.name,
+                                                pf.trace_id, pf.parent_span,
+                                                pf.enqueue_us, dur);
+      } else {
+        conn->pending_flush[kept++] = pf;
+      }
+    }
+    conn->pending_flush.resize(kept);
+  }
   if (conn->out_off == conn->outbuf.size()) {
     conn->outbuf.clear();
     conn->out_off = 0;
   }
   return true;
+}
+
+void LedgerServer::WithLedger(const std::function<void(Ledger*)>& fn) {
+  std::lock_guard<std::mutex> lock(ledger_mu_);
+  fn(ledger_);
 }
 
 void LedgerServer::CloseConn(const ConnPtr& conn) {
@@ -575,6 +658,8 @@ void LedgerServer::CloseConn(const ConnPtr& conn) {
     if (conn->closed) return;
     conn->closed = true;
     unsent = conn->outbuf.size() - conn->out_off;
+    // Responses that never reached the wire get no server_flush span.
+    conn->pending_flush.clear();
   }
   if (unsent > 0) {
     pending_out_bytes_.fetch_sub(unsent, std::memory_order_acq_rel);

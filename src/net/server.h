@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -67,6 +68,11 @@ class LedgerServer {
     /// Test/bench knob: every request holds the ledger for at least this
     /// long, making overload and drain scenarios deterministic.
     uint64_t debug_service_delay_us = 0;
+    /// Completed requests with queue_us + exec_us at or above this are
+    /// flagged slow in the per-request event log (obs::RequestLog). 0
+    /// keeps the log but never flags. Applied to the process-wide log at
+    /// Start().
+    uint64_t slow_request_us = 100'000;
   };
 
   /// Plain-atomic counters independent of the obs registry (tests must
@@ -100,6 +106,12 @@ class LedgerServer {
 
   const Stats& stats() const { return stats_; }
 
+  /// Admin escape hatch: runs `fn` against the hosted ledger under the
+  /// same mutex the workers execute behind. For maintenance operations
+  /// that are deliberately NOT wire ops (occult, purge, anchoring) —
+  /// blocks request execution for its duration, exactly like a request.
+  void WithLedger(const std::function<void(Ledger*)>& fn);
+
  private:
   struct Conn;
   using ConnPtr = std::shared_ptr<Conn>;
@@ -108,6 +120,7 @@ class LedgerServer {
     ConnPtr conn;
     wire::RequestFrame frame;
     uint64_t deadline_us = 0;  ///< absolute; 0 = none
+    uint64_t admit_us = 0;     ///< obs::NowUs() at admission (queue-wait t0)
   };
 
   struct Worker {
@@ -128,7 +141,10 @@ class LedgerServer {
   /// Executes one admitted request against the ledger.
   wire::ResponseFrame Execute(const wire::RequestFrame& frame);
   /// Encodes `resp` into the connection outbox and wakes the event loop.
-  void Respond(const ConnPtr& conn, const wire::ResponseFrame& resp);
+  /// A nonzero `trace_id` arms a server_flush span that fires when the
+  /// last byte of this response clears the kernel send buffer.
+  void Respond(const ConnPtr& conn, const wire::ResponseFrame& resp,
+               uint64_t trace_id = 0, uint64_t parent_span = 0);
   bool FlushWritable(const ConnPtr& conn);
   void CloseConn(const ConnPtr& conn);
   void WakeLoop();

@@ -2,10 +2,25 @@
 
 #include <unistd.h>
 
+#include <atomic>
+
 #include "obs/metric_names.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ledgerdb {
+
+namespace {
+
+/// Process-unique nonzero trace ids. A plain counter (not a clock) keeps
+/// traced runs deterministic enough to diff; uniqueness only needs to hold
+/// within the ring-buffer horizon of one process.
+uint64_t NextTraceId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 SocketTransport::SocketTransport(std::string address, std::string uri)
     : SocketTransport(std::move(address), std::move(uri), Options()) {}
@@ -62,10 +77,25 @@ Status SocketTransport::Call(RpcOp op, const Bytes& body, Bytes* resp_body) {
   uint64_t budget = request_deadline_us_ != 0 ? request_deadline_us_
                                               : options_.request_deadline_us;
   uint64_t deadline_us = budget != 0 ? obs::NowUs() + budget : 0;
+  uint64_t trace_id = 0;
+  if (options_.trace_sample_every != 0 &&
+      ++calls_since_trace_ >= options_.trace_sample_every) {
+    calls_since_trace_ = 0;
+    trace_id = NextTraceId();
+  }
+  last_trace_id_ = trace_id;
   uint64_t t0 = obs::NowUs();
-  Status st = CallOnce(op, body, resp_body, deadline_us);
-  LEDGERDB_OBS_OBSERVE(obs::names::kNetRpcUs, obs::NowUs() - t0);
+  Status st = CallOnce(op, body, resp_body, deadline_us, trace_id);
+  uint64_t dur = obs::NowUs() - t0;
+  LEDGERDB_OBS_OBSERVE(obs::names::kNetRpcUs, dur);
   LEDGERDB_OBS_COUNT_LABEL(obs::names::kNetRpcsTotal, "op", RpcOpName(op));
+  if (trace_id != 0) {
+    // Root span of the cross-process trace: the server's queue/execute/
+    // flush spans carry the same trace_id with this span as their parent.
+    obs::SpanTracer::Default().RecordTraced(obs::stages::kClientRpc.name,
+                                            trace_id, /*parent_span=*/0, t0,
+                                            dur);
+  }
   if (!st.ok() && (st.IsTransientIO() || st.IsDeadlineExceeded())) {
     // The exchange died mid-flight: the stream position is unknown, so a
     // retry on this connection could pair with a stale response. Close;
@@ -76,12 +106,16 @@ Status SocketTransport::Call(RpcOp op, const Bytes& body, Bytes* resp_body) {
 }
 
 Status SocketTransport::CallOnce(RpcOp op, const Bytes& body,
-                                 Bytes* resp_body, uint64_t deadline_us) {
+                                 Bytes* resp_body, uint64_t deadline_us,
+                                 uint64_t trace_id) {
   LEDGERDB_RETURN_IF_ERROR(EnsureConnected(deadline_us));
 
   wire::RequestFrame req;
   req.op = op;
   req.request_id = ++next_request_id_;
+  req.trace_id = trace_id;
+  // The client rpc span is the trace root; its id doubles as the trace id.
+  req.parent_span = trace_id;
   req.body = body;
   Bytes frame;
   wire::AppendFrame(&frame, req.Encode());

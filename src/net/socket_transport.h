@@ -33,6 +33,11 @@ class SocketTransport : public LedgerTransport {
   struct Options {
     uint64_t request_deadline_us = 5'000'000;
     uint64_t connect_timeout_us = 2'000'000;
+    /// Cross-process tracing: every Nth Call carries a fresh trace_id in
+    /// its request frame and records a client_rpc span (obs/trace.h); the
+    /// server stitches its queue/execute/flush spans onto the same id.
+    /// 0 disables tracing (legacy frames, no span records).
+    uint32_t trace_sample_every = 0;
   };
 
   /// `address` is "unix:<path>" or "tcp:<ipv4>:<port>"; `uri` names the
@@ -65,12 +70,17 @@ class SocketTransport : public LedgerTransport {
   /// Successful connection establishments (1 = never had to reconnect).
   uint64_t connects() const { return connects_; }
 
+  /// Trace id stamped on the most recent traced Call (0 = the last Call
+  /// was not sampled). Lets tests and harnesses correlate a client-side
+  /// request with the server-side span records it produced.
+  uint64_t last_trace_id() const { return last_trace_id_; }
+
  private:
   /// One request/response exchange; closes the connection on any
   /// transport-level failure so the next call starts clean.
   Status Call(RpcOp op, const Bytes& body, Bytes* resp_body);
   Status CallOnce(RpcOp op, const Bytes& body, Bytes* resp_body,
-                  uint64_t deadline_us);
+                  uint64_t deadline_us, uint64_t trace_id);
   Status EnsureConnected(uint64_t deadline_us);
   void CloseConn();
 
@@ -94,6 +104,8 @@ class SocketTransport : public LedgerTransport {
   int fd_ = -1;
   uint64_t next_request_id_ = 0;
   uint64_t connects_ = 0;
+  uint64_t calls_since_trace_ = 0;
+  uint64_t last_trace_id_ = 0;
   Bytes inbuf_;
 };
 

@@ -45,19 +45,36 @@ int ExtractFrame(const uint8_t* data, size_t size, uint32_t max_frame_bytes,
 
 Bytes RequestFrame::Encode() const {
   Bytes out;
-  out.reserve(9 + body.size());
-  out.push_back(static_cast<uint8_t>(op));
+  out.reserve(25 + body.size());
+  uint8_t op_byte = static_cast<uint8_t>(op);
+  if (trace_id != 0) op_byte |= kOpTraceFlag;
+  out.push_back(op_byte);
   PutU64(&out, request_id);
+  if (trace_id != 0) {
+    PutU64(&out, trace_id);
+    PutU64(&out, parent_span);
+  }
   out.insert(out.end(), body.begin(), body.end());
   return out;
 }
 
 bool RequestFrame::Decode(const Bytes& payload, RequestFrame* out) {
   if (payload.size() < 9) return false;
-  if (!ValidOp(payload[0])) return false;
-  out->op = static_cast<RpcOp>(payload[0]);
+  const bool traced = (payload[0] & kOpTraceFlag) != 0;
+  const uint8_t op_byte = payload[0] & static_cast<uint8_t>(~kOpTraceFlag);
+  if (!ValidOp(op_byte)) return false;
+  out->op = static_cast<RpcOp>(op_byte);
   size_t pos = 1;
   if (!GetU64(payload, &pos, &out->request_id)) return false;
+  out->trace_id = 0;
+  out->parent_span = 0;
+  if (traced) {
+    // Flag set but header truncated (or trace_id zero, which Encode never
+    // produces flagged) is a protocol violation, same as an unknown op.
+    if (!GetU64(payload, &pos, &out->trace_id)) return false;
+    if (!GetU64(payload, &pos, &out->parent_span)) return false;
+    if (out->trace_id == 0) return false;
+  }
   out->body.assign(payload.begin() + static_cast<ptrdiff_t>(pos),
                    payload.end());
   return true;

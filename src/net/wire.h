@@ -16,8 +16,16 @@ namespace ledgerdb::wire {
 ///
 ///   frame    := [u32 len][payload]          len = payload size, 1..max
 ///   request  := [u8 op][u64 request_id][body]
+///             | [u8 op|0x80][u64 request_id][u64 trace_id]
+///               [u64 parent_span][body]
 ///   response := [u8 op][u64 request_id][u8 code][lp message][body]
 ///
+/// The high bit of the op byte (kOpTraceFlag) is a trace-context marker:
+/// when set, a 16-byte trace header (trace_id, parent span id) sits
+/// between the request id and the body. Valid ops use only the low 7 bits,
+/// so clients that predate tracing emit byte-identical frames (flag clear,
+/// no header) and are served unchanged — the flag is the whole
+/// backward-compatibility story, no version bump needed.
 /// Request/response bodies reuse the existing Serialize()/Deserialize()
 /// formats (a ClueRangeResult response body IS Ledger::ProveClueRangeWire
 /// output). Every decoder is strict: trailing bytes, truncated fields,
@@ -28,6 +36,10 @@ namespace ledgerdb::wire {
 inline constexpr uint8_t kHelloMagic[4] = {'L', 'D', 'B', 'W'};
 inline constexpr uint32_t kWireVersion = 1;
 inline constexpr size_t kHelloSize = 8;
+
+/// Request op-byte flag: an optional [u64 trace_id][u64 parent_span]
+/// header follows the request id. Decode strips it before op validation.
+inline constexpr uint8_t kOpTraceFlag = 0x80;
 
 /// Hard ceiling on a single frame payload. Anything larger is a protocol
 /// violation (or an attack on the server's memory) and closes the
@@ -57,12 +69,17 @@ int ExtractFrame(const uint8_t* data, size_t size, uint32_t max_frame_bytes,
 struct RequestFrame {
   RpcOp op = RpcOp::kAppendTx;
   uint64_t request_id = 0;
+  /// Cross-process trace context (obs/trace.h). 0 = untraced: Encode emits
+  /// the legacy layout with the flag bit clear.
+  uint64_t trace_id = 0;
+  uint64_t parent_span = 0;
   Bytes body;
 
   /// Frame payload (no length prefix — AppendFrame adds it).
   Bytes Encode() const;
-  /// Strict decode; false on truncation, unknown op, or trailing bytes
-  /// beyond the op-specific body (bodies are validated by the handler).
+  /// Strict decode; false on truncation, unknown op, a set trace flag with
+  /// a truncated trace header, or trailing bytes beyond the op-specific
+  /// body (bodies are validated by the handler).
   static bool Decode(const Bytes& payload, RequestFrame* out);
 };
 

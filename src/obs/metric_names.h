@@ -136,6 +136,11 @@ inline constexpr char kServerQueueDepthCount[] =
     "ledgerdb_server_queue_depth_count";
 inline constexpr char kServerConnectionsCount[] =
     "ledgerdb_server_connections_count";
+inline constexpr char kServerQueueWaitUs[] = "ledgerdb_server_queue_wait_us";
+inline constexpr char kServerExecuteUs[] = "ledgerdb_server_execute_us";
+inline constexpr char kServerFlushUs[] = "ledgerdb_server_flush_us";
+inline constexpr char kServerSlowRequestsTotal[] =
+    "ledgerdb_server_slow_requests_total";
 
 // --- client: verified SDK -------------------------------------------------
 inline constexpr char kClientAppendsTotal[] = "ledgerdb_client_appends_total";
@@ -219,6 +224,10 @@ inline constexpr const char* kAll[] = {
     kServerDeadlineExpiredTotal,
     kServerQueueDepthCount,
     kServerConnectionsCount,
+    kServerQueueWaitUs,
+    kServerExecuteUs,
+    kServerFlushUs,
+    kServerSlowRequestsTotal,
     kClientAppendsTotal,
     kClientRefreshesTotal,
     kClientRefreshUs,

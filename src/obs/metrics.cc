@@ -132,7 +132,8 @@ std::string MetricsSnapshot::ToJson(int indent) const {
            ", \"sum\": " + std::to_string(h.sum) +
            ", \"max\": " + std::to_string(h.max) +
            ", \"p50\": " + Num(h.p50()) + ", \"p90\": " + Num(h.p90()) +
-           ", \"p99\": " + Num(h.p99()) + "}";
+           ", \"p99\": " + Num(h.p99()) + ", \"p999\": " + Num(h.p999()) +
+           "}";
   }
   if (!histograms.empty()) {
     out += "\n";
@@ -176,6 +177,7 @@ std::string MetricsSnapshot::ToPrometheus() const {
     out += h.name + "{quantile=\"0.5\"} " + Num(h.p50()) + "\n";
     out += h.name + "{quantile=\"0.9\"} " + Num(h.p90()) + "\n";
     out += h.name + "{quantile=\"0.99\"} " + Num(h.p99()) + "\n";
+    out += h.name + "{quantile=\"0.999\"} " + Num(h.p999()) + "\n";
     out += h.name + "_max " + std::to_string(h.max) + "\n";
     out += h.name + "_sum " + std::to_string(h.sum) + "\n";
     out += h.name + "_count " + std::to_string(h.count) + "\n";

@@ -200,6 +200,7 @@ struct HistogramSnapshot {
   double p50() const { return Quantile(0.50); }
   double p90() const { return Quantile(0.90); }
   double p99() const { return Quantile(0.99); }
+  double p999() const { return Quantile(0.999); }
 
   void MergeFrom(const HistogramSnapshot& other);
 };
@@ -215,11 +216,11 @@ struct MetricsSnapshot {
   void MergeFrom(const MetricsSnapshot& other);
 
   /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
-  /// sum, max, p50, p90, p99}}} — stable key order (sorted by name).
+  /// sum, max, p50, p90, p99, p999}}} — stable key order (sorted by name).
   std::string ToJson(int indent = 0) const;
 
   /// Prometheus text exposition format (counters as `# TYPE ... counter`,
-  /// histograms as _count/_sum/p50/p90/p99 gauge-style series).
+  /// histograms as _count/_sum/p50/p90/p99/p99.9 gauge-style series).
   std::string ToPrometheus() const;
 
   bool empty() const {

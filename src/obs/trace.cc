@@ -94,6 +94,19 @@ void SpanTracer::Record(const char* stage, uint64_t start_us,
   }
 }
 
+void SpanTracer::RecordTraced(const char* stage, uint64_t trace_id,
+                              uint64_t parent_span, uint64_t start_us,
+                              uint64_t dur_us) {
+  // The trace was sampled once at its root (the client rpc); dropping a
+  // propagated stage here would leave holes in stitched traces, so this
+  // never consults the countdown.
+  Ring* ring = RingForThisThread();
+  std::lock_guard<std::mutex> lock(ring->mu);
+  ring->slots[ring->next % kRingCapacity] =
+      SpanRecord{stage, start_us, dur_us, ring->id, trace_id, parent_span};
+  ++ring->next;
+}
+
 std::vector<SpanRecord> SpanTracer::Snapshot() const {
   std::vector<SpanRecord> out;
   std::lock_guard<std::mutex> lock(state_->mu);
@@ -119,6 +132,106 @@ void SpanTracer::Clear() {
     ring->next = 0;
     ring->sample_countdown = 0;
   }
+}
+
+// ---------------------------------------------------------------------------
+// RequestLog
+// ---------------------------------------------------------------------------
+
+RequestLog& RequestLog::Default() {
+  // Leaked for the same reason as SpanTracer::Default(): server threads
+  // may record through static teardown.
+  static RequestLog* log = new RequestLog();
+  return *log;
+}
+
+void RequestLog::SetSlowThresholdUs(uint64_t us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  slow_threshold_us_ = us;
+}
+
+uint64_t RequestLog::slow_threshold_us() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slow_threshold_us_;
+}
+
+void RequestLog::Record(RequestRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  rec.slow = slow_threshold_us_ != 0 &&
+             rec.queue_us + rec.exec_us >= slow_threshold_us_;
+  slots_[next_ % kCapacity] = rec;
+  ++next_;
+}
+
+std::vector<RequestRecord> RequestLog::Snapshot() const {
+  std::vector<RequestRecord> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = std::min<uint64_t>(next_, kCapacity);
+  out.reserve(n);
+  for (uint64_t i = next_ - n; i < next_; ++i) {
+    out.push_back(slots_[i % kCapacity]);
+  }
+  return out;
+}
+
+std::vector<RequestRecord> RequestLog::SlowSnapshot() const {
+  std::vector<RequestRecord> all = Snapshot();
+  std::vector<RequestRecord> out;
+  for (const RequestRecord& r : all) {
+    if (r.slow) out.push_back(r);
+  }
+  return out;
+}
+
+uint64_t RequestLog::TotalRecorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+void RequestLog::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+}
+
+// ---------------------------------------------------------------------------
+// JSON exporters
+// ---------------------------------------------------------------------------
+
+std::string SpanRecordsToJson(const std::vector<SpanRecord>& records) {
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const SpanRecord& r = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"stage\": \"";
+    out += r.stage != nullptr ? r.stage : "";
+    out += "\", \"start_us\": " + std::to_string(r.start_us) +
+           ", \"dur_us\": " + std::to_string(r.dur_us) +
+           ", \"thread\": " + std::to_string(r.thread) +
+           ", \"trace_id\": " + std::to_string(r.trace_id) +
+           ", \"parent_span\": " + std::to_string(r.parent_span) + "}";
+  }
+  out += records.empty() ? "]" : "\n]";
+  return out;
+}
+
+std::string RequestRecordsToJson(const std::vector<RequestRecord>& records) {
+  std::string out = "[";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RequestRecord& r = records[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "  {\"op\": \"";
+    out += r.op != nullptr ? r.op : "";
+    out += "\", \"trace_id\": " + std::to_string(r.trace_id) +
+           ", \"start_us\": " + std::to_string(r.start_us) +
+           ", \"queue_us\": " + std::to_string(r.queue_us) +
+           ", \"exec_us\": " + std::to_string(r.exec_us) +
+           ", \"status\": " + std::to_string(r.status) + ", \"shed\": " +
+           (r.shed ? "true" : "false") + ", \"deadline_expired\": " +
+           (r.deadline_expired ? "true" : "false") + ", \"slow\": " +
+           (r.slow ? "true" : "false") + "}";
+  }
+  out += records.empty() ? "]" : "\n]";
+  return out;
 }
 
 }  // namespace ledgerdb::obs

@@ -34,6 +34,15 @@ inline constexpr Stage kProofBuild{"proof_build", names::kLedgerProofBuildUs};
 inline constexpr Stage kAuditWhat{"audit_what", names::kAuditWhatUs};
 inline constexpr Stage kAuditWhen{"audit_when", names::kAuditWhenUs};
 inline constexpr Stage kAuditWho{"audit_who", names::kAuditWhoUs};
+// Cross-process request stages: a traced RPC decomposes into the
+// client's end-to-end rpc span and the server-side queue-wait, execute,
+// and outbox-flush spans, all stitched by a shared trace_id carried in the
+// wire request frame (net/wire.h).
+inline constexpr Stage kClientRpc{"client_rpc", names::kNetRpcUs};
+inline constexpr Stage kServerQueue{"server_queue", names::kServerQueueWaitUs};
+inline constexpr Stage kServerExecute{"server_execute",
+                                      names::kServerExecuteUs};
+inline constexpr Stage kServerFlush{"server_flush", names::kServerFlushUs};
 }  // namespace stages
 
 /// One detailed span record captured in a thread's ring.
@@ -41,7 +50,9 @@ struct SpanRecord {
   const char* stage = nullptr;  ///< Stage::name (static storage)
   uint64_t start_us = 0;        ///< obs::NowUs() at span entry
   uint64_t dur_us = 0;
-  uint32_t thread = 0;  ///< stable per-ring id
+  uint32_t thread = 0;      ///< stable per-ring id
+  uint64_t trace_id = 0;    ///< 0 = not part of a cross-process trace
+  uint64_t parent_span = 0; ///< parent span id within the trace (0 = root)
 };
 
 /// Lightweight stage tracer. Every ObsSpan observes its stage histogram
@@ -75,6 +86,14 @@ class SpanTracer {
   /// ring.
   void Record(const char* stage, uint64_t start_us, uint64_t dur_us);
 
+  /// Records a span already selected for tracing (the client samples once
+  /// per trace; every propagated stage of that trace must land, so this
+  /// bypasses the per-thread sampling countdown). Direct API, not a macro:
+  /// it stays live under LEDGERDB_OBS_OFF so cross-process traces remain
+  /// testable in the instrumentation-free build.
+  void RecordTraced(const char* stage, uint64_t trace_id, uint64_t parent_span,
+                    uint64_t start_us, uint64_t dur_us);
+
   /// Most-recent records across all rings, oldest first.
   std::vector<SpanRecord> Snapshot() const;
 
@@ -95,6 +114,65 @@ class SpanTracer {
   // raw addresses, which stack reuse can make collide.
   std::shared_ptr<State> state_;
 };
+
+/// One completed (or shed) request as the server saw it. `op` is a static
+/// string (RpcOpName); status is the wire Status::Code byte — obs must not
+/// depend on common/status.h for the full enum.
+struct RequestRecord {
+  const char* op = nullptr;
+  uint64_t trace_id = 0;
+  uint64_t start_us = 0;  ///< obs::NowUs() at admission (or shed decision)
+  uint64_t queue_us = 0;  ///< admission -> worker pickup
+  uint64_t exec_us = 0;   ///< ledger execution under the server mutex
+  uint8_t status = 0;     ///< Status::Code as u8
+  bool shed = false;
+  bool deadline_expired = false;
+  bool slow = false;  ///< queue_us + exec_us >= the log's slow threshold
+};
+
+/// Bounded ring of per-request structured events, fed by LedgerServer and
+/// surfaced through `ledgerdb_cli stats --slow`. Like SpanTracer, a direct
+/// API (one mutex push per completed request, far off the byte-shoveling
+/// hot path) that stays live under LEDGERDB_OBS_OFF.
+class RequestLog {
+ public:
+  static constexpr size_t kCapacity = 1024;
+
+  RequestLog() = default;
+  RequestLog(const RequestLog&) = delete;
+  RequestLog& operator=(const RequestLog&) = delete;
+
+  static RequestLog& Default();
+
+  /// Requests with queue_us + exec_us at or above this are flagged slow.
+  /// 0 disables the flag. Default: 100 ms.
+  void SetSlowThresholdUs(uint64_t us);
+  uint64_t slow_threshold_us() const;
+
+  /// Stamps `rec.slow` from the threshold and pushes into the ring.
+  void Record(RequestRecord rec);
+
+  /// Most-recent records, oldest first.
+  std::vector<RequestRecord> Snapshot() const;
+  /// Only the records flagged slow.
+  std::vector<RequestRecord> SlowSnapshot() const;
+
+  /// Total records ever pushed (ring overwrites do not decrement).
+  uint64_t TotalRecorded() const;
+
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t next_ = 0;  ///< total pushed; next_ % kCapacity is the slot
+  uint64_t slow_threshold_us_ = 100'000;
+  RequestRecord slots_[kCapacity];
+};
+
+/// JSON array exporters shared by `ledgerdb_cli stats --spans/--slow` and
+/// anything else that wants the ring contents machine-readable.
+std::string SpanRecordsToJson(const std::vector<SpanRecord>& records);
+std::string RequestRecordsToJson(const std::vector<RequestRecord>& records);
 
 /// RAII stage scope. Construction stamps the clock; destruction feeds the
 /// stage histogram and (sampled) the detailed ring. Use through the

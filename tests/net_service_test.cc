@@ -33,6 +33,7 @@
 #include "net/socket_util.h"
 #include "net/wire.h"
 #include "obs/metrics.h"
+#include "obs/trace.h"
 #include "storage/checkpoint.h"
 
 namespace ledgerdb {
@@ -1045,6 +1046,230 @@ TEST_F(NetServiceTest, FaultedAppendCommitsExactlyOnce) {
   ASSERT_TRUE(ledger_->GetJournal(jsn, &journal).ok());
   EXPECT_EQ(journal.payload, StringToBytes("cut-response"));
   proxy.Stop();
+}
+
+// ---------------------------------------------------------------------------
+// Cross-process tracing and the per-request event log
+// ---------------------------------------------------------------------------
+
+TEST_F(NetServiceTest, TracedRequestFrameRoundTripAndStrictness) {
+  wire::RequestFrame req;
+  req.op = RpcOp::kAppendTx;
+  req.request_id = 77;
+  req.trace_id = 0xdeadbeefULL;
+  req.parent_span = 0xdeadbeefULL;
+  req.body = StringToBytes("traced");
+  Bytes enc = req.Encode();
+  EXPECT_EQ(enc[0] & wire::kOpTraceFlag, wire::kOpTraceFlag);
+
+  wire::RequestFrame out;
+  ASSERT_TRUE(wire::RequestFrame::Decode(enc, &out));
+  EXPECT_EQ(out.op, req.op);
+  EXPECT_EQ(out.request_id, req.request_id);
+  EXPECT_EQ(out.trace_id, req.trace_id);
+  EXPECT_EQ(out.parent_span, req.parent_span);
+  EXPECT_EQ(out.body, req.body);
+
+  // trace_id = 0 encodes the legacy layout, byte for byte: old servers
+  // and new servers parse the same frame identically.
+  wire::RequestFrame legacy = req;
+  legacy.trace_id = 0;
+  legacy.parent_span = 0;
+  Bytes legacy_enc = legacy.Encode();
+  EXPECT_EQ(legacy_enc.size(), 9 + req.body.size());
+  EXPECT_EQ(legacy_enc[0], static_cast<uint8_t>(RpcOp::kAppendTx));
+  ASSERT_TRUE(wire::RequestFrame::Decode(legacy_enc, &out));
+  EXPECT_EQ(out.trace_id, 0u);
+  EXPECT_EQ(out.parent_span, 0u);
+  EXPECT_EQ(out.body, req.body);
+
+  // Flag set but header truncated: rejected, never read as body bytes.
+  for (size_t len = 9; len < 25; ++len) {
+    EXPECT_FALSE(wire::RequestFrame::Decode(
+        Bytes(enc.begin(), enc.begin() + static_cast<ptrdiff_t>(len)), &out))
+        << len;
+  }
+  // Flagged frame carrying trace_id 0 is a protocol violation (Encode
+  // never produces it).
+  Bytes zero_trace = enc;
+  for (size_t i = 9; i < 17; ++i) zero_trace[i] = 0;
+  EXPECT_FALSE(wire::RequestFrame::Decode(zero_trace, &out));
+}
+
+TEST_F(NetServiceTest, TraceStitchesClientAndServerSpans) {
+  AppendDirect("traced-target", {"trace"});
+  LedgerServer server(ledger_.get(), {.unix_path = SockPath("tr")});
+  ASSERT_TRUE(server.Start().ok());
+
+  obs::SpanTracer::Default().Clear();
+  SocketTransport::Options topts;
+  topts.trace_sample_every = 1;  // every call is a trace root
+  SocketTransport remote(server.address(), "lg://net", topts);
+
+  uint64_t t0 = obs::NowUs();
+  SignedCommitment commitment;
+  ASSERT_TRUE(remote.GetCommitment(&commitment).ok());
+  uint64_t client_observed_us = obs::NowUs() - t0;
+  uint64_t trace_id = remote.last_trace_id();
+  ASSERT_NE(trace_id, 0u);
+
+  // The client span exists immediately; the server records queue/execute
+  // before responding, so they are also visible. The flush span fires when
+  // the event loop sees the response bytes leave — poll briefly.
+  bool saw_client = false, saw_queue = false, saw_execute = false,
+       saw_flush = false;
+  uint64_t queue_us = 0, exec_us = 0;
+  uint64_t deadline = obs::NowUs() + 2'000'000;
+  do {
+    saw_client = saw_queue = saw_execute = saw_flush = false;
+    for (const obs::SpanRecord& span :
+         obs::SpanTracer::Default().Snapshot()) {
+      if (span.trace_id != trace_id) continue;
+      std::string stage = span.stage;
+      if (stage == "client_rpc") {
+        saw_client = true;
+        EXPECT_EQ(span.parent_span, 0u);  // trace root
+      } else if (stage == "server_queue") {
+        saw_queue = true;
+        queue_us = span.dur_us;
+        EXPECT_EQ(span.parent_span, trace_id);
+      } else if (stage == "server_execute") {
+        saw_execute = true;
+        exec_us = span.dur_us;
+        EXPECT_EQ(span.parent_span, trace_id);
+      } else if (stage == "server_flush") {
+        saw_flush = true;
+        EXPECT_EQ(span.parent_span, trace_id);
+      }
+    }
+    if (saw_client && saw_queue && saw_execute && saw_flush) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  } while (obs::NowUs() < deadline);
+  EXPECT_TRUE(saw_client);
+  EXPECT_TRUE(saw_queue);
+  EXPECT_TRUE(saw_execute);
+  EXPECT_TRUE(saw_flush);
+
+  // Server-side accounting nests inside what the client observed: both
+  // sides read the same monotonic clock, and queue-wait + execution are a
+  // strict subset of the client's round trip.
+  EXPECT_LE(queue_us + exec_us, client_observed_us);
+
+  // The exporter carries the trace fields.
+  std::string json =
+      obs::SpanRecordsToJson(obs::SpanTracer::Default().Snapshot());
+  EXPECT_NE(json.find("\"trace_id\": " + std::to_string(trace_id)),
+            std::string::npos);
+  server.Stop();
+}
+
+TEST_F(NetServiceTest, UntracedClientsAreServedUnchanged) {
+  AppendDirect("legacy-target", {"legacy"});
+  LedgerServer server(ledger_.get(), {.unix_path = SockPath("lg")});
+  ASSERT_TRUE(server.Start().ok());
+
+  // Default transport options: tracing off, frames in the legacy layout.
+  SocketTransport remote(server.address(), "lg://net");
+  SignedCommitment commitment;
+  ASSERT_TRUE(remote.GetCommitment(&commitment).ok());
+  EXPECT_EQ(remote.last_trace_id(), 0u);
+
+  // A hand-built legacy frame (no trace flag) over a raw socket is served
+  // exactly like before the trace header existed.
+  int fd = RawConnect(server.address());
+  Bytes hello = wire::EncodeHello();
+  ASSERT_TRUE(net::SendAll(fd, hello.data(), hello.size(),
+                           obs::NowUs() + 2'000'000)
+                  .ok());
+  wire::RequestFrame req;
+  req.op = RpcOp::kGetCommitment;
+  req.request_id = 1;
+  Bytes frame;
+  wire::AppendFrame(&frame, req.Encode());
+  ASSERT_TRUE(net::SendAll(fd, frame.data(), frame.size(),
+                           obs::NowUs() + 2'000'000)
+                  .ok());
+  Bytes inbuf;
+  uint8_t buf[4096];
+  wire::ResponseFrame resp;
+  uint64_t deadline = obs::NowUs() + 2'000'000;
+  while (true) {
+    Bytes payload;
+    size_t consumed = 0;
+    int rc = wire::ExtractFrame(inbuf.data(), inbuf.size(),
+                                wire::kDefaultMaxFrameBytes, &payload,
+                                &consumed);
+    ASSERT_GE(rc, 0);
+    if (rc > 0) {
+      ASSERT_TRUE(wire::ResponseFrame::Decode(payload, &resp));
+      break;
+    }
+    size_t got = 0;
+    ASSERT_TRUE(net::RecvSome(fd, buf, sizeof(buf), deadline, &got).ok());
+    ASSERT_GT(got, 0u);
+    inbuf.insert(inbuf.end(), buf, buf + got);
+  }
+  EXPECT_EQ(resp.code, static_cast<uint8_t>(Status::Code::kOk));
+  EXPECT_EQ(resp.request_id, 1u);
+  close(fd);
+  server.Stop();
+}
+
+TEST_F(NetServiceTest, RequestLogRecordsCompletionsAndSheds) {
+  obs::RequestLog::Default().Clear();
+  LedgerServer::Options sopts;
+  sopts.unix_path = SockPath("rl");
+  sopts.num_workers = 1;
+  sopts.queue_depth = 1;
+  sopts.debug_service_delay_us = 20'000;
+  sopts.request_timeout_us = 30'000'000;
+  sopts.slow_request_us = 1;  // everything executed is flagged slow
+  LedgerServer server(ledger_.get(), sopts);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Overload a 1-deep queue so at least one request sheds.
+  std::atomic<int> ok{0}, shed{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < 6; ++c) {
+    threads.emplace_back([&] {
+      SocketTransport remote(server.address(), "lg://net");
+      SignedCommitment commitment;
+      Status s = remote.GetCommitment(&commitment);
+      if (s.ok()) ++ok;
+      if (s.IsUnavailable()) ++shed;
+    });
+  }
+  for (auto& t : threads) t.join();
+  server.Stop();
+  ASSERT_GT(ok.load(), 0);
+  ASSERT_GT(shed.load(), 0);
+
+  std::vector<obs::RequestRecord> records =
+      obs::RequestLog::Default().Snapshot();
+  int logged_ok = 0, logged_shed = 0, logged_slow = 0;
+  for (const obs::RequestRecord& rec : records) {
+    ASSERT_NE(rec.op, nullptr);
+    EXPECT_STREQ(rec.op, "GetCommitment");
+    if (rec.shed) {
+      ++logged_shed;
+      EXPECT_EQ(rec.status, static_cast<uint8_t>(Status::Code::kUnavailable));
+      EXPECT_EQ(rec.exec_us, 0u);
+    } else {
+      ++logged_ok;
+      EXPECT_GE(rec.exec_us, sopts.debug_service_delay_us);
+    }
+    if (rec.slow) ++logged_slow;
+  }
+  EXPECT_EQ(logged_ok, ok.load());
+  EXPECT_EQ(logged_shed, shed.load());
+  EXPECT_GE(logged_slow, ok.load());  // 1 us threshold: every executed one
+
+  // The slow view and the JSON exporter agree with the flags.
+  EXPECT_EQ(obs::RequestLog::Default().SlowSnapshot().size(),
+            static_cast<size_t>(logged_slow));
+  std::string json = obs::RequestRecordsToJson(records);
+  EXPECT_NE(json.find("\"shed\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"op\": \"GetCommitment\""), std::string::npos);
 }
 
 }  // namespace

@@ -208,6 +208,20 @@ TEST(HistogramTest, QuantileWithinBucketRelativeError) {
   EXPECT_NEAR(s.Quantile(0.9), 9000.0, 9000.0 * 0.25);
 }
 
+TEST(HistogramTest, P999SeparatesTheExtremeTail) {
+  // 999 fast ops and one 100x outlier: p99 stays at the body, p99.9
+  // reaches into the outlier's bucket — the quantile SLO dashboards use
+  // to catch rare stalls that p99 averages away.
+  Histogram h;
+  for (int i = 0; i < 999; ++i) h.Observe(100);
+  h.Observe(10'000);
+  HistogramSnapshot s = Snap(h);
+  EXPECT_NEAR(s.p99(), 100.0, 100.0 * 0.25);
+  EXPECT_GT(s.p999(), 1000.0);
+  EXPECT_LE(s.p999(), 10'000.0);  // clamped to the observed max
+  EXPECT_DOUBLE_EQ(s.p999(), s.Quantile(0.999));
+}
+
 TEST(HistogramTest, ConcurrentObserveCountsExactly) {
   Histogram h;
   constexpr int kThreads = 8;

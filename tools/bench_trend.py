@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Aggregate BENCH_*.json artifacts into a cross-bench trend table.
+
+Every bench binary writes a schema-2 artifact ({"meta": {...}, "results":
+[{"name", "ops_per_sec", "p50_us", "p99_us", ...}]}) when run with
+`--json BENCH_<bench>.json`. This tool collects every such artifact in a
+directory (default: the repo root, i.e. the parent of tools/), groups rows
+by "<bench>/<row name>", and prints one line per row with throughput and
+tail latency — including the optional additive keys (p999_us, shed_rate)
+newer benches emit. With more than one artifact per bench name (e.g. a
+directory of dated runs via --glob), each row shows first → last values
+and the percent change, so regressions stand out without extra tooling.
+
+Usage:
+  tools/bench_trend.py                    # all BENCH_*.json next to repo root
+  tools/bench_trend.py --dir path/        # another artifact directory
+  tools/bench_trend.py --glob 'runs/**/BENCH_*.json'   # dated run trees
+  tools/bench_trend.py --format tsv       # machine-readable output
+
+Stdlib only; schema-2 artifacts only (older layouts are skipped with a
+warning on stderr, never guessed at).
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+
+def load_artifact(path):
+    """Returns (bench_name, meta, results) or None if not schema 2."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            data = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"bench_trend: skipping {path}: {e}", file=sys.stderr)
+        return None
+    meta = data.get("meta", {})
+    if meta.get("schema") != 2:
+        print(
+            f"bench_trend: skipping {path}: unknown schema "
+            f"{meta.get('schema')!r}",
+            file=sys.stderr,
+        )
+        return None
+    base = os.path.basename(path)
+    bench = base[len("BENCH_"):-len(".json")] if base.startswith(
+        "BENCH_") else base
+    return bench, meta, data.get("results", [])
+
+
+def collect(paths):
+    """Maps "<bench>/<row>" -> list of row dicts ordered by run_id."""
+    runs = []
+    for path in paths:
+        loaded = load_artifact(path)
+        if loaded:
+            runs.append(loaded)
+    runs.sort(key=lambda r: r[1].get("run_id", 0))
+    rows = {}
+    for bench, _meta, results in runs:
+        for row in results:
+            key = f"{bench}/{row.get('name', '?')}"
+            rows.setdefault(key, []).append(row)
+    return rows
+
+
+def fmt_delta(first, last):
+    if first in (None, 0) or last is None:
+        return ""
+    change = (last - first) / first * 100.0
+    return f"{change:+.1f}%"
+
+
+def emit(rows, out_format):
+    cols = ["row", "runs", "ops_per_sec", "p50_us", "p99_us", "p999_us",
+            "shed_rate", "ops_delta"]
+    lines = []
+    for key in sorted(rows):
+        history = rows[key]
+        last = history[-1]
+        first = history[0]
+        lines.append([
+            key,
+            str(len(history)),
+            f"{last.get('ops_per_sec', 0):.1f}",
+            f"{last.get('p50_us', 0):.1f}",
+            f"{last.get('p99_us', 0):.1f}",
+            f"{last['p999_us']:.1f}" if "p999_us" in last else "-",
+            f"{last['shed_rate']:.3f}" if "shed_rate" in last else "-",
+            fmt_delta(first.get("ops_per_sec"), last.get("ops_per_sec"))
+            if len(history) > 1 else "",
+        ])
+    if out_format == "tsv":
+        print("\t".join(cols))
+        for line in lines:
+            print("\t".join(line))
+        return
+    widths = [max(len(c), *(len(l[i]) for l in lines)) if lines else len(c)
+              for i, c in enumerate(cols)]
+    print("  ".join(c.ljust(widths[i]) for i, c in enumerate(cols)))
+    for line in lines:
+        print("  ".join(v.ljust(widths[i]) for i, v in enumerate(line)))
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Aggregate BENCH_*.json artifacts into a trend table")
+    parser.add_argument("--dir", default=None,
+                        help="directory holding BENCH_*.json "
+                             "(default: repo root)")
+    parser.add_argument("--glob", dest="pattern", default=None,
+                        help="explicit glob pattern (overrides --dir)")
+    parser.add_argument("--format", choices=["table", "tsv"],
+                        default="table")
+    args = parser.parse_args()
+
+    if args.pattern:
+        paths = sorted(glob.glob(args.pattern, recursive=True))
+    else:
+        root = args.dir or os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))
+        paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        print("bench_trend: no BENCH_*.json artifacts found",
+              file=sys.stderr)
+        return 1
+    rows = collect(paths)
+    if not rows:
+        print("bench_trend: no schema-2 rows found", file=sys.stderr)
+        return 1
+    emit(rows, args.format)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Piped into head/less and the reader closed early: fine.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

@@ -21,6 +21,7 @@
 //   ledgerdb_cli verify-receipt <dir> <file>     offline receipt check
 //                                                (exit 0 valid, 2 forged)
 //   ledgerdb_cli stats  <dir> [--format json|prom] [--exercise]
+//                       [--spans] [--slow]
 //                       [--watch <secs>] [--ticks <n>]
 //                                                observability snapshot
 //   ledgerdb_cli serve  <dir> [--unix <path>|--port <n>] [--workers <n>]
@@ -48,6 +49,12 @@
 // `--exercise`, re-drives) every <secs> seconds; `--ticks` bounds the
 // number of rounds (0 = until interrupted). NOTE: --exercise appends real
 // journals to the ledger.
+//
+// `stats --spans` exports the sampled span ring (stage, start, duration,
+// thread, trace_id/parent_span for cross-process traces) as a JSON array;
+// `stats --slow` exports the per-request event log filtered to requests
+// flagged slow (queue + exec at or above the server's slow threshold).
+// Both replace the registry snapshot for that tick and are JSON-only.
 
 #include <chrono>
 #include <csignal>
@@ -828,6 +835,8 @@ int CmdStats(CliContext* ctx, const std::string& seed,
              const std::vector<std::string>& args) {
   std::string format = "json";
   bool exercise = false;
+  bool spans = false;
+  bool slow = false;
   int watch_secs = 0;
   int ticks = 1;
   for (size_t i = 0; i < args.size(); ++i) {
@@ -835,6 +844,10 @@ int CmdStats(CliContext* ctx, const std::string& seed,
       format = args[++i];
     } else if (args[i] == "--exercise") {
       exercise = true;
+    } else if (args[i] == "--spans") {
+      spans = true;
+    } else if (args[i] == "--slow") {
+      slow = true;
     } else if (args[i] == "--watch" && i + 1 < args.size()) {
       watch_secs = std::atoi(args[++i].c_str());
       ticks = 0;  // watch runs until interrupted unless --ticks bounds it
@@ -847,6 +860,9 @@ int CmdStats(CliContext* ctx, const std::string& seed,
   if (format != "json" && format != "prom") {
     return Fail("--format must be json or prom");
   }
+  if ((spans || slow) && format == "prom") {
+    return Fail("--spans/--slow emit JSON only (drop --format prom)");
+  }
 
   for (int tick = 0; ticks == 0 || tick < ticks; ++tick) {
     if (tick > 0) {
@@ -856,11 +872,30 @@ int CmdStats(CliContext* ctx, const std::string& seed,
       int rc = RunStatsExercise(ctx, seed);
       if (rc != 0) return rc;
     }
-    obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Default().Snapshot();
-    if (format == "json") {
-      std::printf("%s\n", snapshot.ToJson().c_str());
+    if (spans || slow) {
+      // Ring exports replace the registry snapshot: one JSON object per
+      // tick with only the requested sections.
+      std::string out = "{";
+      if (spans) {
+        out += "\"spans\": " +
+               obs::SpanRecordsToJson(obs::SpanTracer::Default().Snapshot());
+      }
+      if (slow) {
+        if (spans) out += ", ";
+        out += "\"slow_requests\": " +
+               obs::RequestRecordsToJson(
+                   obs::RequestLog::Default().SlowSnapshot());
+      }
+      out += "}";
+      std::printf("%s\n", out.c_str());
     } else {
-      std::printf("%s", snapshot.ToPrometheus().c_str());
+      obs::MetricsSnapshot snapshot =
+          obs::MetricsRegistry::Default().Snapshot();
+      if (format == "json") {
+        std::printf("%s\n", snapshot.ToJson().c_str());
+      } else {
+        std::printf("%s", snapshot.ToPrometheus().c_str());
+      }
     }
     std::fflush(stdout);
     if (watch_secs == 0 && ticks == 0) break;  // --ticks 0 without --watch
